@@ -1,0 +1,90 @@
+//===- bench/bench_algorithms.cpp - Tables 3 and 4 -------------------------===//
+//
+// Reproduces Tables 3/4: single-thread time (1), parallel time (P), and
+// self-relative speedup (SU) for the paper's five algorithms - BFS, BC,
+// MIS (global, run over a flat snapshot as in Section 5.1) and 2-hop,
+// Local-Cluster (local, run through the vertex tree; averaged over many
+// queries, run both sequentially and concurrently).
+//
+// Expected shape (paper): 32-78x self-relative speedups on 72 cores for
+// global algorithms; 35-49x for local queries; proportionally smaller on
+// this machine's core count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "algorithms/bc.h"
+#include "algorithms/bfs.h"
+#include "algorithms/local_cluster.h"
+#include "algorithms/mis.h"
+#include "algorithms/two_hop.h"
+#include "graph/graph.h"
+
+using namespace aspen;
+
+namespace {
+
+void printRow(const char *App, double T1, double TP) {
+  std::printf("%-14s %12s %12s %8.1fx\n", App, fmtTime(T1).c_str(),
+              fmtTime(TP).c_str(), T1 / TP);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig C = parseBenchConfig(Argc, Argv, 18);
+  auto Inputs = makeInputs(C);
+  printEnvironment();
+
+  for (const BenchInput &In : Inputs) {
+    Graph G = Graph::fromEdges(In.N, In.Edges);
+    FlatSnapshot FS(G);
+    FlatGraphView FV(FS);
+    TreeGraphView TV(G);
+
+    std::printf("\n== Tables 3/4: %s (n=%u, m=%zu) ==\n", In.Name.c_str(),
+                In.N, In.Edges.size());
+    std::printf("%-14s %12s %12s %9s\n", "Application", "(1)", "(P)",
+                "(SU)");
+
+    // Global algorithms on the flat snapshot.
+    double Bfs1 = benchTimeSequential([&] { bfs(FV, 0); });
+    double BfsP = benchTime(C.Rounds, [&] { bfs(FV, 0); });
+    printRow("BFS", Bfs1, BfsP);
+
+    double Bc1 = benchTimeSequential([&] { bc(FV, 0); });
+    double BcP = benchTime(C.Rounds, [&] { bc(FV, 0); });
+    printRow("BC", Bc1, BcP);
+
+    double Mis1 = benchTimeSequential([&] { mis(FV); });
+    double MisP = benchTime(C.Rounds, [&] { mis(FV); });
+    printRow("MIS", Mis1, MisP);
+
+    // Local algorithms: average over Q queries; sequential = queries one
+    // after another on one thread; parallel = queries concurrently.
+    const size_t Q = 24;
+    auto Source = [&](size_t I) {
+      return VertexId(hashAt(C.Seed + 7, I) % In.N);
+    };
+
+    double TwoHop1 = benchTimeSequential([&] {
+      for (size_t I = 0; I < Q; ++I)
+        twoHop(TV, Source(I));
+    }) / double(Q);
+    double TwoHopP = timeIt([&] {
+      parallelFor(0, Q, [&](size_t I) { twoHop(TV, Source(I)); }, 1);
+    }) / double(Q);
+    printRow("2-hop", TwoHop1, TwoHopP);
+
+    double LC1 = benchTimeSequential([&] {
+      for (size_t I = 0; I < Q; ++I)
+        localCluster(TV, Source(I));
+    }) / double(Q);
+    double LCP = timeIt([&] {
+      parallelFor(0, Q, [&](size_t I) { localCluster(TV, Source(I)); }, 1);
+    }) / double(Q);
+    printRow("Local-Cluster", LC1, LCP);
+  }
+  return 0;
+}

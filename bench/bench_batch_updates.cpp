@@ -1,0 +1,62 @@
+//===- bench/bench_batch_updates.cpp - Table 8 and Figure 5 ----------------===//
+//
+// Reproduces Table 8 / Figure 5: throughput (directed edges per second) of
+// parallel batch insertions and deletions with batch sizes 10 .. 10^7
+// (10^8+ behind -huge), where inserted edges are sampled from the rMAT
+// generator. Each batch is inserted and then deleted; the median of
+// `rounds` trials is reported, and timings include sorting the batch and
+// combining duplicates, as in the paper.
+//
+// Expected shape (paper): throughput grows by ~4 orders of magnitude from
+// batches of 10 to 10^9, approaching memory bandwidth; deletions run
+// within ~10% of insertions (Figure 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "graph/graph.h"
+
+using namespace aspen;
+
+int main(int Argc, char **Argv) {
+  BenchConfig C = parseBenchConfig(Argc, Argv);
+  CommandLine CL(Argc, Argv);
+  bool Huge = CL.has("huge");
+  BenchInput In = makeInput(C);
+  printEnvironment();
+
+  Graph Base = Graph::fromEdges(In.N, In.Edges);
+  RMatGenerator Stream(C.LogN, C.Seed + 1000);
+
+  std::printf(
+      "\n== Table 8 / Figure 5: batch update throughput on %s ==\n",
+      In.Name.c_str());
+  std::printf("%-10s %16s %16s %14s %14s\n", "Batch", "Insert (edges/s)",
+              "Delete (edges/s)", "Insert time", "Delete time");
+
+  std::vector<uint64_t> Sizes = {10, 100, 1000, 10000, 100000, 1000000,
+                                 10000000};
+  if (Huge)
+    Sizes.push_back(100000000);
+
+  for (uint64_t BS : Sizes) {
+    auto Batch = Stream.edges(0, BS);
+    Graph WithBatch;
+    double InsertT = benchTime(C.Rounds, [&] {
+      WithBatch = Base.insertEdges(Batch);
+    });
+    double DeleteT = benchTime(C.Rounds, [&] {
+      Graph After = WithBatch.deleteEdges(Batch);
+      (void)After;
+    });
+    std::printf("%-10zu %16s %16s %14s %14s\n", size_t(BS),
+                fmtRate(double(BS) / InsertT).c_str(),
+                fmtRate(double(BS) / DeleteT).c_str(),
+                fmtTime(InsertT).c_str(), fmtTime(DeleteT).c_str());
+  }
+
+  std::printf("\nFigure 5 series (log-log): the two columns above are the "
+              "insertion (I) and deletion (D) curves.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- bench/bench_memory.cpp - Tables 1, 2 and 9 --------------------------===//
+//
+// Reproduces:
+//  * Table 1 - statistics of the input graphs.
+//  * Table 2 - memory usage of Aspen configurations: flat snapshot,
+//    uncompressed trees, C-trees without difference encoding, C-trees with
+//    difference encoding, and the savings factor.
+//  * Table 9 - memory versus the other systems: Stinger-like, LLAMA-like,
+//    Ligra+-like (compressed CSR), and Aspen (DE).
+//
+// Expected shape (paper): DE saves ~4.7-11.3x over uncompressed trees;
+// Aspen is ~8-11x smaller than Stinger, ~2-3.5x smaller than LLAMA, and
+// ~1.8-2.3x larger than Ligra+.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "baselines/csr.h"
+#include "baselines/llama_like.h"
+#include "baselines/stinger_like.h"
+#include "graph/graph.h"
+
+using namespace aspen;
+
+int main(int Argc, char **Argv) {
+  BenchConfig C = parseBenchConfig(Argc, Argv);
+  auto Inputs = makeInputs(C);
+  printEnvironment();
+
+  printHeader("Table 1: input graph statistics");
+  std::printf("%-12s %14s %14s %10s\n", "Graph", "Num. Vertices",
+              "Num. Edges", "Avg. Deg.");
+  for (const BenchInput &In : Inputs)
+    std::printf("%-12s %14u %14zu %10.1f\n", In.Name.c_str(), In.N,
+                In.Edges.size(), In.avgDegree());
+
+  printHeader("Table 2: memory usage of Aspen configurations");
+  std::printf("%-12s %12s %14s %14s %12s %9s\n", "Graph", "Flat Snap.",
+              "Aspen Uncomp.", "Aspen (No DE)", "Aspen (DE)", "Savings");
+  for (const BenchInput &In : Inputs) {
+    Graph GD = Graph::fromEdges(In.N, In.Edges);
+    GraphNoDE GN = GraphNoDE::fromEdges(In.N, In.Edges);
+    GraphUncompressed GU = GraphUncompressed::fromEdges(In.N, In.Edges);
+    FlatSnapshot FS(GD);
+    double Flat = double(FS.memoryBytes());
+    double Unc = double(GU.memoryBytes());
+    double NoDE = double(GN.memoryBytes());
+    double DE = double(GD.memoryBytes());
+    std::printf("%-12s %12s %14s %14s %12s %8.2fx\n", In.Name.c_str(),
+                fmtBytes(Flat).c_str(), fmtBytes(Unc).c_str(),
+                fmtBytes(NoDE).c_str(), fmtBytes(DE).c_str(), Unc / DE);
+  }
+
+  printHeader("Table 9: memory vs other systems");
+  std::printf("%-12s %12s %12s %12s %12s %8s %8s %8s\n", "Graph", "Stinger",
+              "LLAMA", "Ligra+", "Aspen", "ST/Asp", "LL/Asp", "L+/Asp");
+  for (const BenchInput &In : Inputs) {
+    StingerGraph ST(In.N);
+    ST.batchInsert(In.Edges);
+    LlamaGraph LL(In.N);
+    // Load LLAMA through several batches, as a streaming system would.
+    size_t Step = In.Edges.size() / 8 + 1;
+    for (size_t I = 0; I < In.Edges.size(); I += Step)
+      LL.ingestBatch(std::vector<EdgePair>(
+          In.Edges.begin() + I,
+          In.Edges.begin() + std::min(In.Edges.size(), I + Step)));
+    CompressedCsrGraph LP = CompressedCsrGraph::fromEdges(In.N, In.Edges);
+    Graph A = Graph::fromEdges(In.N, In.Edges);
+    double STB = double(ST.memoryBytes());
+    double LLB = double(LL.memoryBytes());
+    double LPB = double(LP.memoryBytes());
+    double AB = double(A.memoryBytes());
+    std::printf("%-12s %12s %12s %12s %12s %7.2fx %7.2fx %7.2fx\n",
+                In.Name.c_str(), fmtBytes(STB).c_str(),
+                fmtBytes(LLB).c_str(), fmtBytes(LPB).c_str(),
+                fmtBytes(AB).c_str(), STB / AB, LLB / AB, LPB / AB);
+  }
+
+  printHeader("bytes per directed edge");
+  for (const BenchInput &In : Inputs) {
+    Graph A = Graph::fromEdges(In.N, In.Edges);
+    std::printf("%-12s Aspen(DE): %.2f B/edge\n", In.Name.c_str(),
+                double(A.memoryBytes()) / double(In.Edges.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+//===- bench/bench_micro.cpp - Micro-benchmarks (google-benchmark) --------===//
+//
+// Primitive-level costs underpinning the tables: C-tree build / find /
+// union / multiInsert, PAM union, chunk codec throughput, and flat-
+// snapshot construction. Complements the table-reproduction binaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctree/ctree.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "pam/tree.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace aspen;
+
+namespace {
+
+using CT = CTreeSet<uint32_t, DeltaByteCodec>;
+
+std::vector<uint32_t> sortedRandom(size_t N, uint64_t Seed) {
+  auto V = tabulate(N, [&](size_t I) {
+    return uint32_t(hashAt(Seed, I) % (8 * N + 1));
+  });
+  parallelSort(V);
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+  return V;
+}
+
+void BM_CTreeBuild(benchmark::State &State) {
+  auto E = sortedRandom(size_t(State.range(0)), 1);
+  for (auto _ : State) {
+    CT T = CT::buildSorted(E.data(), E.size());
+    benchmark::DoNotOptimize(T.size());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(E.size()));
+}
+BENCHMARK(BM_CTreeBuild)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CTreeFind(benchmark::State &State) {
+  auto E = sortedRandom(size_t(State.range(0)), 2);
+  CT T = CT::buildSorted(E.data(), E.size());
+  uint64_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(T.contains(uint32_t(hash64(I++) % (8 * E.size()))));
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()));
+}
+BENCHMARK(BM_CTreeFind)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_CTreeUnion(benchmark::State &State) {
+  auto A = sortedRandom(size_t(State.range(0)), 3);
+  auto B = sortedRandom(size_t(State.range(0)), 4);
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  for (auto _ : State) {
+    CT U = CT::setUnion(TA, TB);
+    benchmark::DoNotOptimize(U.size());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(A.size() + B.size()));
+}
+BENCHMARK(BM_CTreeUnion)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CTreeMultiInsertSmallIntoLarge(benchmark::State &State) {
+  auto A = sortedRandom(1 << 18, 5);
+  CT TA = CT::buildSorted(A.data(), A.size());
+  auto Batch = tabulate(size_t(State.range(0)), [&](size_t I) {
+    return uint32_t(hashAt(99, I) % (1 << 22));
+  });
+  for (auto _ : State) {
+    CT U = TA.multiInsert(Batch);
+    benchmark::DoNotOptimize(U.size());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Batch.size()));
+}
+BENCHMARK(BM_CTreeMultiInsertSmallIntoLarge)->Arg(16)->Arg(1 << 10);
+
+void BM_CTreeMap(benchmark::State &State) {
+  auto E = sortedRandom(size_t(State.range(0)), 6);
+  CT T = CT::buildSorted(E.data(), E.size());
+  for (auto _ : State) {
+    std::atomic<uint64_t> Sum{0};
+    T.forEachPar([&](uint32_t V) {
+      Sum.fetch_add(V, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(Sum.load());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(E.size()));
+}
+BENCHMARK(BM_CTreeMap)->Arg(1 << 18);
+
+struct IntSetEntry {
+  using KeyT = uint32_t;
+  using ValT = Empty;
+  using AugT = Empty;
+  static bool less(uint32_t A, uint32_t B) { return A < B; }
+  static AugT augOfEntry(const KeyT &, const ValT &) { return {}; }
+  static AugT augIdentity() { return {}; }
+  static AugT augCombine(AugT, AugT) { return {}; }
+};
+
+void BM_PamUnion(benchmark::State &State) {
+  using S = Tree<IntSetEntry>;
+  auto A = sortedRandom(size_t(State.range(0)), 7);
+  auto B = sortedRandom(size_t(State.range(0)), 8);
+  auto ToEntries = [](const std::vector<uint32_t> &V) {
+    std::vector<std::pair<uint32_t, Empty>> Out;
+    for (uint32_t K : V)
+      Out.push_back({K, Empty{}});
+    return Out;
+  };
+  auto EA = ToEntries(A), EB = ToEntries(B);
+  for (auto _ : State) {
+    S::Node *TA = S::buildSorted(EA.data(), EA.size());
+    S::Node *TB = S::buildSorted(EB.data(), EB.size());
+    S::Node *U = S::unionWith(TA, TB, [](Empty, Empty) { return Empty{}; });
+    benchmark::DoNotOptimize(S::size(U));
+    S::release(U);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(A.size() + B.size()));
+}
+BENCHMARK(BM_PamUnion)->Arg(1 << 14);
+
+void BM_ChunkEncodeDecode(benchmark::State &State) {
+  auto E = sortedRandom(4096, 9);
+  for (auto _ : State) {
+    auto *C = makeChunk<DeltaByteCodec>(E.data(), E.size());
+    uint64_t Sum = 0;
+    DeltaByteCodec::iterate<uint32_t>(C, [&](uint32_t V) {
+      Sum += V;
+      return true;
+    });
+    benchmark::DoNotOptimize(Sum);
+    releaseChunk(C);
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(E.size()));
+}
+BENCHMARK(BM_ChunkEncodeDecode);
+
+void BM_FlatSnapshotBuild(benchmark::State &State) {
+  auto Edges = rmatGraphEdges(14, 8, 10);
+  Graph G = Graph::fromEdges(1 << 14, Edges);
+  for (auto _ : State) {
+    FlatSnapshot FS(G);
+    benchmark::DoNotOptimize(FS.numEdges());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * (1 << 14));
+}
+BENCHMARK(BM_FlatSnapshotBuild);
+
+void BM_GraphBatchInsert(benchmark::State &State) {
+  auto Edges = rmatGraphEdges(14, 8, 11);
+  Graph G = Graph::fromEdges(1 << 14, Edges);
+  RMatGenerator Stream(14, 123);
+  auto Batch = Stream.edges(0, uint64_t(State.range(0)));
+  for (auto _ : State) {
+    Graph G2 = G.insertEdges(Batch);
+    benchmark::DoNotOptimize(G2.numEdges());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Batch.size()));
+}
+BENCHMARK(BM_GraphBatchInsert)->Arg(1 << 6)->Arg(1 << 12)->Arg(1 << 16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+//===- bench/bench_vs_static.cpp - Tables 12, 14 and 15 --------------------===//
+//
+// Reproduces the static-framework comparisons:
+//  * Table 12 - BFS/BC/MIS on GAP-like (uncompressed CSR), Galois-like
+//    (asynchronous worklist), Ligra+-like (compressed CSR), and Aspen.
+//  * Tables 14/15 - all five algorithms, Ligra+-like vs Aspen, reporting
+//    Aspen's slowdown factor.
+//
+// Expected shape (paper): Aspen is within ~1.2-1.7x of Ligra+ on global
+// algorithms and ~1.0-2.9x on local ones; faster than the asynchronous
+// Galois-style executor (3-30x there); competitive with GAP.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+#include "algorithms/bc.h"
+#include "algorithms/bfs.h"
+#include "algorithms/local_cluster.h"
+#include "algorithms/mis.h"
+#include "algorithms/two_hop.h"
+#include "baselines/csr.h"
+#include "baselines/worklist.h"
+#include "graph/graph.h"
+
+using namespace aspen;
+
+int main(int Argc, char **Argv) {
+  BenchConfig C = parseBenchConfig(Argc, Argv);
+  auto Inputs = makeInputs(C);
+  printEnvironment();
+
+  for (const BenchInput &In : Inputs) {
+    CsrGraph GAP = CsrGraph::fromEdges(In.N, In.Edges);
+    CompressedCsrGraph LP = CompressedCsrGraph::fromEdges(In.N, In.Edges);
+    Graph G = Graph::fromEdges(In.N, In.Edges);
+    FlatSnapshot FS(G);
+    FlatGraphView FV(FS);
+    TreeGraphView TV(G);
+    VertexId Src = 0;
+
+    std::printf("\n== Table 12: %s (n=%u, m=%zu) ==\n", In.Name.c_str(),
+                In.N, In.Edges.size());
+    std::printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n", "App", "GAP",
+                "Galois", "Ligra+", "Aspen", "GAP/A", "GAL/A", "L+/A");
+
+    double GapBfs = benchTime(C.Rounds, [&] { bfs(GAP, Src); });
+    double GalBfs = benchTime(C.Rounds, [&] { asyncBfs(GAP, Src); });
+    double LpBfs = benchTime(C.Rounds, [&] { bfs(LP, Src); });
+    double ABfs = benchTime(C.Rounds, [&] { bfs(FV, Src); });
+    std::printf("%-6s %12s %12s %12s %12s %7.2fx %7.2fx %7.2fx\n", "BFS",
+                fmtTime(GapBfs).c_str(), fmtTime(GalBfs).c_str(),
+                fmtTime(LpBfs).c_str(), fmtTime(ABfs).c_str(),
+                GapBfs / ABfs, GalBfs / ABfs, LpBfs / ABfs);
+
+    double GapBc = benchTime(C.Rounds, [&] { bc(GAP, Src); });
+    double LpBc = benchTime(C.Rounds, [&] { bc(LP, Src); });
+    double ABc = benchTime(C.Rounds, [&] { bc(FV, Src); });
+    std::printf("%-6s %12s %12s %12s %12s %7.2fx %8s %7.2fx\n", "BC",
+                fmtTime(GapBc).c_str(), "-", fmtTime(LpBc).c_str(),
+                fmtTime(ABc).c_str(), GapBc / ABc, "-", LpBc / ABc);
+
+    double GalMis = benchTime(C.Rounds, [&] { speculativeMis(GAP); });
+    double LpMis = benchTime(C.Rounds, [&] { mis(LP); });
+    double AMis = benchTime(C.Rounds, [&] { mis(FV); });
+    std::printf("%-6s %12s %12s %12s %12s %8s %7.2fx %7.2fx\n", "MIS", "-",
+                fmtTime(GalMis).c_str(), fmtTime(LpMis).c_str(),
+                fmtTime(AMis).c_str(), "-", GalMis / AMis, LpMis / AMis);
+
+    // Tables 14/15: all five algorithms, Ligra+ vs Aspen.
+    std::printf("\n== Tables 14/15: Ligra+ vs Aspen on %s ==\n",
+                In.Name.c_str());
+    std::printf("%-14s %12s %12s %9s\n", "Application", "L", "A", "A/L");
+    auto Row = [&](const char *App, double L, double A) {
+      std::printf("%-14s %12s %12s %8.2fx\n", App, fmtTime(L).c_str(),
+                  fmtTime(A).c_str(), A / L);
+    };
+    Row("BFS", LpBfs, ABfs);
+    Row("BC", LpBc, ABc);
+    Row("MIS", LpMis, AMis);
+
+    const size_t Q = 64;
+    auto Source = [&](size_t I) {
+      return VertexId(hashAt(C.Seed + 9, I) % In.N);
+    };
+    double LpHop = timeIt([&] {
+      parallelFor(0, Q, [&](size_t I) { twoHop(LP, Source(I)); }, 1);
+    }) / double(Q);
+    double AHop = timeIt([&] {
+      parallelFor(0, Q, [&](size_t I) { twoHop(TV, Source(I)); }, 1);
+    }) / double(Q);
+    Row("2-hop", LpHop, AHop);
+
+    double LpLC = timeIt([&] {
+      parallelFor(0, Q, [&](size_t I) { localCluster(LP, Source(I)); }, 1);
+    }) / double(Q);
+    double ALC = timeIt([&] {
+      parallelFor(0, Q, [&](size_t I) { localCluster(TV, Source(I)); }, 1);
+    }) / double(Q);
+    Row("Local-Cluster", LpLC, ALC);
+  }
+  return 0;
+}

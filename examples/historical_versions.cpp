@@ -1,0 +1,70 @@
+//===- examples/historical_versions.cpp - Time-travel over versions -------===//
+//
+// The paper notes (Section 8.1) that functional data structures are
+// "particularly well-suited" to historical queries: keeping any number of
+// persistent versions is just keeping their roots. This example retains a
+// version per day of a simulated evolving network and answers queries
+// against arbitrary past days.
+//
+//   ./examples/historical_versions [-scale 13] [-days 14]
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/cc.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "util/command_line.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace aspen;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  int LogN = int(CL.getInt("scale", 13));
+  int Days = int(CL.getInt("days", 14));
+  const VertexId N = VertexId(1) << LogN;
+
+  // Day 0: a sparse network. Each day adds edges; every version is kept.
+  std::vector<Graph> History;
+  History.push_back(Graph::fromEdges(N, rmatGraphEdges(LogN, 1, 7)));
+  RMatGenerator Stream(LogN, 1234);
+  for (int Day = 1; Day < Days; ++Day) {
+    auto Daily = symmetrize(Stream.edges(uint64_t(Day) * 4096, 4096));
+    History.push_back(History.back().insertEdges(Daily));
+  }
+
+  std::printf("%-6s %14s %18s %16s\n", "day", "edges",
+              "largest component", "isolated users");
+  for (int Day = 0; Day < Days; ++Day) {
+    const Graph &G = History[Day];
+    TreeGraphView View(G);
+    auto Labels = connectedComponents(View);
+    // Component sizes.
+    std::vector<uint32_t> Count(N, 0);
+    for (VertexId V = 0; V < N; ++V)
+      ++Count[Labels[V]];
+    uint32_t Largest = 0;
+    for (uint32_t C : Count)
+      Largest = std::max(Largest, C);
+    uint64_t Isolated = 0;
+    for (VertexId V = 0; V < N; ++V)
+      Isolated += G.degree(V) == 0 ? 1 : 0;
+    std::printf("%-6d %14llu %18u %16llu\n", Day,
+                static_cast<unsigned long long>(G.numEdges()), Largest,
+                static_cast<unsigned long long>(Isolated));
+  }
+
+  // Differential query across versions: edges gained since day 0 at a
+  // sample of vertices (pure reads on two snapshots).
+  const Graph &First = History.front(), &Last = History.back();
+  uint64_t Gained = 0;
+  for (VertexId V = 0; V < N; V += N / 8)
+    Gained += Last.degree(V) - First.degree(V);
+  std::printf("\nsampled vertices gained %llu edges between day 0 and "
+              "day %d;\nall %d versions remain live and queryable "
+              "(total structure is shared).\n",
+              static_cast<unsigned long long>(Gained), Days - 1, Days);
+  return 0;
+}

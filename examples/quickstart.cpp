@@ -1,0 +1,56 @@
+//===- examples/quickstart.cpp - Aspen in five minutes ----------------------===//
+//
+// Build a small graph, run queries on an immutable snapshot, apply
+// functional batch updates, and observe that old snapshots are unaffected.
+//
+//   ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/bfs.h"
+#include "graph/graph.h"
+
+#include <cstdio>
+
+using namespace aspen;
+
+int main() {
+  // A small undirected graph: each undirected edge is two directed pairs.
+  //   0 - 1 - 2 - 3   and   1 - 4
+  std::vector<EdgePair> Edges = {{0, 1}, {1, 0}, {1, 2}, {2, 1},
+                                 {2, 3}, {3, 2}, {1, 4}, {4, 1}};
+  Graph G = Graph::fromEdges(/*N=*/5, Edges);
+  std::printf("graph: %zu vertices, %llu directed edges\n",
+              G.numVertices(),
+              static_cast<unsigned long long>(G.numEdges()));
+
+  // Point queries.
+  std::printf("degree(1) = %llu\n",
+              static_cast<unsigned long long>(G.degree(1)));
+  auto N1 = G.findVertex(1).toVector();
+  std::printf("N(1) = {");
+  for (size_t I = 0; I < N1.size(); ++I)
+    std::printf("%s%u", I ? ", " : "", N1[I]);
+  std::printf("}\n");
+
+  // A traversal over the snapshot.
+  TreeGraphView View(G);
+  auto Dist = bfsDistances(View, 0);
+  for (VertexId V = 0; V < 5; ++V)
+    std::printf("dist(0 -> %u) = %u\n", V, Dist[V]);
+
+  // Functional updates: the original snapshot G is untouched.
+  Graph G2 = G.insertEdges({{0, 4}, {4, 0}});
+  Graph G3 = G2.deleteEdges({{2, 3}, {3, 2}});
+  std::printf("after updates: G has %llu edges, G3 has %llu\n",
+              static_cast<unsigned long long>(G.numEdges()),
+              static_cast<unsigned long long>(G3.numEdges()));
+
+  TreeGraphView View3(G3);
+  auto Dist3 = bfsDistances(View3, 0);
+  std::printf("after updates: dist(0 -> 4) = %u (was %u)\n", Dist3[4],
+              Dist[4]);
+  std::printf("after updates: vertex 3 %s\n",
+              Dist3[3] == ~0u ? "is disconnected" : "is still reachable");
+  return 0;
+}

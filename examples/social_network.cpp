@@ -1,0 +1,86 @@
+//===- examples/social_network.cpp - Local queries on a social graph ------===//
+//
+// The workloads the paper's introduction motivates: low-latency local
+// queries on an evolving social network - friend-of-friend
+// recommendations (2-hop), community detection around a user
+// (Local-Cluster), and influence scores (betweenness).
+//
+//   ./examples/social_network [-scale 15] [-user 12]
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/bc.h"
+#include "algorithms/local_cluster.h"
+#include "algorithms/two_hop.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "util/command_line.h"
+#include "util/timer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace aspen;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  int LogN = int(CL.getInt("scale", 15));
+  const VertexId N = VertexId(1) << LogN;
+  VertexId User = VertexId(CL.getInt("user", 12)) % N;
+
+  // rMAT graphs have the heavy-tailed degree structure of social networks.
+  Graph G = Graph::fromEdges(N, rmatGraphEdges(LogN, 8, 42));
+  TreeGraphView View(G);
+  std::printf("social network: %zu users, %llu follow edges\n",
+              G.numVertices(),
+              static_cast<unsigned long long>(G.numEdges()));
+  std::printf("user %u has %llu friends\n", User,
+              static_cast<unsigned long long>(G.degree(User)));
+
+  // Friend recommendations: friends-of-friends who aren't friends yet.
+  Timer T;
+  auto Hop2 = twoHop(View, User);
+  auto Friends = G.findVertex(User).toVector();
+  std::vector<VertexId> Recs;
+  for (VertexId V : Hop2)
+    if (V != User && !std::binary_search(Friends.begin(), Friends.end(), V))
+      Recs.push_back(V);
+  std::printf("friend recommendations: %zu candidates within 2 hops "
+              "(%.2fms)\n",
+              Recs.size(), T.elapsed() * 1e3);
+
+  // Community around the user via local clustering.
+  T.reset();
+  auto Community = localCluster(View, User, 1e-6, 10);
+  std::printf("community around user %u: %zu members, conductance %.4f "
+              "(%.2fms)\n",
+              User, Community.Cluster.size(), Community.Conductance,
+              T.elapsed() * 1e3);
+
+  // Influence: betweenness contributions from this user's shortest paths.
+  T.reset();
+  FlatSnapshot FS(G);
+  FlatGraphView FV(FS);
+  auto Scores = bc(FV, User);
+  VertexId Top = 0;
+  for (VertexId V = 1; V < N; ++V)
+    if (Scores[V] > Scores[Top])
+      Top = V;
+  std::printf("most load-bearing user on paths from %u: user %u "
+              "(score %.1f) (%.2fms)\n",
+              User, Top, Scores[Top], T.elapsed() * 1e3);
+
+  // The network evolves: the user adds friends; recommendations update on
+  // the new snapshot while the old one remains queryable.
+  std::vector<EdgePair> NewFriends;
+  for (size_t I = 0; I < std::min<size_t>(5, Recs.size()); ++I) {
+    NewFriends.push_back({User, Recs[I]});
+    NewFriends.push_back({Recs[I], User});
+  }
+  Graph G2 = G.insertEdges(NewFriends);
+  std::printf("after following %zu recommendations: degree %llu -> %llu\n",
+              NewFriends.size() / 2,
+              static_cast<unsigned long long>(G.degree(User)),
+              static_cast<unsigned long long>(G2.degree(User)));
+  return 0;
+}

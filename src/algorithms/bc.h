@@ -1,0 +1,114 @@
+//===- algorithms/bc.h - Single-source betweenness centrality --------------===//
+//
+// Brandes-style single-source betweenness contributions (the paper's BC,
+// Section 7): a forward sparse/dense BFS accumulating shortest-path counts
+// per level, then a level-synchronous backward dependency accumulation.
+// Matches the algorithm of [25] in structure: forward phase uses edgeMap;
+// the backward phase processes levels in reverse with one writer per
+// vertex.
+//
+// As in Ligra's BC, the "visited" flag consulted by cond() is settled only
+// between rounds, so every same-level contribution is accumulated before a
+// vertex stops accepting updates.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_BC_H
+#define ASPEN_ALGORITHMS_BC_H
+
+#include "ligra/edge_map.h"
+
+#include <atomic>
+#include <vector>
+
+namespace aspen {
+
+namespace detail {
+
+struct BCForwardF {
+  std::atomic<double> *NumPaths;
+  const uint8_t *Visited;
+
+  bool addPaths(VertexId U, VertexId V, bool Atomic) const {
+    double Contribution = NumPaths[U].load(std::memory_order_relaxed);
+    double Old;
+    if (Atomic) {
+      Old = NumPaths[V].fetch_add(Contribution, std::memory_order_relaxed);
+    } else {
+      // Dense traversal: a single writer per destination vertex.
+      Old = NumPaths[V].load(std::memory_order_relaxed);
+      NumPaths[V].store(Old + Contribution, std::memory_order_relaxed);
+    }
+    return Old == 0.0; // first touch adds V to the next frontier once
+  }
+
+  bool updateAtomic(VertexId U, VertexId V) const {
+    return addPaths(U, V, /*Atomic=*/true);
+  }
+  bool update(VertexId U, VertexId V) const {
+    return addPaths(U, V, /*Atomic=*/false);
+  }
+  bool cond(VertexId V) const { return !Visited[V]; }
+};
+
+} // namespace detail
+
+/// Betweenness contributions of shortest paths from \p Src (Brandes
+/// dependencies); Scores[Src] == 0.
+template <class GView>
+std::vector<double> bc(const GView &G, VertexId Src,
+                       EdgeMapOptions Options = {}) {
+  VertexId N = G.numVertices();
+  std::vector<std::atomic<double>> NumPaths(N);
+  std::vector<uint8_t> Visited(N, 0);
+  std::vector<uint32_t> Level(N, ~0u);
+  parallelFor(0, N, [&](size_t I) {
+    NumPaths[I].store(0.0, std::memory_order_relaxed);
+  });
+  NumPaths[Src].store(1.0, std::memory_order_relaxed);
+  Visited[Src] = 1;
+  Level[Src] = 0;
+
+  // Forward phase: record the frontier of every level.
+  std::vector<VertexSubset> Levels;
+  Levels.emplace_back(N, Src);
+  uint32_t D = 0;
+  while (true) {
+    ++D;
+    detail::BCForwardF F{NumPaths.data(), Visited.data()};
+    VertexSubset Next = edgeMap(G, Levels.back(), F, Options);
+    if (Next.empty())
+      break;
+    // Settle the round: mark the new frontier visited.
+    Next.forEach([&](VertexId V) {
+      Visited[V] = 1;
+      Level[V] = D;
+    });
+    Levels.push_back(std::move(Next));
+  }
+
+  // Backward phase: dependency accumulation, one level at a time, one
+  // writer per vertex.
+  std::vector<double> Dep(N, 0.0);
+  for (size_t L = Levels.size(); L-- > 1;) {
+    VertexSubset &Prev = Levels[L - 1];
+    Prev.forEach([&](VertexId V) {
+      double PathsV = NumPaths[V].load(std::memory_order_relaxed);
+      double Acc = 0.0;
+      G.iterNeighborsCond(V, [&](VertexId W) {
+        if (Level[W] == uint32_t(L)) {
+          double PathsW = NumPaths[W].load(std::memory_order_relaxed);
+          Acc += PathsV / PathsW * (1.0 + Dep[W]);
+        }
+        return true;
+      });
+      Dep[V] += Acc;
+    });
+  }
+  Dep[Src] = 0.0;
+  return Dep;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_BC_H

@@ -1,0 +1,66 @@
+//===- algorithms/cc.h - Connected components ------------------------------===//
+//
+// Label-propagation connected components over edgeMap (an extension
+// algorithm beyond the paper's five; exercises the same interface).
+// Every vertex starts with its own id; minima propagate until fixpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_CC_H
+#define ASPEN_ALGORITHMS_CC_H
+
+#include "ligra/edge_map.h"
+
+#include <atomic>
+#include <vector>
+
+namespace aspen {
+
+namespace detail {
+
+struct CCF {
+  std::atomic<VertexId> *Labels;
+
+  bool updateAtomic(VertexId U, VertexId V) const {
+    VertexId Mine = Labels[U].load(std::memory_order_relaxed);
+    VertexId Theirs = Labels[V].load(std::memory_order_relaxed);
+    bool Changed = false;
+    while (Mine < Theirs) {
+      if (Labels[V].compare_exchange_weak(Theirs, Mine,
+                                          std::memory_order_relaxed))
+        Changed = true;
+      // On failure Theirs reloads; loop re-checks.
+    }
+    return Changed;
+  }
+
+  bool update(VertexId U, VertexId V) const { return updateAtomic(U, V); }
+
+  bool cond(VertexId) const { return true; }
+};
+
+} // namespace detail
+
+/// Connected-component labels (min vertex id per component).
+template <class GView>
+std::vector<VertexId> connectedComponents(const GView &G,
+                                          EdgeMapOptions Options = {}) {
+  VertexId N = G.numVertices();
+  std::vector<std::atomic<VertexId>> Labels(N);
+  parallelFor(0, N, [&](size_t I) {
+    Labels[I].store(VertexId(I), std::memory_order_relaxed);
+  });
+
+  VertexSubset Frontier(
+      N, tabulate(size_t(N), [](size_t I) { return VertexId(I); }));
+  while (!Frontier.empty())
+    Frontier = edgeMap(G, Frontier, detail::CCF{Labels.data()}, Options);
+
+  return tabulate(size_t(N), [&](size_t I) {
+    return Labels[I].load(std::memory_order_relaxed);
+  });
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_CC_H

@@ -1,0 +1,74 @@
+//===- algorithms/kcore.h - k-core decomposition ----------------------------===//
+//
+// Coreness by parallel peeling (a bucketing-lite version of the Julienne
+// k-core the paper cites [24]): repeatedly peel all vertices whose induced
+// degree is <= k, raising k when no vertex qualifies. Extension algorithm
+// exercising frontier-driven decrements.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_KCORE_H
+#define ASPEN_ALGORITHMS_KCORE_H
+
+#include "ligra/vertex_subset.h"
+#include "parallel/primitives.h"
+
+#include <atomic>
+#include <vector>
+
+namespace aspen {
+
+/// Coreness of every vertex (max k such that v is in the k-core).
+template <class GView> std::vector<uint32_t> kCore(const GView &G) {
+  VertexId N = G.numVertices();
+  std::vector<std::atomic<int64_t>> Degree(N);
+  parallelFor(0, N, [&](size_t V) {
+    Degree[V].store(int64_t(G.degree(VertexId(V))),
+                    std::memory_order_relaxed);
+  });
+  std::vector<uint32_t> Core(N, 0);
+  std::vector<uint8_t> Alive(N, 1);
+
+  size_t Remaining = N;
+  uint32_t K = 0;
+  while (Remaining > 0) {
+    // Collect the peel set at the current k.
+    auto Peel = filterIndex(
+        size_t(N), [&](size_t V) { return VertexId(V); },
+        [&](size_t V) {
+          return Alive[V] &&
+                 Degree[V].load(std::memory_order_relaxed) <= int64_t(K);
+        });
+    if (Peel.empty()) {
+      ++K;
+      continue;
+    }
+    // Peel rounds at fixed k until no vertex qualifies.
+    while (!Peel.empty()) {
+      parallelFor(0, Peel.size(), [&](size_t I) {
+        VertexId V = Peel[I];
+        Alive[V] = 0;
+        Core[V] = K;
+      });
+      Remaining -= Peel.size();
+      parallelFor(0, Peel.size(), [&](size_t I) {
+        G.iterNeighborsCond(Peel[I], [&](VertexId U) {
+          if (Alive[U])
+            Degree[U].fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        });
+      }, 16);
+      Peel = filterIndex(
+          size_t(N), [&](size_t V) { return VertexId(V); },
+          [&](size_t V) {
+            return Alive[V] &&
+                   Degree[V].load(std::memory_order_relaxed) <= int64_t(K);
+          });
+    }
+  }
+  return Core;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_KCORE_H

@@ -1,0 +1,117 @@
+//===- algorithms/local_cluster.h - Nibble-style local clustering ----------===//
+//
+// The paper's Local-Cluster query (Section 7): a sequential implementation
+// of the Nibble family of local graph clustering algorithms [71, 72], run
+// with eps = 1e-6 and T = 10. We use the truncated lazy-random-walk
+// formulation of Nibble: T steps of mass propagation with per-vertex
+// truncation below eps * deg(v), followed by a sweep cut ordered by
+// normalized mass. Entirely sequential per query, so thousands of queries
+// can run concurrently on snapshots.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_LOCAL_CLUSTER_H
+#define ASPEN_ALGORITHMS_LOCAL_CLUSTER_H
+
+#include "util/types.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace aspen {
+
+struct LocalClusterResult {
+  std::vector<VertexId> Cluster; ///< Best sweep prefix (contains the seed's
+                                 ///< component sample); sorted by sweep order.
+  double Conductance = 1.0;      ///< Conductance of the returned cut.
+  size_t SupportSize = 0;        ///< Vertices touched by the walk.
+};
+
+/// Nibble-style local clustering from \p Seed.
+template <class GView>
+LocalClusterResult localCluster(const GView &G, VertexId Seed,
+                                double Eps = 1e-6, int T = 10) {
+  std::unordered_map<VertexId, double> Mass;
+  Mass[Seed] = 1.0;
+
+  for (int Step = 0; Step < T; ++Step) {
+    std::unordered_map<VertexId, double> Next;
+    Next.reserve(Mass.size() * 2);
+    for (const auto &[V, Q] : Mass) {
+      uint64_t Deg = G.degree(V);
+      if (Deg == 0 || Q < Eps * double(Deg)) {
+        // Truncated: mass below the threshold is dropped (Nibble rule).
+        continue;
+      }
+      // Lazy walk: keep half, spread half across neighbors.
+      Next[V] += Q / 2.0;
+      double Share = Q / (2.0 * double(Deg));
+      G.iterNeighborsCond(V, [&](VertexId U) {
+        Next[U] += Share;
+        return true;
+      });
+    }
+    if (Next.empty())
+      break;
+    Mass = std::move(Next);
+  }
+
+  LocalClusterResult Result;
+  Result.SupportSize = Mass.size();
+  if (Mass.empty()) {
+    Result.Cluster.push_back(Seed);
+    return Result;
+  }
+
+  // Sweep cut: order support by mass/degree, take the prefix minimizing
+  // conductance = cut(S) / min(vol(S), 2m - vol(S)).
+  std::vector<std::pair<double, VertexId>> Order;
+  Order.reserve(Mass.size());
+  for (const auto &[V, Q] : Mass) {
+    uint64_t Deg = G.degree(V);
+    Order.push_back({Deg ? Q / double(Deg) : 0.0, V});
+  }
+  std::sort(Order.begin(), Order.end(), [](const auto &A, const auto &B) {
+    return A.first > B.first;
+  });
+
+  std::unordered_set<VertexId> InSet;
+  double TwoM = double(G.numEdges());
+  double Vol = 0.0, Cut = 0.0;
+  double BestCond = 1.0;
+  size_t BestPrefix = 1;
+  std::vector<VertexId> Sweep;
+  for (size_t I = 0; I < Order.size(); ++I) {
+    VertexId V = Order[I].second;
+    Sweep.push_back(V);
+    uint64_t Deg = G.degree(V);
+    Vol += double(Deg);
+    // Edges to vertices already in the set flip from cut to internal.
+    double Internal = 0.0;
+    G.iterNeighborsCond(V, [&](VertexId U) {
+      if (InSet.count(U))
+        Internal += 1.0;
+      return true;
+    });
+    Cut += double(Deg) - 2.0 * Internal;
+    InSet.insert(V);
+    double Denom = std::min(Vol, TwoM - Vol);
+    if (Denom > 0.0) {
+      double Cond = Cut / Denom;
+      if (Cond < BestCond) {
+        BestCond = Cond;
+        BestPrefix = I + 1;
+      }
+    }
+  }
+  Result.Cluster.assign(Sweep.begin(), Sweep.begin() + BestPrefix);
+  Result.Conductance = BestCond;
+  return Result;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_LOCAL_CLUSTER_H

@@ -1,0 +1,81 @@
+//===- algorithms/mis.h - Maximal independent set --------------------------===//
+//
+// Parallel MIS with random priorities (Luby-style, as in the paper's MIS
+// of Section 7): in each round every undecided vertex whose hash priority
+// beats all undecided neighbors joins the set; its neighbors leave. The
+// decision and removal phases are separated so each round is race-free.
+// Expected O(log n) rounds.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_MIS_H
+#define ASPEN_ALGORITHMS_MIS_H
+
+#include "ligra/vertex_subset.h"
+#include "parallel/primitives.h"
+#include "util/hash.h"
+
+#include <vector>
+
+namespace aspen {
+
+enum class MisState : uint8_t { Undecided, In, Out };
+
+/// Compute a maximal independent set; returns per-vertex membership flags.
+template <class GView>
+std::vector<uint8_t> mis(const GView &G, uint64_t Seed = 0x9e3779b9) {
+  VertexId N = G.numVertices();
+  std::vector<MisState> State(N, MisState::Undecided);
+  auto Priority = [&](VertexId V) { return hashAt(Seed, V); };
+
+  // Active list of still-undecided vertices.
+  auto Active = tabulate(size_t(N), [](size_t I) { return VertexId(I); });
+
+  while (!Active.empty()) {
+    // Phase 1: decide winners (read-only on State).
+    std::vector<uint8_t> Winner(Active.size(), 0);
+    parallelFor(0, Active.size(), [&](size_t I) {
+      VertexId V = Active[I];
+      uint64_t PV = Priority(V);
+      bool IsMax = true;
+      G.iterNeighborsCond(V, [&](VertexId U) {
+        if (State[U] != MisState::Out && U != V) {
+          uint64_t PU = Priority(U);
+          if (PU > PV || (PU == PV && U > V)) {
+            IsMax = false;
+            return false;
+          }
+        }
+        return true;
+      });
+      Winner[I] = IsMax ? 1 : 0;
+    }, 16);
+    // Phase 2: commit winners.
+    parallelFor(0, Active.size(), [&](size_t I) {
+      if (Winner[I])
+        State[Active[I]] = MisState::In;
+    });
+    // Phase 3: remove neighbors of winners.
+    parallelFor(0, Active.size(), [&](size_t I) {
+      if (!Winner[I])
+        return;
+      G.iterNeighborsCond(Active[I], [&](VertexId U) {
+        if (State[U] == MisState::Undecided)
+          State[U] = MisState::Out; // idempotent benign race
+        return true;
+      });
+    }, 16);
+    // Phase 4: shrink the active set.
+    Active = filterIndex(
+        Active.size(), [&](size_t I) { return Active[I]; },
+        [&](size_t I) { return State[Active[I]] == MisState::Undecided; });
+  }
+
+  return tabulate(size_t(N), [&](size_t I) {
+    return uint8_t(State[I] == MisState::In ? 1 : 0);
+  });
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_MIS_H

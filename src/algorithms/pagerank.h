@@ -1,0 +1,55 @@
+//===- algorithms/pagerank.h - PageRank power iteration ---------------------===//
+//
+// Pull-based PageRank (extension algorithm): p'[v] = (1-d)/n +
+// d * sum_{u in N(v)} p[u]/deg(u) over symmetric graphs, iterated a fixed
+// number of rounds or until the L1 delta drops below a tolerance.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_PAGERANK_H
+#define ASPEN_ALGORITHMS_PAGERANK_H
+
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <cmath>
+#include <vector>
+
+namespace aspen {
+
+/// PageRank scores (sum ~1 up to dangling mass).
+template <class GView>
+std::vector<double> pageRank(const GView &G, int MaxIters = 20,
+                             double Damping = 0.85, double Tol = 1e-9) {
+  VertexId N = G.numVertices();
+  if (N == 0)
+    return {};
+  std::vector<double> P(N, 1.0 / double(N)), Next(N, 0.0);
+  // Precompute degree reciprocal contributions per round.
+  std::vector<double> Contrib(N, 0.0);
+  for (int Iter = 0; Iter < MaxIters; ++Iter) {
+    parallelFor(0, N, [&](size_t V) {
+      uint64_t D = G.degree(VertexId(V));
+      Contrib[V] = D ? P[V] / double(D) : 0.0;
+    });
+    parallelFor(0, N, [&](size_t V) {
+      double Acc = 0.0;
+      G.iterNeighborsCond(VertexId(V), [&](VertexId U) {
+        Acc += Contrib[U];
+        return true;
+      });
+      Next[V] = (1.0 - Damping) / double(N) + Damping * Acc;
+    }, 32);
+    double Delta = reduceSum(size_t(N), [&](size_t V) {
+      return std::fabs(Next[V] - P[V]);
+    });
+    std::swap(P, Next);
+    if (Delta < Tol)
+      break;
+  }
+  return P;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_PAGERANK_H

@@ -1,0 +1,91 @@
+//===- algorithms/sssp.h - Single-source shortest paths --------------------===//
+//
+// Frontier-based Bellman-Ford over the weighted-graph extension: each
+// round relaxes the out-edges of vertices whose distance improved
+// (Ligra's SSSP formulation). Terminates after at most n rounds; negative
+// edges are supported, negative cycles reported.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_SSSP_H
+#define ASPEN_ALGORITHMS_SSSP_H
+
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+namespace aspen {
+
+template <class W> struct SsspResult {
+  std::vector<W> Dist;          ///< distance or infinity()
+  bool NegativeCycle = false;   ///< a negative cycle is reachable
+
+  static W infinity() { return std::numeric_limits<W>::max(); }
+};
+
+/// Shortest-path distances from \p Src over a weighted view providing
+/// `iterNeighborsW(v, Fn(u, w))` and `vertexUniverse()`.
+template <class WGraph, class W = double>
+SsspResult<W> sssp(const WGraph &G, VertexId Src) {
+  VertexId N = G.vertexUniverse();
+  SsspResult<W> R;
+  R.Dist.assign(N, SsspResult<W>::infinity());
+  if (Src >= N)
+    return R;
+
+  // Atomic min-relaxation targets.
+  std::vector<std::atomic<W>> Dist(N);
+  parallelFor(0, N, [&](size_t I) {
+    Dist[I].store(SsspResult<W>::infinity(), std::memory_order_relaxed);
+  });
+  Dist[Src].store(W(), std::memory_order_relaxed);
+
+  std::vector<VertexId> Frontier = {Src};
+  size_t Round = 0;
+  while (!Frontier.empty()) {
+    if (Round++ > size_t(N)) {
+      R.NegativeCycle = true;
+      break;
+    }
+    // Relax all out-edges of the frontier; collect improved vertices.
+    std::vector<std::atomic<uint8_t>> Improved(N);
+    parallelFor(0, N, [&](size_t I) {
+      Improved[I].store(0, std::memory_order_relaxed);
+    });
+    parallelFor(0, Frontier.size(), [&](size_t I) {
+      VertexId V = Frontier[I];
+      W DV = Dist[V].load(std::memory_order_relaxed);
+      if (DV == SsspResult<W>::infinity())
+        return;
+      G.iterNeighborsW(V, [&](VertexId U, W Weight) {
+        W Cand = DV + Weight;
+        W Old = Dist[U].load(std::memory_order_relaxed);
+        while (Cand < Old) {
+          if (Dist[U].compare_exchange_weak(Old, Cand,
+                                            std::memory_order_relaxed)) {
+            Improved[U].store(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        return true;
+      });
+    }, 8);
+    Frontier = filterIndex(
+        size_t(N), [&](size_t I) { return VertexId(I); },
+        [&](size_t I) {
+          return Improved[I].load(std::memory_order_relaxed) != 0;
+        });
+  }
+
+  parallelFor(0, N, [&](size_t I) {
+    R.Dist[I] = Dist[I].load(std::memory_order_relaxed);
+  });
+  return R;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_SSSP_H

@@ -1,0 +1,63 @@
+//===- algorithms/triangle_count.h - Triangle counting ---------------------===//
+//
+// Ordered triangle counting on symmetric graphs: each triangle
+// u < v < w is counted once at its smallest vertex by intersecting the
+// higher-id neighborhoods of u and v. An extension algorithm showcasing
+// ordered edge-set iteration (the C-tree's sorted order makes the merge
+// intersection natural).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_TRIANGLE_COUNT_H
+#define ASPEN_ALGORITHMS_TRIANGLE_COUNT_H
+
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <vector>
+
+namespace aspen {
+
+/// Count triangles in a symmetric graph view.
+template <class GView> uint64_t triangleCount(const GView &G) {
+  VertexId N = G.numVertices();
+  return reduce(
+      size_t(N),
+      [&](size_t UI) -> uint64_t {
+        VertexId U = VertexId(UI);
+        // Higher-id neighbors of U, in order.
+        std::vector<VertexId> Au;
+        G.iterNeighborsCond(U, [&](VertexId X) {
+          if (X > U)
+            Au.push_back(X);
+          return true;
+        });
+        uint64_t Local = 0;
+        for (VertexId V : Au) {
+          // Merge-intersect Au (suffix > V) with N(V) (> V).
+          size_t I = 0;
+          while (I < Au.size() && Au[I] <= V)
+            ++I;
+          size_t Pos = I;
+          G.iterNeighborsCond(V, [&](VertexId Wv) {
+            if (Wv <= V)
+              return true;
+            while (Pos < Au.size() && Au[Pos] < Wv)
+              ++Pos;
+            if (Pos == Au.size())
+              return false;
+            if (Au[Pos] == Wv) {
+              ++Local;
+              ++Pos;
+            }
+            return true;
+          });
+        }
+        return Local;
+      },
+      uint64_t(0), std::plus<uint64_t>());
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_TRIANGLE_COUNT_H

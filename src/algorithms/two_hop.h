@@ -1,0 +1,45 @@
+//===- algorithms/two_hop.h - 2-hop neighborhood ---------------------------===//
+//
+// The paper's local 2-hop query (Section 7): the set of vertices within
+// two hops of a source. Local queries avoid O(n) scratch so that many can
+// run concurrently: candidates are gathered and deduplicated by sorting.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ALGORITHMS_TWO_HOP_H
+#define ASPEN_ALGORITHMS_TWO_HOP_H
+
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aspen {
+
+/// Vertices at distance <= 2 from \p Src (including Src), sorted.
+template <class GView>
+std::vector<VertexId> twoHop(const GView &G, VertexId Src) {
+  std::vector<VertexId> Hop1;
+  Hop1.reserve(G.degree(Src));
+  G.mapNeighbors(Src, [&](VertexId U) { Hop1.push_back(U); });
+
+  std::vector<VertexId> Out;
+  Out.push_back(Src);
+  Out.insert(Out.end(), Hop1.begin(), Hop1.end());
+  for (VertexId U : Hop1)
+    G.mapNeighbors(U, [&](VertexId W) { Out.push_back(W); });
+
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+/// |twoHop(G, Src)| without materializing (same cost; test convenience).
+template <class GView> size_t twoHopCount(const GView &G, VertexId Src) {
+  return twoHop(G, Src).size();
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ALGORITHMS_TWO_HOP_H

@@ -1,0 +1,189 @@
+//===- baselines/csr.h - Static CSR baselines ------------------------------===//
+//
+// The static-framework comparands of Section 7.7:
+//  * CsrGraph           - flat uncompressed CSR, the representation GAP
+//                         (and Ligra) use.
+//  * CompressedCsrGraph - byte-coded CSR in the style of Ligra+: each
+//                         vertex's neighbor list is difference-encoded
+//                         with variable-length byte codes.
+//
+// Both expose the same graph-view interface as the Aspen views, so every
+// algorithm template runs on them unchanged (Tables 12, 14, 15).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_BASELINES_CSR_H
+#define ASPEN_BASELINES_CSR_H
+
+#include "encoding/byte_code.h"
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <vector>
+
+namespace aspen {
+
+/// Flat uncompressed CSR ("GAP-like" / Ligra).
+class CsrGraph {
+public:
+  CsrGraph() = default;
+
+  /// Build from directed edges (sorted + deduplicated internally).
+  static CsrGraph fromEdges(VertexId N, std::vector<EdgePair> Edges) {
+    parallelSort(Edges);
+    auto E = filterIndex(
+        Edges.size(), [&](size_t I) { return Edges[I]; },
+        [&](size_t I) { return I == 0 || Edges[I] != Edges[I - 1]; });
+    CsrGraph G;
+    G.N = N;
+    G.Offsets.assign(N + 1, 0);
+    for (const EdgePair &P : E)
+      ++G.Offsets[P.first + 1];
+    for (VertexId V = 0; V < N; ++V)
+      G.Offsets[V + 1] += G.Offsets[V];
+    G.Targets = tabulate(E.size(), [&](size_t I) { return E[I].second; });
+    return G;
+  }
+
+  VertexId numVertices() const { return N; }
+  uint64_t numEdges() const { return Targets.size(); }
+  uint64_t degree(VertexId V) const {
+    return Offsets[V + 1] - Offsets[V];
+  }
+
+  template <class F>
+  void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+    uint64_t Lo = Offsets[V], Hi = Offsets[V + 1];
+    parallelFor(Lo, Hi, [&](size_t I) { Fn(I - Lo, Targets[I]); }, 2048);
+  }
+
+  template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+    for (uint64_t I = Offsets[V], E = Offsets[V + 1]; I < E; ++I)
+      Fn(Targets[I]);
+  }
+
+  template <class F> bool iterNeighborsCond(VertexId V, const F &Fn) const {
+    for (uint64_t I = Offsets[V], E = Offsets[V + 1]; I < E; ++I)
+      if (!Fn(Targets[I]))
+        return false;
+    return true;
+  }
+
+  size_t memoryBytes() const {
+    return Offsets.size() * sizeof(uint64_t) +
+           Targets.size() * sizeof(VertexId);
+  }
+
+private:
+  VertexId N = 0;
+  std::vector<uint64_t> Offsets;
+  std::vector<VertexId> Targets;
+};
+
+/// Byte-compressed CSR ("Ligra+-like"): per-vertex difference encoding.
+class CompressedCsrGraph {
+public:
+  CompressedCsrGraph() = default;
+
+  static CompressedCsrGraph fromEdges(VertexId N,
+                                      std::vector<EdgePair> Edges) {
+    parallelSort(Edges);
+    auto E = filterIndex(
+        Edges.size(), [&](size_t I) { return Edges[I]; },
+        [&](size_t I) { return I == 0 || Edges[I] != Edges[I - 1]; });
+    CompressedCsrGraph G;
+    G.N = N;
+    G.M = E.size();
+    G.Degrees.assign(N, 0);
+    for (const EdgePair &P : E)
+      ++G.Degrees[P.first];
+    // Per-vertex encoded sizes.
+    std::vector<uint64_t> Sizes(N + 1, 0);
+    std::vector<uint64_t> Starts(N + 1, 0);
+    {
+      uint64_t Pos = 0;
+      for (VertexId V = 0; V < N; ++V) {
+        Starts[V] = Pos;
+        Pos += G.Degrees[V];
+      }
+      Starts[N] = Pos;
+    }
+    parallelFor(0, N, [&](size_t V) {
+      uint64_t Lo = Starts[V], Hi = Starts[V + 1];
+      uint64_t Bytes = 0;
+      VertexId Prev = 0;
+      for (uint64_t I = Lo; I < Hi; ++I) {
+        VertexId T = E[I].second;
+        Bytes += varintSize(I == Lo ? uint64_t(T) : uint64_t(T - Prev));
+        Prev = T;
+      }
+      Sizes[V] = Bytes;
+    });
+    G.ByteOffsets.assign(N + 1, 0);
+    for (VertexId V = 0; V < N; ++V)
+      G.ByteOffsets[V + 1] = G.ByteOffsets[V] + Sizes[V];
+    G.Bytes.resize(G.ByteOffsets[N]);
+    parallelFor(0, N, [&](size_t V) {
+      uint64_t Lo = Starts[V], Hi = Starts[V + 1];
+      uint8_t *Out = G.Bytes.data() + G.ByteOffsets[V];
+      VertexId Prev = 0;
+      for (uint64_t I = Lo; I < Hi; ++I) {
+        VertexId T = E[I].second;
+        Out = encodeVarint(I == Lo ? uint64_t(T) : uint64_t(T - Prev), Out);
+        Prev = T;
+      }
+    });
+    return G;
+  }
+
+  VertexId numVertices() const { return N; }
+  uint64_t numEdges() const { return M; }
+  uint64_t degree(VertexId V) const { return Degrees[V]; }
+
+  template <class F>
+  void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+    // Sequential decode (Ligra+ uses a parallel block code; our C-trees get
+    // their parallelism from chunking instead - see DESIGN.md).
+    const uint8_t *In = Bytes.data() + ByteOffsets[V];
+    uint64_t Cur = 0;
+    for (uint32_t I = 0, D = Degrees[V]; I < D; ++I) {
+      uint64_t Delta;
+      In = decodeVarint(In, Delta);
+      Cur = (I == 0) ? Delta : Cur + Delta;
+      Fn(size_t(I), VertexId(Cur));
+    }
+  }
+
+  template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+    mapNeighborsIndexed(V, [&](size_t, VertexId U) { Fn(U); });
+  }
+
+  template <class F> bool iterNeighborsCond(VertexId V, const F &Fn) const {
+    const uint8_t *In = Bytes.data() + ByteOffsets[V];
+    uint64_t Cur = 0;
+    for (uint32_t I = 0, D = Degrees[V]; I < D; ++I) {
+      uint64_t Delta;
+      In = decodeVarint(In, Delta);
+      Cur = (I == 0) ? Delta : Cur + Delta;
+      if (!Fn(VertexId(Cur)))
+        return false;
+    }
+    return true;
+  }
+
+  size_t memoryBytes() const {
+    return ByteOffsets.size() * sizeof(uint64_t) +
+           Degrees.size() * sizeof(uint32_t) + Bytes.size();
+  }
+
+private:
+  VertexId N = 0;
+  uint64_t M = 0;
+  std::vector<uint64_t> ByteOffsets;
+  std::vector<uint32_t> Degrees;
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_BASELINES_CSR_H

@@ -1,0 +1,195 @@
+//===- baselines/llama_like.h - LLAMA-style multiversioned CSR ------------===//
+//
+// A scaled-down reproduction of the LLAMA design the paper compares
+// against (Section 7.6): batches create snapshots; each snapshot carries
+// an O(n) vertex indirection table and an O(k) edge fragment pool; a
+// vertex's adjacency list is the chain of its fragments across snapshots.
+// Iterating neighbors therefore follows fragment links through multiple
+// snapshots - the locality/depth cost the paper attributes to LLAMA.
+//
+// Deletions are handled with per-snapshot tombstone fragments that reads
+// filter out (a simplification of LLAMA's deletion vectors; documented in
+// DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_BASELINES_LLAMA_LIKE_H
+#define ASPEN_BASELINES_LLAMA_LIKE_H
+
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace aspen {
+
+/// Multiversioned CSR with chained per-snapshot fragments.
+class LlamaGraph {
+  struct Fragment {
+    uint64_t Off;       ///< offset into the owning snapshot's edge pool
+    uint32_t Len;       ///< number of targets in this fragment
+    uint32_t SnapId;    ///< owning snapshot
+    int32_t Prev;       ///< previous fragment index or -1
+    uint64_t TotalLen;  ///< cumulative degree across the chain
+    uint64_t TotalDel;  ///< cumulative tombstones across the chain
+    uint32_t DelLen;    ///< tombstones stored right after the targets
+  };
+
+  /// Per-vertex record in a snapshot's vertex table. LLAMA's vertex
+  /// records carry the adjacency-list locator plus a cached degree
+  /// (16 bytes per vertex per snapshot).
+  struct VertexRec {
+    int32_t Frag = -1;  ///< newest fragment index or -1
+    uint32_t Deg = 0;   ///< cached live degree
+    int64_t AdjStart = 0;
+  };
+
+  struct Snapshot {
+    std::vector<VertexRec> VertexTable; ///< O(n) per snapshot, as in LLAMA
+    std::vector<int64_t> Edges; ///< fragment pool; LLAMA's 8-byte entries
+  };
+
+public:
+  explicit LlamaGraph(VertexId N) : N(N) {
+    // Snapshot 0: empty graph.
+    Snapshot S;
+    S.VertexTable.assign(N, VertexRec{});
+    Snapshots.push_back(std::move(S));
+  }
+
+  VertexId numVertices() const { return N; }
+
+  uint64_t numEdges() const {
+    const Snapshot &S = Snapshots.back();
+    return reduceSum(size_t(N), [&](size_t V) {
+      return uint64_t(S.VertexTable[V].Deg);
+    });
+  }
+
+  uint64_t degree(VertexId V) const {
+    return Snapshots.back().VertexTable[V].Deg;
+  }
+
+  size_t numSnapshots() const { return Snapshots.size(); }
+
+  /// Ingest a batch of insertions (and optionally deletions) as one new
+  /// snapshot.
+  void ingestBatch(std::vector<EdgePair> Insertions,
+                   std::vector<EdgePair> Deletions = {}) {
+    parallelSort(Insertions);
+    Insertions.erase(std::unique(Insertions.begin(), Insertions.end()),
+                     Insertions.end());
+    parallelSort(Deletions);
+    Deletions.erase(std::unique(Deletions.begin(), Deletions.end()),
+                    Deletions.end());
+
+    Snapshot Next;
+    Next.VertexTable = Snapshots.back().VertexTable; // O(n) copy, as LLAMA
+    uint32_t SnapId = uint32_t(Snapshots.size());
+
+    size_t II = 0, DI = 0;
+    while (II < Insertions.size() || DI < Deletions.size()) {
+      VertexId Src;
+      if (II < Insertions.size() &&
+          (DI >= Deletions.size() ||
+           Insertions[II].first <= Deletions[DI].first))
+        Src = Insertions[II].first;
+      else
+        Src = Deletions[DI].first;
+
+      uint64_t Off = Next.Edges.size();
+      uint32_t Len = 0, DelLen = 0;
+      while (II < Insertions.size() && Insertions[II].first == Src) {
+        Next.Edges.push_back(int64_t(Insertions[II].second));
+        ++Len;
+        ++II;
+      }
+      while (DI < Deletions.size() && Deletions[DI].first == Src) {
+        Next.Edges.push_back(int64_t(Deletions[DI].second));
+        ++DelLen;
+        ++DI;
+      }
+      int32_t Prev = Next.VertexTable[Src].Frag;
+      Fragment F{Off,  Len,    SnapId,
+                 Prev, 0,      0,
+                 DelLen};
+      F.TotalLen = Len + (Prev >= 0 ? Fragments[Prev].TotalLen : 0);
+      F.TotalDel = DelLen + (Prev >= 0 ? Fragments[Prev].TotalDel : 0);
+      VertexRec &R = Next.VertexTable[Src];
+      R.Frag = int32_t(Fragments.size());
+      R.Deg = uint32_t(F.TotalLen - F.TotalDel);
+      R.AdjStart = int64_t(Off);
+      Fragments.push_back(F);
+    }
+    Snapshots.push_back(std::move(Next));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Graph-view interface over the latest snapshot. Neighbor iteration
+  // walks the fragment chain (newest to oldest), filtering tombstones.
+  //===--------------------------------------------------------------------===
+
+  template <class F> bool iterNeighborsCond(VertexId V, const F &Fn) const {
+    // Walk newest to oldest; a tombstone masks edges only in fragments
+    // older than itself, so re-inserted edges survive.
+    std::vector<VertexId> Tombs;
+    for (int32_t FI = Snapshots.back().VertexTable[V].Frag; FI >= 0;
+         FI = Fragments[FI].Prev) {
+      const Fragment &Frag = Fragments[FI];
+      const int64_t *Base =
+          Snapshots[Frag.SnapId].Edges.data() + Frag.Off;
+      for (uint32_t I = 0; I < Frag.Len; ++I) {
+        VertexId U = VertexId(Base[I]);
+        if (!Tombs.empty() &&
+            std::find(Tombs.begin(), Tombs.end(), U) != Tombs.end())
+          continue;
+        if (!Fn(U))
+          return false;
+      }
+      if (Frag.DelLen) {
+        const int64_t *DelBase = Base + Frag.Len;
+        for (uint32_t I = 0; I < Frag.DelLen; ++I)
+          Tombs.push_back(VertexId(DelBase[I]));
+      }
+    }
+    return true;
+  }
+
+  template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+    iterNeighborsCond(V, [&](VertexId U) {
+      Fn(U);
+      return true;
+    });
+  }
+
+  template <class F>
+  void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+    size_t I = 0;
+    iterNeighborsCond(V, [&](VertexId U) {
+      Fn(I++, U);
+      return true;
+    });
+  }
+
+  /// Footprint: vertex tables of every live snapshot + fragment pools +
+  /// fragment metadata (the per-snapshot O(n) tables are why LLAMA's
+  /// memory grows with snapshot count, Table 9).
+  size_t memoryBytes() const {
+    size_t Total = Fragments.size() * sizeof(Fragment);
+    for (const Snapshot &S : Snapshots)
+      Total += S.VertexTable.size() * sizeof(VertexRec) +
+               S.Edges.size() * sizeof(int64_t);
+    return Total;
+  }
+
+private:
+  VertexId N;
+  std::vector<Snapshot> Snapshots;
+  std::vector<Fragment> Fragments;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_BASELINES_LLAMA_LIKE_H

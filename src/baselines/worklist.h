@@ -1,0 +1,242 @@
+//===- baselines/worklist.h - Galois-style asynchronous executor ----------===//
+//
+// The Galois comparison rows of Table 12 use an asynchronous worklist
+// execution model rather than Ligra-style frontier synchronization. This
+// file provides a scaled-down equivalent: a chunked MPMC worklist with
+// relaxation-style operators.
+//
+//  * asyncBfs - label-correcting BFS: distances relax via CAS-min and
+//    improved vertices are re-pushed (no direction optimization, as the
+//    paper notes for Galois's BFS).
+//  * speculativeMis - priority-ordered MIS with per-vertex locks and
+//    abort/retry, modeling Galois's speculative conflict detection.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_BASELINES_WORKLIST_H
+#define ASPEN_BASELINES_WORKLIST_H
+
+#include "parallel/primitives.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aspen {
+
+namespace detail {
+
+/// Chunked multi-producer/multi-consumer worklist with a pending-work
+/// counter for race-free termination: a popped chunk stays "pending" until
+/// the consumer calls done(), so pushes performed while processing are
+/// always visible before the count can reach zero.
+class ChunkedWorklist {
+public:
+  static constexpr size_t ChunkSize = 512;
+
+  void push(std::vector<VertexId> &Local, VertexId V) {
+    Local.push_back(V);
+    if (Local.size() >= ChunkSize)
+      flush(Local);
+  }
+
+  void flush(std::vector<VertexId> &Local) {
+    if (Local.empty())
+      return;
+    Pending.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> Lock(M);
+    Chunks.push_back(std::move(Local));
+    Local = {};
+    Local.reserve(ChunkSize);
+  }
+
+  bool pop(std::vector<VertexId> &Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Chunks.empty())
+      return false;
+    // FIFO order approximates level order for label-correcting BFS,
+    // which keeps the number of re-relaxations low.
+    Out = std::move(Chunks.front());
+    Chunks.pop_front();
+    return true;
+  }
+
+  /// Consumer finished processing a popped chunk.
+  void done() { Pending.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// True once no chunk is queued or being processed.
+  bool finished() const {
+    return Pending.load(std::memory_order_acquire) == 0;
+  }
+
+private:
+  mutable std::mutex M;
+  std::deque<std::vector<VertexId>> Chunks;
+  std::atomic<int64_t> Pending{0};
+};
+
+} // namespace detail
+
+/// Asynchronous label-correcting BFS; returns hop distances (~0u if
+/// unreachable).
+template <class GView>
+std::vector<uint32_t> asyncBfs(const GView &G, VertexId Src) {
+  VertexId N = G.numVertices();
+  std::vector<std::atomic<uint32_t>> Dist(N);
+  parallelFor(0, N, [&](size_t I) {
+    Dist[I].store(~0u, std::memory_order_relaxed);
+  });
+  Dist[Src].store(0, std::memory_order_relaxed);
+
+  detail::ChunkedWorklist WL;
+  std::vector<VertexId> Seed = {Src};
+  WL.flush(Seed);
+
+  int P = numWorkers();
+  auto Worker = [&] {
+    std::vector<VertexId> Local;
+    Local.reserve(detail::ChunkedWorklist::ChunkSize);
+    std::vector<VertexId> Chunk;
+    int IdleSpins = 0;
+    while (true) {
+      if (!WL.pop(Chunk)) {
+        if (WL.finished())
+          break;
+        if (++IdleSpins > 64)
+          std::this_thread::yield();
+        continue;
+      }
+      IdleSpins = 0;
+      for (VertexId V : Chunk) {
+        uint32_t DV = Dist[V].load(std::memory_order_relaxed);
+        G.iterNeighborsCond(V, [&](VertexId U) {
+          uint32_t Old = Dist[U].load(std::memory_order_relaxed);
+          while (DV + 1 < Old) {
+            if (Dist[U].compare_exchange_weak(Old, DV + 1,
+                                              std::memory_order_relaxed)) {
+              WL.push(Local, U);
+              break;
+            }
+          }
+          return true;
+        });
+      }
+      WL.flush(Local);
+      WL.done();
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (int I = 1; I < P; ++I)
+    Threads.emplace_back(Worker);
+  Worker();
+  for (auto &T : Threads)
+    T.join();
+
+  return tabulate(size_t(N), [&](size_t I) {
+    return Dist[I].load(std::memory_order_relaxed);
+  });
+}
+
+/// Speculative MIS with per-vertex locks and abort/retry (Galois-style
+/// ordered execution). Returns membership flags.
+template <class GView>
+std::vector<uint8_t> speculativeMis(const GView &G,
+                                    uint64_t Seed = 0x51ed0a1b) {
+  VertexId N = G.numVertices();
+  // 0 = undecided, 1 = in, 2 = out.
+  std::vector<std::atomic<uint8_t>> State(N);
+  std::vector<std::atomic<uint8_t>> Locks(N);
+  parallelFor(0, N, [&](size_t I) {
+    State[I].store(0, std::memory_order_relaxed);
+    Locks[I].store(0, std::memory_order_relaxed);
+  });
+
+  auto TryLock = [&](VertexId V) {
+    uint8_t Expect = 0;
+    return Locks[V].compare_exchange_strong(Expect, 1,
+                                            std::memory_order_acquire);
+  };
+  auto Unlock = [&](VertexId V) {
+    Locks[V].store(0, std::memory_order_release);
+  };
+
+  auto Priority = [&](VertexId V) { return hashAt(Seed, V); };
+
+  std::vector<VertexId> Work =
+      tabulate(size_t(N), [](size_t I) { return VertexId(I); });
+  while (!Work.empty()) {
+    std::vector<std::atomic<uint8_t>> Retry(Work.size());
+    parallelFor(0, Work.size(), [&](size_t I) {
+      Retry[I].store(0, std::memory_order_relaxed);
+    });
+    parallelFor(0, Work.size(), [&](size_t I) {
+      VertexId V = Work[I];
+      if (State[V].load(std::memory_order_relaxed) != 0)
+        return;
+      // Speculative section: lock v, inspect the neighborhood; abort on
+      // conflict (locked neighbor) or on a higher-priority undecided
+      // neighbor.
+      if (!TryLock(V)) {
+        Retry[I].store(1, std::memory_order_relaxed);
+        return;
+      }
+      bool Abort = false, Win = true;
+      G.iterNeighborsCond(V, [&](VertexId U) {
+        uint8_t SU = State[U].load(std::memory_order_relaxed);
+        if (SU == 1) {
+          // Adjacent winner: V is out; no retry needed.
+          uint8_t Expect = 0;
+          State[V].compare_exchange_strong(Expect, 2,
+                                           std::memory_order_relaxed);
+          Win = false;
+          return false;
+        }
+        if (SU == 0) {
+          if (Locks[U].load(std::memory_order_relaxed)) {
+            Abort = true;
+            return false;
+          }
+          uint64_t PU = Priority(U), PV = Priority(V);
+          if (PU > PV || (PU == PV && U > V)) {
+            Win = false;
+            return false;
+          }
+        }
+        return true;
+      });
+      if (Abort) {
+        Retry[I].store(1, std::memory_order_relaxed);
+      } else if (Win) {
+        State[V].store(1, std::memory_order_relaxed);
+        G.iterNeighborsCond(V, [&](VertexId U) {
+          uint8_t Expect = 0;
+          State[U].compare_exchange_strong(Expect, 2,
+                                           std::memory_order_relaxed);
+          return true;
+        });
+      } else {
+        // Lost to a neighbor this round; retry next round unless decided.
+        Retry[I].store(1, std::memory_order_relaxed);
+      }
+      Unlock(V);
+    }, 16);
+    Work = filterIndex(
+        Work.size(), [&](size_t I) { return Work[I]; },
+        [&](size_t I) {
+          return Retry[I].load(std::memory_order_relaxed) &&
+                 State[Work[I]].load(std::memory_order_relaxed) == 0;
+        });
+  }
+
+  return tabulate(size_t(N), [&](size_t I) {
+    return uint8_t(State[I].load(std::memory_order_relaxed) == 1 ? 1 : 0);
+  });
+}
+
+} // namespace aspen
+
+#endif // ASPEN_BASELINES_WORKLIST_H

@@ -1,0 +1,343 @@
+//===- ctree/chunk.h - Compressed element chunks ---------------------------===//
+//
+// Chunks are the tails/prefixes of the C-tree (Section 3.1): immutable,
+// reference-counted arrays of sorted elements. The header stores the first
+// and last elements so Split does O(1) work per node visited (Section 4.1),
+// and the element count so C-tree sizes are O(1) via augmentation.
+//
+// Two codecs (Section 3.2):
+//  * DeltaByteCodec - difference encoding + variable-length byte codes
+//    ("Aspen (DE)" in Table 2).
+//  * RawCodec       - plain element array ("Aspen (No DE)").
+//
+// Chunks are immutable after construction, so sharing them between tree
+// versions is a reference-count bump; all "modifications" build new chunks.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_CTREE_CHUNK_H
+#define ASPEN_CTREE_CHUNK_H
+
+#include "encoding/byte_code.h"
+#include "memory/pool_allocator.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace aspen {
+
+/// Header of a chunk payload; the encoded elements follow contiguously.
+template <class K> struct ChunkPayload {
+  std::atomic<uint32_t> Ref;
+  uint32_t Count; ///< Number of elements (>= 1).
+  uint32_t Bytes; ///< Encoded size of elements after the first.
+  K First;        ///< Smallest element; base of difference encoding.
+  K Last;         ///< Largest element (O(1) Split checks).
+
+  uint8_t *data() { return reinterpret_cast<uint8_t *>(this + 1); }
+  const uint8_t *data() const {
+    return reinterpret_cast<const uint8_t *>(this + 1);
+  }
+};
+
+/// Difference coding with byte codes: element i>0 is stored as the varint
+/// of E[i] - E[i-1] (strictly increasing, so deltas >= 1).
+struct DeltaByteCodec {
+  static constexpr const char *Name = "delta-byte";
+
+  template <class K> static size_t encodedBytes(const K *E, size_t N) {
+    size_t Bytes = 0;
+    for (size_t I = 1; I < N; ++I)
+      Bytes += varintSize(static_cast<uint64_t>(E[I]) -
+                          static_cast<uint64_t>(E[I - 1]));
+    return Bytes;
+  }
+
+  template <class K>
+  static void encode(const K *E, size_t N, uint8_t *Out) {
+    for (size_t I = 1; I < N; ++I)
+      Out = encodeVarint(static_cast<uint64_t>(E[I]) -
+                             static_cast<uint64_t>(E[I - 1]),
+                         Out);
+  }
+
+  /// Invoke Fn on each element in order; Fn returns false to stop early.
+  /// Returns false iff stopped early.
+  template <class K, class F>
+  static bool iterate(const ChunkPayload<K> *C, const F &Fn) {
+    K Cur = C->First;
+    if (!Fn(Cur))
+      return false;
+    const uint8_t *In = C->data();
+    for (uint32_t I = 1; I < C->Count; ++I) {
+      uint64_t Delta;
+      In = decodeVarint(In, Delta);
+      Cur = static_cast<K>(static_cast<uint64_t>(Cur) + Delta);
+      if (!Fn(Cur))
+        return false;
+    }
+    return true;
+  }
+};
+
+/// No compression: elements after the first stored as raw K values.
+struct RawCodec {
+  static constexpr const char *Name = "raw";
+
+  template <class K> static size_t encodedBytes(const K *, size_t N) {
+    return N > 1 ? (N - 1) * sizeof(K) : 0;
+  }
+
+  template <class K>
+  static void encode(const K *E, size_t N, uint8_t *Out) {
+    if (N > 1)
+      std::memcpy(Out, E + 1, (N - 1) * sizeof(K));
+  }
+
+  template <class K, class F>
+  static bool iterate(const ChunkPayload<K> *C, const F &Fn) {
+    if (!Fn(C->First))
+      return false;
+    const uint8_t *In = C->data();
+    for (uint32_t I = 1; I < C->Count; ++I) {
+      K V;
+      std::memcpy(&V, In + (I - 1) * sizeof(K), sizeof(K));
+      if (!Fn(V))
+        return false;
+    }
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Chunk operations. All functions hand back payloads with one reference
+// owned by the caller; nullptr represents the empty chunk.
+//===----------------------------------------------------------------------===
+
+template <class K> void retainChunk(ChunkPayload<K> *C) {
+  if (C)
+    C->Ref.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <class K> void releaseChunk(ChunkPayload<K> *C) {
+  if (!C)
+    return;
+  if (C->Ref.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    size_t Total = sizeof(ChunkPayload<K>) + C->Bytes;
+    C->~ChunkPayload<K>();
+    countedFree(C, Total);
+  }
+}
+
+/// Build a chunk from \p N sorted, duplicate-free elements (nullptr if
+/// N == 0).
+template <class Codec, class K>
+ChunkPayload<K> *makeChunk(const K *E, size_t N) {
+  if (N == 0)
+    return nullptr;
+  size_t Bytes = Codec::template encodedBytes<K>(E, N);
+  void *Mem = countedAlloc(sizeof(ChunkPayload<K>) + Bytes);
+  auto *C = new (Mem) ChunkPayload<K>();
+  C->Ref.store(1, std::memory_order_relaxed);
+  C->Count = static_cast<uint32_t>(N);
+  C->Bytes = static_cast<uint32_t>(Bytes);
+  C->First = E[0];
+  C->Last = E[N - 1];
+  Codec::template encode<K>(E, N, C->data());
+  return C;
+}
+
+template <class K> uint32_t chunkCount(const ChunkPayload<K> *C) {
+  return C ? C->Count : 0;
+}
+
+template <class K> size_t chunkBytes(const ChunkPayload<K> *C) {
+  return C ? sizeof(ChunkPayload<K>) + C->Bytes : 0;
+}
+
+/// Append the chunk's elements to \p Out.
+template <class Codec, class K>
+void decodeChunk(const ChunkPayload<K> *C, std::vector<K> &Out) {
+  if (!C)
+    return;
+  Out.reserve(Out.size() + C->Count);
+  Codec::template iterate<K>(C, [&](K V) {
+    Out.push_back(V);
+    return true;
+  });
+}
+
+/// Membership test; O(count) sequential scan with early exit (chunks are
+/// O(b log n) w.h.p., Section 4.2).
+template <class Codec, class K>
+bool chunkContains(const ChunkPayload<K> *C, K X) {
+  if (!C || X < C->First || X > C->Last)
+    return false;
+  bool Found = false;
+  Codec::template iterate<K>(C, [&](K V) {
+    if (V >= X) {
+      Found = (V == X);
+      return false;
+    }
+    return true;
+  });
+  return Found;
+}
+
+/// Merge two sorted chunks, removing duplicates.
+template <class Codec, class K>
+ChunkPayload<K> *unionChunks(const ChunkPayload<K> *A,
+                             const ChunkPayload<K> *B) {
+  if (!A) {
+    auto *R = const_cast<ChunkPayload<K> *>(B);
+    retainChunk(R);
+    return R;
+  }
+  if (!B) {
+    auto *R = const_cast<ChunkPayload<K> *>(A);
+    retainChunk(R);
+    return R;
+  }
+  std::vector<K> EA, EB;
+  decodeChunk<Codec>(A, EA);
+  decodeChunk<Codec>(B, EB);
+  std::vector<K> Out;
+  Out.reserve(EA.size() + EB.size());
+  size_t I = 0, J = 0;
+  while (I < EA.size() && J < EB.size()) {
+    if (EA[I] < EB[J])
+      Out.push_back(EA[I++]);
+    else if (EB[J] < EA[I])
+      Out.push_back(EB[J++]);
+    else {
+      Out.push_back(EA[I]);
+      ++I;
+      ++J;
+    }
+  }
+  Out.insert(Out.end(), EA.begin() + I, EA.end());
+  Out.insert(Out.end(), EB.begin() + J, EB.end());
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+/// Elements of \p A not in the sorted vector \p Sub.
+template <class Codec, class K>
+ChunkPayload<K> *chunkMinus(const ChunkPayload<K> *A,
+                            const std::vector<K> &Sub) {
+  if (!A)
+    return nullptr;
+  std::vector<K> EA;
+  decodeChunk<Codec>(A, EA);
+  std::vector<K> Out;
+  Out.reserve(EA.size());
+  size_t J = 0;
+  for (K V : EA) {
+    while (J < Sub.size() && Sub[J] < V)
+      ++J;
+    if (J < Sub.size() && Sub[J] == V)
+      continue;
+    Out.push_back(V);
+  }
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+/// Elements of \p A also present in the sorted vector \p Keep.
+template <class Codec, class K>
+ChunkPayload<K> *chunkIntersect(const ChunkPayload<K> *A,
+                                const std::vector<K> &Keep) {
+  if (!A)
+    return nullptr;
+  std::vector<K> EA;
+  decodeChunk<Codec>(A, EA);
+  std::vector<K> Out;
+  size_t J = 0;
+  for (K V : EA) {
+    while (J < Keep.size() && Keep[J] < V)
+      ++J;
+    if (J < Keep.size() && Keep[J] == V)
+      Out.push_back(V);
+  }
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+struct ChunkSplit {
+  void *Left = nullptr;  ///< ChunkPayload<K>* of elements < key
+  void *Right = nullptr; ///< ChunkPayload<K>* of elements > key
+  bool Found = false;    ///< Key was present (excluded from both sides)
+};
+
+/// Split \p C around \p Key into (elements < Key, found, elements > Key).
+template <class Codec, class K>
+ChunkSplit splitChunk(const ChunkPayload<K> *C, K Key) {
+  ChunkSplit S;
+  if (!C)
+    return S;
+  if (Key < C->First) {
+    retainChunk(const_cast<ChunkPayload<K> *>(C));
+    S.Right = const_cast<ChunkPayload<K> *>(C);
+    return S;
+  }
+  if (Key > C->Last) {
+    retainChunk(const_cast<ChunkPayload<K> *>(C));
+    S.Left = const_cast<ChunkPayload<K> *>(C);
+    return S;
+  }
+  std::vector<K> E;
+  decodeChunk<Codec>(C, E);
+  size_t Lo = 0;
+  while (Lo < E.size() && E[Lo] < Key)
+    ++Lo;
+  size_t Hi = Lo;
+  if (Hi < E.size() && E[Hi] == Key) {
+    S.Found = true;
+    ++Hi;
+  }
+  S.Left = makeChunk<Codec>(E.data(), Lo);
+  S.Right = makeChunk<Codec>(E.data() + Hi, E.size() - Hi);
+  return S;
+}
+
+/// RAII reference to a chunk payload; the C-tree's node value type.
+template <class K> class ChunkRef {
+public:
+  ChunkRef() = default;
+  /// Adopts one reference on \p C.
+  explicit ChunkRef(ChunkPayload<K> *C) : C(C) {}
+
+  ChunkRef(const ChunkRef &O) : C(O.C) { retainChunk(C); }
+  ChunkRef(ChunkRef &&O) noexcept : C(O.C) { O.C = nullptr; }
+  ChunkRef &operator=(const ChunkRef &O) {
+    if (this != &O) {
+      retainChunk(O.C);
+      releaseChunk(C);
+      C = O.C;
+    }
+    return *this;
+  }
+  ChunkRef &operator=(ChunkRef &&O) noexcept {
+    if (this != &O) {
+      releaseChunk(C);
+      C = O.C;
+      O.C = nullptr;
+    }
+    return *this;
+  }
+  ~ChunkRef() { releaseChunk(C); }
+
+  ChunkPayload<K> *get() const { return C; }
+  ChunkPayload<K> *take() {
+    ChunkPayload<K> *R = C;
+    C = nullptr;
+    return R;
+  }
+  uint32_t count() const { return chunkCount(C); }
+
+private:
+  ChunkPayload<K> *C = nullptr;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_CTREE_CHUNK_H

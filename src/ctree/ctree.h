@@ -1,0 +1,828 @@
+//===- ctree/ctree.h - Compressed purely-functional search trees ----------===//
+//
+// The C-tree of Section 3: a chunking scheme over purely-functional search
+// trees. Elements whose hash is 0 mod b are "heads" and live in a
+// purely-functional weight-balanced tree; every head's value is its "tail"
+// chunk (the following non-head elements), and the elements before the
+// first head form the "prefix" chunk. Because head status is a property of
+// the element itself, an element is a head in every C-tree that contains
+// it, which the set algebra below relies on.
+//
+// Set operations follow the recursive structure of Algorithms 1-3 with one
+// equivalent restructuring: instead of eagerly splitting the exposed tail
+// v2 and the split-off prefix BP2 around each other's smallest heads
+// (Algorithm 1, lines 9-11), remnant chunks flow down the recursion as the
+// prefixes of valid sub-C-trees and are merged in the base cases
+// (unionBC / diffBC / intersect base). Head selection is content-
+// determined, so the resulting C-tree is identical; the work/depth bounds
+// are unchanged because every chunk is still processed O(1) times per
+// recursion level.
+//
+// Ownership: like pam/tree.h, static "raw" functions consume one reference
+// per input and return owned roots; the public CTreeSet class provides
+// value semantics on top.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_CTREE_CTREE_H
+#define ASPEN_CTREE_CTREE_H
+
+#include "ctree/chunk.h"
+#include "pam/tree.h"
+#include "parallel/primitives.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+#include <optional>
+#include <vector>
+
+namespace aspen {
+
+/// Global chunking parameters shared by every C-tree in the process. The
+/// expected chunk size b must be a power of two. Heads of all C-trees are
+/// chosen by the same hash, so trees built under different parameters must
+/// never be combined: change the parameter only while no C-trees are live
+/// (the chunk-size benchmark of Table 5 rebuilds between settings).
+struct CTreeParams {
+  static inline uint64_t HeadMask = 127; ///< b = 128 by default.
+  static inline uint64_t Seed = 0xa9c3f71b02d5e841ULL;
+
+  static bool isHead(uint64_t Key) {
+    return (hash64(Key ^ Seed) & HeadMask) == 0;
+  }
+
+  /// Set the expected chunk size b (power of two).
+  static void setChunkSize(uint64_t B) {
+    assert(B > 0 && (B & (B - 1)) == 0 && "chunk size must be a power of 2");
+    HeadMask = B - 1;
+  }
+
+  static uint64_t chunkSize() { return HeadMask + 1; }
+};
+
+/// RAII guard that sets the chunk size and restores it on destruction
+/// (test/benchmark support).
+class ChunkSizeGuard {
+public:
+  explicit ChunkSizeGuard(uint64_t B) : Saved(CTreeParams::chunkSize()) {
+    CTreeParams::setChunkSize(B);
+  }
+  ~ChunkSizeGuard() { CTreeParams::setChunkSize(Saved); }
+
+private:
+  uint64_t Saved;
+};
+
+/// A compressed purely-functional ordered set of integers (Section 3).
+/// \tparam K     element type (unsigned integer)
+/// \tparam Codec chunk codec: DeltaByteCodec (compressed) or RawCodec
+template <class K, class Codec = DeltaByteCodec> class CTreeSet {
+public:
+  using Payload = ChunkPayload<K>;
+
+  /// PAM entry for the heads tree: key = head element, value = tail chunk,
+  /// augmentation = element count (1 + tail size) summed over subtrees.
+  struct HeadEntry {
+    using KeyT = K;
+    using ValT = ChunkRef<K>;
+    using AugT = uint64_t;
+    static bool less(const K &A, const K &B) { return A < B; }
+    static AugT augOfEntry(const K &, const ValT &V) {
+      return 1 + V.count();
+    }
+    static AugT augIdentity() { return 0; }
+    static AugT augCombine(AugT A, AugT B) { return A + B; }
+  };
+
+  using T = Tree<HeadEntry>;
+  using Node = typename T::Node;
+
+  //===--------------------------------------------------------------------===
+  // Value semantics.
+  //===--------------------------------------------------------------------===
+
+  CTreeSet() = default;
+  /// Adopts ownership of \p Root and \p Prefix.
+  CTreeSet(Node *Root, Payload *Prefix) : Root(Root), Prefix(Prefix) {}
+
+  CTreeSet(const CTreeSet &O) : Root(O.Root), Prefix(O.Prefix) {
+    T::retain(Root);
+    retainChunk(Prefix);
+  }
+  CTreeSet(CTreeSet &&O) noexcept : Root(O.Root), Prefix(O.Prefix) {
+    O.Root = nullptr;
+    O.Prefix = nullptr;
+  }
+  CTreeSet &operator=(const CTreeSet &O) {
+    if (this != &O) {
+      T::retain(O.Root);
+      retainChunk(O.Prefix);
+      clear();
+      Root = O.Root;
+      Prefix = O.Prefix;
+    }
+    return *this;
+  }
+  CTreeSet &operator=(CTreeSet &&O) noexcept {
+    if (this != &O) {
+      clear();
+      Root = O.Root;
+      Prefix = O.Prefix;
+      O.Root = nullptr;
+      O.Prefix = nullptr;
+    }
+    return *this;
+  }
+  ~CTreeSet() { clear(); }
+
+  void clear() {
+    T::release(Root);
+    releaseChunk(Prefix);
+    Root = nullptr;
+    Prefix = nullptr;
+  }
+
+  bool empty() const { return !Root && !Prefix; }
+
+  /// Total number of elements: O(1) via the count augmentation.
+  size_t size() const { return chunkCount(Prefix) + T::aug(Root); }
+
+  Node *root() const { return Root; }
+  Payload *prefix() const { return Prefix; }
+
+  //===--------------------------------------------------------------------===
+  // Construction.
+  //===--------------------------------------------------------------------===
+
+  /// Build from sorted, duplicate-free elements. O(n) work after sorting,
+  /// O(b log n) depth w.h.p. (Section 4.2; sorting is the caller's job so
+  /// pre-sorted inputs, e.g. CSR rows, build in linear work).
+  static CTreeSet buildSorted(const K *E, size_t N) {
+    if (N == 0)
+      return CTreeSet();
+    auto HeadIdx = filterIndex(
+        N, [&](size_t I) { return I; },
+        [&](size_t I) { return CTreeParams::isHead(E[I]); });
+    if (HeadIdx.empty())
+      return CTreeSet(nullptr, makeChunk<Codec>(E, N));
+    Payload *Pre = makeChunk<Codec>(E, HeadIdx[0]);
+    size_t H = HeadIdx.size();
+    std::vector<std::pair<K, ChunkRef<K>>> Pairs(H);
+    parallelFor(0, H, [&](size_t I) {
+      size_t Lo = HeadIdx[I] + 1;
+      size_t Hi = (I + 1 < H) ? HeadIdx[I + 1] : N;
+      Pairs[I] = {E[HeadIdx[I]],
+                  ChunkRef<K>(makeChunk<Codec>(E + Lo, Hi - Lo))};
+    });
+    Node *Tr = T::buildSorted(Pairs.data(), H);
+    return CTreeSet(Tr, Pre);
+  }
+
+  /// Sorts, removes duplicates, and builds.
+  static CTreeSet fromUnsorted(std::vector<K> E) {
+    parallelSort(E);
+    E.erase(std::unique(E.begin(), E.end()), E.end());
+    return buildSorted(E.data(), E.size());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Borrowed views.
+  //===--------------------------------------------------------------------===
+
+  /// Non-owning view over a C-tree's (root, prefix) pair. Trivially
+  /// copyable/destructible, so flat snapshots (Section 5.1) can hold one
+  /// per vertex with no reference-count traffic; the flat snapshot keeps
+  /// the owning graph version alive instead.
+  struct View {
+    const Node *Root = nullptr;
+    const Payload *Prefix = nullptr;
+
+    size_t size() const { return chunkCount(Prefix) + T::aug(Root); }
+    bool empty() const { return !Root && !Prefix; }
+
+    /// Sequential in-order traversal: Fn(element).
+    template <class F> void forEachSeq(const F &Fn) const {
+      if (Prefix)
+        Codec::template iterate<K>(Prefix, [&](K V) {
+          Fn(V);
+          return true;
+        });
+      T::forEachSeq(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
+        Fn(Key);
+        if (Tail.get())
+          Codec::template iterate<K>(Tail.get(), [&](K V) {
+            Fn(V);
+            return true;
+          });
+      });
+    }
+
+    /// Parallel traversal (unordered across chunks): Fn(element).
+    template <class F> void forEachPar(const F &Fn) const {
+      auto DoPrefix = [&] {
+        if (Prefix)
+          Codec::template iterate<K>(Prefix, [&](K V) {
+            Fn(V);
+            return true;
+          });
+      };
+      auto DoTree = [&] {
+        T::forEachPar(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
+          Fn(Key);
+          if (Tail.get())
+            Codec::template iterate<K>(Tail.get(), [&](K V) {
+              Fn(V);
+              return true;
+            });
+        });
+      };
+      parallelDo(DoPrefix, DoTree);
+    }
+
+    /// Parallel traversal with in-order element indices: Fn(index,
+    /// element). Used by edgeMap to write frontier candidates at
+    /// per-edge offsets.
+    template <class F> void forEachIndexed(const F &Fn) const {
+      auto DoPrefix = [&] {
+        if (Prefix) {
+          size_t I = 0;
+          Codec::template iterate<K>(Prefix, [&](K V) {
+            Fn(I++, V);
+            return true;
+          });
+        }
+      };
+      size_t Base = chunkCount(Prefix);
+      auto DoTree = [&] { forEachIndexedRec(Root, Base, Fn); };
+      parallelDo(DoPrefix, DoTree);
+    }
+
+    /// Sequential in-order traversal with early exit: Fn returns false
+    /// to stop. Returns false iff stopped early.
+    template <class F> bool iterCond(const F &Fn) const {
+      if (Prefix && !Codec::template iterate<K>(Prefix, Fn))
+        return false;
+      return T::iterCond(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
+        if (!Fn(Key))
+          return false;
+        if (Tail.get())
+          return Codec::template iterate<K>(Tail.get(), Fn);
+        return true;
+      });
+    }
+
+    /// All elements, in order.
+    std::vector<K> toVector() const {
+      std::vector<K> Out;
+      Out.reserve(size());
+      forEachSeq([&](K V) { Out.push_back(V); });
+      return Out;
+    }
+  };
+
+  /// Borrow a view of this set (valid while this set is alive).
+  View view() const { return View{Root, Prefix}; }
+
+  //===--------------------------------------------------------------------===
+  // Queries.
+  //===--------------------------------------------------------------------===
+
+  /// Membership. O(b + log n) expected work (Section 4.2).
+  bool contains(K X) const {
+    if (Prefix && X <= Prefix->Last) {
+      if (X < Prefix->First)
+        return false;
+      return chunkContains<Codec>(Prefix, X);
+    }
+    const Node *N = T::findLE(Root, X);
+    if (!N)
+      return false;
+    if (N->Key == X)
+      return true;
+    return chunkContains<Codec>(N->Val.get(), X);
+  }
+
+  /// Sequential in-order traversal: Fn(element).
+  template <class F> void forEachSeq(const F &Fn) const {
+    view().forEachSeq(Fn);
+  }
+
+  /// Parallel traversal (unordered across chunks): Fn(element).
+  template <class F> void forEachPar(const F &Fn) const {
+    view().forEachPar(Fn);
+  }
+
+  /// Parallel traversal with in-order element indices: Fn(index, element).
+  template <class F> void forEachIndexed(const F &Fn) const {
+    view().forEachIndexed(Fn);
+  }
+
+  /// Sequential in-order traversal with early exit: Fn returns false to
+  /// stop. Returns false iff stopped early.
+  template <class F> bool iterCond(const F &Fn) const {
+    return view().iterCond(Fn);
+  }
+
+  /// All elements, in order.
+  std::vector<K> toVector() const { return view().toVector(); }
+
+  /// Exact heap footprint: tree nodes plus chunk payload bytes.
+  size_t memoryBytes() const {
+    return chunkBytes(Prefix) + treeMemory(Root);
+  }
+
+  /// Number of heads (tree nodes).
+  size_t numHeads() const { return T::size(Root); }
+
+  //===--------------------------------------------------------------------===
+  // Set algebra (consuming, value-passing API).
+  //===--------------------------------------------------------------------===
+
+  static CTreeSet setUnion(CTreeSet A, CTreeSet B) {
+    return fromRaw(rawUnion(A.takeRaw(), B.takeRaw()));
+  }
+
+  static CTreeSet setDifference(CTreeSet A, CTreeSet B) {
+    return fromRaw(rawDifference(A.takeRaw(), B.takeRaw()));
+  }
+
+  static CTreeSet setIntersect(CTreeSet A, CTreeSet B) {
+    return fromRaw(rawIntersect(A.takeRaw(), B.takeRaw()));
+  }
+
+  /// MultiInsert (Section 4): union with a C-tree built over the batch.
+  CTreeSet multiInsert(std::vector<K> Batch) const {
+    return setUnion(*this, fromUnsorted(std::move(Batch)));
+  }
+
+  /// MultiDelete (Section 4): difference with the batch.
+  CTreeSet multiDelete(std::vector<K> Batch) const {
+    return setDifference(*this, fromUnsorted(std::move(Batch)));
+  }
+
+  /// Insert a single element (O(b + log n) expected).
+  CTreeSet insert(K X) const { return multiInsert({X}); }
+
+  /// Remove a single element.
+  CTreeSet remove(K X) const { return multiDelete({X}); }
+
+  //===--------------------------------------------------------------------===
+  // Validation (test support).
+  //===--------------------------------------------------------------------===
+
+  /// Full structural audit: PAM invariants, strict element order, head
+  /// placement, prefix/tail bounds, chunk headers, and count augmentation.
+  bool checkInvariants() const {
+    if (!T::validate(Root))
+      return false;
+    // The element sequence must be strictly increasing, with heads exactly
+    // where the hash says they are.
+    bool Ok = true;
+    bool Any = false;
+    K Prev{};
+    size_t Count = 0;
+    bool SeenTreeKey = false;
+    if (Prefix) {
+      if (!checkChunk(Prefix))
+        return false;
+      Codec::template iterate<K>(Prefix, [&](K V) {
+        if (Any && V <= Prev)
+          Ok = false;
+        if (CTreeParams::isHead(V))
+          Ok = false; // prefix holds non-heads only
+        Prev = V;
+        Any = true;
+        ++Count;
+        return true;
+      });
+    }
+    T::forEachSeq(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
+      SeenTreeKey = true;
+      if (Any && Key <= Prev)
+        Ok = false;
+      if (!CTreeParams::isHead(Key))
+        Ok = false; // tree keys must be heads
+      Prev = Key;
+      Any = true;
+      ++Count;
+      if (Payload *C = Tail.get()) {
+        if (!checkChunk(C))
+          Ok = false;
+        Codec::template iterate<K>(C, [&](K V) {
+          if (V <= Prev)
+            Ok = false;
+          if (CTreeParams::isHead(V))
+            Ok = false; // tails hold non-heads only
+          Prev = V;
+          ++Count;
+          return true;
+        });
+      }
+    });
+    (void)SeenTreeKey;
+    if (Count != size())
+      Ok = false; // augmentation must match actual element count
+    return Ok;
+  }
+
+private:
+  struct Raw {
+    Node *T = nullptr;
+    Payload *P = nullptr;
+    bool empty() const { return !T && !P; }
+  };
+
+  struct RawSplit {
+    Raw Left;
+    Raw Right;
+    bool Found = false;
+  };
+
+  Raw takeRaw() {
+    Raw R{Root, Prefix};
+    Root = nullptr;
+    Prefix = nullptr;
+    return R;
+  }
+
+  static CTreeSet fromRaw(Raw R) { return CTreeSet(R.T, R.P); }
+
+  static void releaseRaw(Raw R) {
+    T::release(R.T);
+    releaseChunk(R.P);
+  }
+
+  static bool checkChunk(const Payload *C) {
+    if (C->Count == 0)
+      return false;
+    K First{}, Last{};
+    size_t N = 0;
+    Codec::template iterate<K>(C, [&](K V) {
+      if (N == 0)
+        First = V;
+      Last = V;
+      ++N;
+      return true;
+    });
+    return N == C->Count && First == C->First && Last == C->Last;
+  }
+
+public:
+  template <class F>
+  static void forEachIndexedRec(const Node *N, size_t Offset, const F &Fn) {
+    if (!N)
+      return;
+    size_t LeftCount = T::aug(N->Left);
+    auto DoNode = [&] {
+      size_t I = Offset + LeftCount;
+      Fn(I++, N->Key);
+      if (Payload *C = N->Val.get())
+        Codec::template iterate<K>(C, [&](K V) {
+          Fn(I++, V);
+          return true;
+        });
+    };
+    size_t NodeElems = 1 + N->Val.count();
+    if (N->Size < T::SeqCutoff) {
+      forEachIndexedRec(N->Left, Offset, Fn);
+      DoNode();
+      forEachIndexedRec(N->Right, Offset + LeftCount + NodeElems, Fn);
+      return;
+    }
+    parallelDo([&] { forEachIndexedRec(N->Left, Offset, Fn); },
+               [&] {
+                 DoNode();
+                 forEachIndexedRec(N->Right, Offset + LeftCount + NodeElems,
+                                   Fn);
+               });
+  }
+
+private:
+  static size_t treeMemory(const Node *N) {
+    if (!N)
+      return 0;
+    size_t Self = sizeof(Node) + chunkBytes(N->Val.get());
+    if (N->Size < T::SeqCutoff)
+      return Self + treeMemory(N->Left) + treeMemory(N->Right);
+    size_t L = 0, R = 0;
+    parallelDo([&] { L = treeMemory(N->Left); },
+               [&] { R = treeMemory(N->Right); });
+    return Self + L + R;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Raw algorithms (Algorithms 1-3 with the restructuring described in the
+  // file header). All consume their tree/chunk arguments.
+  //===--------------------------------------------------------------------===
+
+  /// Split around \p Key (Algorithm 3). The left result always has a null
+  /// prefix when the input prefix is null; the input prefix (or its lower
+  /// part) becomes the left result's prefix; the cut tail (or upper prefix
+  /// part) becomes the right result's prefix.
+  static RawSplit rawSplit(Raw C, K Key) {
+    RawSplit S;
+    if (C.empty())
+      return S;
+    if (C.P) {
+      if (Key <= C.P->Last) {
+        ChunkSplit CS = splitChunk<Codec>(C.P, Key);
+        releaseChunk(C.P);
+        S.Left = Raw{nullptr, static_cast<Payload *>(CS.Left)};
+        S.Right = Raw{C.T, static_cast<Payload *>(CS.Right)};
+        S.Found = CS.Found;
+        return S;
+      }
+      S = rawSplit(Raw{C.T, nullptr}, Key);
+      assert(!S.Left.P && "left split of prefix-free tree has a prefix");
+      S.Left.P = C.P;
+      return S;
+    }
+    if (!C.T)
+      return S;
+    typename T::Exposed E = T::expose(C.T);
+    K H = E.Shell->Key;
+    if (Key < H) {
+      S = rawSplit(Raw{E.Left, nullptr}, Key);
+      Node *RT = T::join(S.Right.T, E.Shell, E.Right);
+      S.Right = Raw{RT, S.Right.P};
+      return S;
+    }
+    if (Key == H) {
+      Payload *Tail = E.Shell->Val.take();
+      T::freeShell(E.Shell);
+      S.Left = Raw{E.Left, nullptr};
+      S.Right = Raw{E.Right, Tail};
+      S.Found = true;
+      return S;
+    }
+    // Key > H: either the key splits H's tail, or we recurse right.
+    Payload *Tail = E.Shell->Val.get();
+    if (Tail && Key <= Tail->Last) {
+      ChunkSplit CS = splitChunk<Codec>(Tail, Key);
+      E.Shell->Val = ChunkRef<K>(static_cast<Payload *>(CS.Left));
+      S.Left = Raw{T::join(E.Left, E.Shell, nullptr), nullptr};
+      S.Right = Raw{E.Right, static_cast<Payload *>(CS.Right)};
+      S.Found = CS.Found;
+      return S;
+    }
+    S = rawSplit(Raw{E.Right, nullptr}, Key);
+    Node *LT = T::join(E.Left, E.Shell, S.Left.T);
+    S.Left = Raw{LT, nullptr};
+    return S;
+  }
+
+  /// Join two C-trees where every element of L precedes every element of R
+  /// and no middle key exists (the C-tree Join2 the paper describes for
+  /// Difference/Intersection). R's prefix is folded into L's last tail.
+  static Raw rawJoin2(Raw L, Raw R) {
+    if (!R.P)
+      return Raw{T::join2(L.T, R.T), L.P};
+    if (!L.T) {
+      Payload *NP = unionChunks<Codec>(L.P, R.P);
+      releaseChunk(L.P);
+      releaseChunk(R.P);
+      return Raw{R.T, NP};
+    }
+    auto [Rest, LastShell] = T::splitLast(L.T);
+    Payload *NewTail = unionChunks<Codec>(LastShell->Val.get(), R.P);
+    releaseChunk(R.P);
+    LastShell->Val = ChunkRef<K>(NewTail);
+    return Raw{T::join(Rest, LastShell, R.T), L.P};
+  }
+
+  /// Union of a bare chunk (owned \p P; non-head elements) into C-tree
+  /// \p C (Algorithm 2, UnionBC).
+  static Raw unionBC(Payload *P, Raw C) {
+    if (!P)
+      return C;
+    if (!C.T) {
+      Payload *NP = unionChunks<Codec>(C.P, P);
+      releaseChunk(C.P);
+      releaseChunk(P);
+      return Raw{nullptr, NP};
+    }
+    K Smallest = T::first(C.T)->Key;
+    ChunkSplit CS = splitChunk<Codec>(P, Smallest);
+    assert(!CS.Found && "prefix chunks never contain heads");
+    releaseChunk(P);
+    auto *PL = static_cast<Payload *>(CS.Left);
+    auto *PR = static_cast<Payload *>(CS.Right);
+    Payload *NP = unionChunks<Codec>(C.P, PL);
+    releaseChunk(C.P);
+    releaseChunk(PL);
+    if (!PR)
+      return Raw{C.T, NP};
+    // Route each remaining element to its head and merge tails.
+    std::vector<K> E;
+    decodeChunk<Codec>(PR, E);
+    releaseChunk(PR);
+    std::vector<std::pair<K, ChunkRef<K>>> Updates;
+    size_t I = 0;
+    while (I < E.size()) {
+      const Node *HN = T::findLE(C.T, E[I]);
+      assert(HN && "element below the smallest head reached tree routing");
+      K Head = HN->Key;
+      // The group ends where the next head's territory begins.
+      const Node *Succ = nextHead(C.T, Head);
+      size_t J = I;
+      while (J < E.size() && (!Succ || E[J] < Succ->Key))
+        ++J;
+      // Merge [I, J) into Head's tail.
+      std::vector<K> TailElems;
+      decodeChunk<Codec>(HN->Val.get(), TailElems);
+      std::vector<K> Merged;
+      Merged.reserve(TailElems.size() + (J - I));
+      std::merge(TailElems.begin(), TailElems.end(), E.begin() + I,
+                 E.begin() + J, std::back_inserter(Merged));
+      Merged.erase(std::unique(Merged.begin(), Merged.end()), Merged.end());
+      Updates.emplace_back(
+          Head, ChunkRef<K>(makeChunk<Codec>(Merged.data(), Merged.size())));
+      I = J;
+    }
+    Node *NT = T::multiInsert(
+        C.T, Updates.data(), Updates.size(),
+        [](ChunkRef<K>, ChunkRef<K> New) { return New; });
+    return Raw{NT, NP};
+  }
+
+  /// Smallest head strictly greater than \p H.
+  static const Node *nextHead(const Node *Tr, K H) {
+    const Node *Cand = nullptr;
+    while (Tr) {
+      if (H < Tr->Key) {
+        Cand = Tr;
+        Tr = Tr->Left;
+      } else {
+        Tr = Tr->Right;
+      }
+    }
+    return Cand;
+  }
+
+  static Raw rawUnion(Raw A, Raw B) {
+    if (A.empty())
+      return B;
+    if (B.empty())
+      return A;
+    if (!B.T)
+      return unionBC(B.P, A);
+    if (!A.T)
+      return unionBC(A.P, B);
+    typename T::Exposed E = T::expose(B.T);
+    K H = E.Shell->Key;
+    RawSplit S = rawSplit(A, H);
+    Payload *V = E.Shell->Val.take();
+    Raw L, R;
+    bool Par = T::size(S.Left.T) + T::size(E.Left) +
+                   T::size(S.Right.T) + T::size(E.Right) >=
+               T::SeqCutoff;
+    auto DoL = [&] { L = rawUnion(S.Left, Raw{E.Left, B.P}); };
+    auto DoR = [&] { R = rawUnion(S.Right, Raw{E.Right, V}); };
+    if (Par)
+      parallelDo(DoL, DoR);
+    else {
+      DoL();
+      DoR();
+    }
+    // R's prefix holds exactly the merged elements between H and the next
+    // head: H's new tail.
+    E.Shell->Val = ChunkRef<K>(R.P);
+    return Raw{T::join(L.T, E.Shell, R.T), L.P};
+  }
+
+  /// Subtract the elements of owned chunk \p Sub from \p A.
+  static Raw diffBC(Raw A, Payload *Sub) {
+    if (!Sub)
+      return A;
+    std::vector<K> S;
+    decodeChunk<Codec>(Sub, S);
+    releaseChunk(Sub);
+    if (!A.T) {
+      Payload *NP = chunkMinus<Codec>(A.P, S);
+      releaseChunk(A.P);
+      return Raw{nullptr, NP};
+    }
+    K Smallest = T::first(A.T)->Key;
+    size_t Cut = 0;
+    while (Cut < S.size() && S[Cut] < Smallest)
+      ++Cut;
+    std::vector<K> Lo(S.begin(), S.begin() + Cut);
+    Payload *NP = chunkMinus<Codec>(A.P, Lo);
+    releaseChunk(A.P);
+    std::vector<std::pair<K, ChunkRef<K>>> Updates;
+    size_t I = Cut;
+    while (I < S.size()) {
+      const Node *HN = T::findLE(A.T, S[I]);
+      assert(HN && "subtrahend below smallest head routed into tree");
+      K Head = HN->Key;
+      const Node *Succ = nextHead(A.T, Head);
+      size_t J = I;
+      while (J < S.size() && (!Succ || S[J] < Succ->Key))
+        ++J;
+      std::vector<K> Group(S.begin() + I, S.begin() + J);
+      Updates.emplace_back(Head,
+                           ChunkRef<K>(chunkMinus<Codec>(HN->Val.get(),
+                                                         Group)));
+      I = J;
+    }
+    Node *NT = T::multiInsert(
+        A.T, Updates.data(), Updates.size(),
+        [](ChunkRef<K>, ChunkRef<K> New) { return New; });
+    return Raw{NT, NP};
+  }
+
+  static Raw rawDifference(Raw A, Raw B) {
+    if (A.empty()) {
+      releaseRaw(B);
+      return Raw{};
+    }
+    if (B.empty())
+      return A;
+    if (!B.T)
+      return diffBC(A, B.P);
+    if (!A.T) {
+      // Keep prefix elements of A absent from B.
+      std::vector<K> E;
+      decodeChunk<Codec>(A.P, E);
+      releaseChunk(A.P);
+      CTreeSet BView = fromRaw(B); // adopt for reads; released at exit
+      std::vector<K> Out;
+      Out.reserve(E.size());
+      for (K V : E)
+        if (!BView.contains(V))
+          Out.push_back(V);
+      return Raw{nullptr, makeChunk<Codec>(Out.data(), Out.size())};
+    }
+    typename T::Exposed E = T::expose(B.T);
+    K H = E.Shell->Key;
+    RawSplit S = rawSplit(A, H); // drops H from A when present
+    Payload *V = E.Shell->Val.take();
+    T::freeShell(E.Shell);
+    Raw L, R;
+    bool Par = T::size(S.Left.T) + T::size(E.Left) +
+                   T::size(S.Right.T) + T::size(E.Right) >=
+               T::SeqCutoff;
+    auto DoL = [&] { L = rawDifference(S.Left, Raw{E.Left, B.P}); };
+    auto DoR = [&] { R = rawDifference(S.Right, Raw{E.Right, V}); };
+    if (Par)
+      parallelDo(DoL, DoR);
+    else {
+      DoL();
+      DoR();
+    }
+    return rawJoin2(L, R);
+  }
+
+  static Raw rawIntersect(Raw A, Raw B) {
+    if (A.empty() || B.empty()) {
+      releaseRaw(A);
+      releaseRaw(B);
+      return Raw{};
+    }
+    if (!B.T || !A.T) {
+      // One side is a bare chunk: the intersection consists of non-head
+      // elements only, hence is prefix-only.
+      Raw ChunkSide = !B.T ? B : A;
+      Raw TreeSide = !B.T ? A : B;
+      std::vector<K> E;
+      decodeChunk<Codec>(ChunkSide.P, E);
+      CTreeSet View = fromRaw(TreeSide);
+      std::vector<K> Out;
+      for (K V : E)
+        if (View.contains(V))
+          Out.push_back(V);
+      releaseChunk(ChunkSide.P);
+      return Raw{nullptr, makeChunk<Codec>(Out.data(), Out.size())};
+    }
+    typename T::Exposed E = T::expose(B.T);
+    K H = E.Shell->Key;
+    RawSplit S = rawSplit(A, H);
+    Payload *V = E.Shell->Val.take();
+    Raw L, R;
+    bool Par = T::size(S.Left.T) + T::size(E.Left) +
+                   T::size(S.Right.T) + T::size(E.Right) >=
+               T::SeqCutoff;
+    auto DoL = [&] { L = rawIntersect(S.Left, Raw{E.Left, B.P}); };
+    auto DoR = [&] { R = rawIntersect(S.Right, Raw{E.Right, V}); };
+    if (Par)
+      parallelDo(DoL, DoR);
+    else {
+      DoL();
+      DoR();
+    }
+    if (S.Found) {
+      // H survives; R's prefix is its new tail.
+      E.Shell->Val = ChunkRef<K>(R.P);
+      return Raw{T::join(L.T, E.Shell, R.T), L.P};
+    }
+    T::freeShell(E.Shell);
+    return rawJoin2(L, R);
+  }
+
+  Node *Root = nullptr;
+  Payload *Prefix = nullptr;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_CTREE_CTREE_H

@@ -1,0 +1,54 @@
+//===- encoding/byte_code.h - Variable-length byte codes ------------------===//
+//
+// Variable-length byte codes (7 data bits per byte, continue bit in the
+// MSB) used to difference-encode sorted integer chunks, following the
+// byte codes of Ligra+ cited in Section 3.2. Byte codes decode fast while
+// capturing most of the compression available from shorter codes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ENCODING_BYTE_CODE_H
+#define ASPEN_ENCODING_BYTE_CODE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aspen {
+
+/// Number of bytes encodeVarint would emit for \p V.
+inline size_t varintSize(uint64_t V) {
+  size_t N = 1;
+  while (V >= 0x80) {
+    V >>= 7;
+    ++N;
+  }
+  return N;
+}
+
+/// Encode \p V at \p Out; returns the byte past the encoding.
+inline uint8_t *encodeVarint(uint64_t V, uint8_t *Out) {
+  while (V >= 0x80) {
+    *Out++ = static_cast<uint8_t>(V) | 0x80;
+    V >>= 7;
+  }
+  *Out++ = static_cast<uint8_t>(V);
+  return Out;
+}
+
+/// Decode a varint at \p In into \p V; returns the byte past the encoding.
+inline const uint8_t *decodeVarint(const uint8_t *In, uint64_t &V) {
+  uint64_t Result = 0;
+  int Shift = 0;
+  uint8_t Byte;
+  do {
+    Byte = *In++;
+    Result |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    Shift += 7;
+  } while (Byte & 0x80);
+  V = Result;
+  return In;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_ENCODING_BYTE_CODE_H

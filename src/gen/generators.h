@@ -1,0 +1,162 @@
+//===- gen/generators.h - Synthetic graph generators ----------------------===//
+//
+// Synthetic workload generators standing in for the paper's datasets
+// (DESIGN.md Section 2): the rMAT generator used for the paper's update
+// streams (Section 7.4: a=0.5, b=c=0.1, d=0.3), uniform-random (Erdos-
+// Renyi style) edges, and small structured graphs for tests. Everything is
+// deterministic given a seed, with per-index hashing so generation is
+// embarrassingly parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_GEN_GENERATORS_H
+#define ASPEN_GEN_GENERATORS_H
+
+#include "parallel/primitives.h"
+#include "util/hash.h"
+#include "util/types.h"
+
+#include <cmath>
+#include <vector>
+
+namespace aspen {
+
+/// rMAT generator with the paper's parameters (a=0.5, b=c=0.1, d=0.3).
+/// Produces directed edges over [0, 2^LogN); duplicates are possible, as
+/// in the paper's update streams.
+class RMatGenerator {
+public:
+  RMatGenerator(int LogN, uint64_t Seed, double A = 0.5, double B = 0.1,
+                double C = 0.1)
+      : LogN(LogN), Seed(Seed), A(A), AB(A + B), ABC(A + B + C) {}
+
+  VertexId numVertices() const { return VertexId(1) << LogN; }
+
+  /// The I-th edge of the stream (deterministic in I).
+  EdgePair edge(uint64_t I) const {
+    uint64_t State = hashAt(Seed, I);
+    VertexId Src = 0, Dst = 0;
+    for (int Bit = 0; Bit < LogN; ++Bit) {
+      // Draw a quadrant; re-mix the state per level.
+      State = hash64(State + Bit + 1);
+      double P = double(State >> 11) * 0x1.0p-53;
+      Src <<= 1;
+      Dst <<= 1;
+      if (P >= ABC) { // quadrant d
+        Src |= 1;
+        Dst |= 1;
+      } else if (P >= AB) { // quadrant c
+        Src |= 1;
+      } else if (P >= A) { // quadrant b
+        Dst |= 1;
+      } // else quadrant a: both 0
+    }
+    return {Src, Dst};
+  }
+
+  /// Edges [Start, Start+Count) of the stream, generated in parallel.
+  std::vector<EdgePair> edges(uint64_t Start, uint64_t Count) const {
+    return tabulate(Count, [&](size_t I) { return edge(Start + I); });
+  }
+
+private:
+  int LogN;
+  uint64_t Seed;
+  double A, AB, ABC;
+};
+
+/// \p Count uniform-random directed edges over [0, N) x [0, N).
+inline std::vector<EdgePair> uniformRandomEdges(VertexId N, uint64_t Count,
+                                                uint64_t Seed) {
+  return tabulate(Count, [&](size_t I) {
+    uint64_t H = hashAt(Seed, I);
+    return EdgePair{VertexId(H % N), VertexId((H >> 32) % N)};
+  });
+}
+
+/// Add the reverse of every edge (the paper symmetrizes all graphs).
+inline std::vector<EdgePair> symmetrize(const std::vector<EdgePair> &E) {
+  std::vector<EdgePair> Out(2 * E.size());
+  parallelFor(0, E.size(), [&](size_t I) {
+    Out[2 * I] = E[I];
+    Out[2 * I + 1] = {E[I].second, E[I].first};
+  });
+  return Out;
+}
+
+/// Sort edges by (source, destination) and drop duplicates and self-loops.
+inline std::vector<EdgePair> dedupEdges(std::vector<EdgePair> E) {
+  parallelSort(E);
+  std::vector<EdgePair> Out;
+  Out.reserve(E.size());
+  for (size_t I = 0; I < E.size(); ++I) {
+    if (E[I].first == E[I].second)
+      continue;
+    if (!Out.empty() && Out.back() == E[I])
+      continue;
+    Out.push_back(E[I]);
+  }
+  return Out;
+}
+
+/// Undirected path 0-1-2-...-(N-1) as directed edge pairs.
+inline std::vector<EdgePair> pathGraph(VertexId N) {
+  std::vector<EdgePair> E;
+  for (VertexId I = 0; I + 1 < N; ++I) {
+    E.push_back({I, I + 1});
+    E.push_back({I + 1, I});
+  }
+  return E;
+}
+
+/// Star centered at 0 with N-1 leaves.
+inline std::vector<EdgePair> starGraph(VertexId N) {
+  std::vector<EdgePair> E;
+  for (VertexId I = 1; I < N; ++I) {
+    E.push_back({0, I});
+    E.push_back({I, 0});
+  }
+  return E;
+}
+
+/// Complete graph on N vertices.
+inline std::vector<EdgePair> cliqueGraph(VertexId N) {
+  std::vector<EdgePair> E;
+  for (VertexId I = 0; I < N; ++I)
+    for (VertexId J = 0; J < N; ++J)
+      if (I != J)
+        E.push_back({I, J});
+  return E;
+}
+
+/// Rows x Cols grid, 4-neighborhood, symmetric.
+inline std::vector<EdgePair> gridGraph(VertexId Rows, VertexId Cols) {
+  std::vector<EdgePair> E;
+  auto Id = [&](VertexId R, VertexId C) { return R * Cols + C; };
+  for (VertexId R = 0; R < Rows; ++R)
+    for (VertexId C = 0; C < Cols; ++C) {
+      if (C + 1 < Cols) {
+        E.push_back({Id(R, C), Id(R, C + 1)});
+        E.push_back({Id(R, C + 1), Id(R, C)});
+      }
+      if (R + 1 < Rows) {
+        E.push_back({Id(R, C), Id(R + 1, C)});
+        E.push_back({Id(R + 1, C), Id(R, C)});
+      }
+    }
+  return E;
+}
+
+/// Standard benchmark input: a symmetrized, deduplicated rMAT graph with
+/// 2^LogN vertices and ~EdgeFactor * 2^LogN directed edges (before
+/// symmetrization), as used throughout the evaluation.
+inline std::vector<EdgePair> rmatGraphEdges(int LogN, uint64_t EdgeFactor,
+                                            uint64_t Seed) {
+  RMatGenerator Gen(LogN, Seed);
+  auto E = Gen.edges(0, EdgeFactor << LogN);
+  return dedupEdges(symmetrize(E));
+}
+
+} // namespace aspen
+
+#endif // ASPEN_GEN_GENERATORS_H

@@ -1,0 +1,91 @@
+//===- gen/graph_io.cpp - Graph file input/output --------------------------===//
+
+#include "gen/graph_io.h"
+
+#include "parallel/primitives.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace aspen;
+
+bool aspen::readAdjacencyGraph(const std::string &Path, EdgeList &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Header;
+  In >> Header;
+  if (Header != "AdjacencyGraph")
+    return false;
+  uint64_t N = 0, M = 0;
+  In >> N >> M;
+  if (!In)
+    return false;
+  std::vector<uint64_t> Offsets(N);
+  for (uint64_t I = 0; I < N; ++I)
+    In >> Offsets[I];
+  std::vector<uint64_t> Targets(M);
+  for (uint64_t I = 0; I < M; ++I)
+    In >> Targets[I];
+  if (!In)
+    return false;
+  Out.NumVertices = VertexId(N);
+  Out.Edges.clear();
+  Out.Edges.reserve(M);
+  for (uint64_t U = 0; U < N; ++U) {
+    uint64_t End = (U + 1 < N) ? Offsets[U + 1] : M;
+    for (uint64_t E = Offsets[U]; E < End; ++E)
+      Out.Edges.push_back({VertexId(U), VertexId(Targets[E])});
+  }
+  return true;
+}
+
+bool aspen::writeAdjacencyGraph(const std::string &Path, VertexId N,
+                                std::vector<EdgePair> Edges) {
+  parallelSort(Edges);
+  std::ofstream OutF(Path);
+  if (!OutF)
+    return false;
+  OutF << "AdjacencyGraph\n" << N << "\n" << Edges.size() << "\n";
+  // Offsets.
+  size_t Pos = 0;
+  for (VertexId U = 0; U < N; ++U) {
+    OutF << Pos << "\n";
+    while (Pos < Edges.size() && Edges[Pos].first == U)
+      ++Pos;
+  }
+  for (const EdgePair &E : Edges)
+    OutF << E.second << "\n";
+  return static_cast<bool>(OutF);
+}
+
+bool aspen::readBinaryEdges(const std::string &Path, EdgeList &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  uint64_t N = 0, M = 0;
+  In.read(reinterpret_cast<char *>(&N), sizeof(N));
+  In.read(reinterpret_cast<char *>(&M), sizeof(M));
+  if (!In)
+    return false;
+  Out.NumVertices = VertexId(N);
+  Out.Edges.resize(M);
+  static_assert(sizeof(EdgePair) == 8, "expect packed u32 pairs");
+  In.read(reinterpret_cast<char *>(Out.Edges.data()),
+          std::streamsize(M * sizeof(EdgePair)));
+  return static_cast<bool>(In);
+}
+
+bool aspen::writeBinaryEdges(const std::string &Path, VertexId N,
+                             const std::vector<EdgePair> &Edges) {
+  std::ofstream OutF(Path, std::ios::binary);
+  if (!OutF)
+    return false;
+  uint64_t NN = N, M = Edges.size();
+  OutF.write(reinterpret_cast<const char *>(&NN), sizeof(NN));
+  OutF.write(reinterpret_cast<const char *>(&M), sizeof(M));
+  OutF.write(reinterpret_cast<const char *>(Edges.data()),
+             std::streamsize(M * sizeof(EdgePair)));
+  return static_cast<bool>(OutF);
+}

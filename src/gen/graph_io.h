@@ -1,0 +1,46 @@
+//===- gen/graph_io.h - Graph file input/output ----------------------------===//
+//
+// Reader/writer for the Ligra adjacency-graph text format used by the
+// paper's artifact (so real datasets can be substituted for the synthetic
+// defaults), plus a compact binary edge-list format.
+//
+// AdjacencyGraph format:
+//   AdjacencyGraph
+//   <n>
+//   <m>
+//   <offset 0> ... <offset n-1>
+//   <edge 0> ... <edge m-1>
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_GEN_GRAPH_IO_H
+#define ASPEN_GEN_GRAPH_IO_H
+
+#include "util/types.h"
+
+#include <string>
+#include <vector>
+
+namespace aspen {
+
+/// An edge list together with the vertex-count bound.
+struct EdgeList {
+  VertexId NumVertices = 0;
+  std::vector<EdgePair> Edges;
+};
+
+/// Parse a Ligra AdjacencyGraph file. Returns false on malformed input.
+bool readAdjacencyGraph(const std::string &Path, EdgeList &Out);
+
+/// Write a Ligra AdjacencyGraph file from (sorted or unsorted) edges.
+bool writeAdjacencyGraph(const std::string &Path, VertexId N,
+                         std::vector<EdgePair> Edges);
+
+/// Binary edge list: u64 n, u64 m, then m (u32 src, u32 dst) pairs.
+bool readBinaryEdges(const std::string &Path, EdgeList &Out);
+bool writeBinaryEdges(const std::string &Path, VertexId N,
+                      const std::vector<EdgePair> &Edges);
+
+} // namespace aspen
+
+#endif // ASPEN_GEN_GRAPH_IO_H

@@ -1,0 +1,397 @@
+//===- graph/graph.h - Aspen graph snapshots -------------------------------===//
+//
+// The tree-of-trees graph representation of Section 5: a purely-functional
+// vertex-tree mapping vertex ids to edge sets (C-trees by default), with
+// the vertex tree augmented by edge counts so numEdges() is O(1). A
+// GraphSnapshotT value is an immutable snapshot; "updates" return new
+// snapshots sharing structure with the old one.
+//
+// Batch updates follow Section 5: sort the batch, build an edge set per
+// distinct source, and MultiInsert into the vertex tree combining with
+// edge-set Union (insertions) or Difference (deletions). O(k log n) work,
+// polylog depth.
+//
+// Flat snapshots (Section 5.1) are arrays of per-vertex edge sets built in
+// one O(n)-work traversal; they give edgeMap O(1) vertex access like CSR.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_GRAPH_GRAPH_H
+#define ASPEN_GRAPH_GRAPH_H
+
+#include "ctree/ctree.h"
+#include "graph/uncompressed_set.h"
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <vector>
+
+namespace aspen {
+
+/// An immutable graph snapshot over edge sets of type \p EdgeSet
+/// (CTreeSet<VertexId, Codec> or UncompressedSet<VertexId>).
+template <class EdgeSet> class GraphSnapshotT {
+public:
+  /// Vertex-tree entry: vertex id -> edge set, augmented with edge counts.
+  struct VertexEntry {
+    using KeyT = VertexId;
+    using ValT = EdgeSet;
+    using AugT = uint64_t;
+    static bool less(VertexId A, VertexId B) { return A < B; }
+    static AugT augOfEntry(const KeyT &, const ValT &V) { return V.size(); }
+    static AugT augIdentity() { return 0; }
+    static AugT augCombine(AugT A, AugT B) { return A + B; }
+  };
+
+  using VT = Tree<VertexEntry>;
+  using Node = typename VT::Node;
+
+  GraphSnapshotT() = default;
+  /// Adopts \p Root.
+  explicit GraphSnapshotT(Node *Root) : Root(Root) {}
+
+  GraphSnapshotT(const GraphSnapshotT &O) : Root(O.Root) {
+    VT::retain(Root);
+  }
+  GraphSnapshotT(GraphSnapshotT &&O) noexcept : Root(O.Root) {
+    O.Root = nullptr;
+  }
+  GraphSnapshotT &operator=(const GraphSnapshotT &O) {
+    if (this != &O) {
+      VT::retain(O.Root);
+      VT::release(Root);
+      Root = O.Root;
+    }
+    return *this;
+  }
+  GraphSnapshotT &operator=(GraphSnapshotT &&O) noexcept {
+    if (this != &O) {
+      VT::release(Root);
+      Root = O.Root;
+      O.Root = nullptr;
+    }
+    return *this;
+  }
+  ~GraphSnapshotT() { VT::release(Root); }
+
+  //===--------------------------------------------------------------------===
+  // Construction.
+  //===--------------------------------------------------------------------===
+
+  /// BuildGraph (Section 10.4): a graph over vertices [0, N) containing
+  /// the given directed edges. Vertices with no edges are materialized
+  /// with empty edge sets.
+  static GraphSnapshotT fromEdges(VertexId N, std::vector<EdgePair> Edges) {
+    parallelSort(Edges);
+    auto E = filterIndex(
+        Edges.size(), [&](size_t I) { return Edges[I]; },
+        [&](size_t I) { return I == 0 || Edges[I] != Edges[I - 1]; });
+    // Destination array, contiguous per source.
+    auto Dst = tabulate(E.size(), [&](size_t I) { return E[I].second; });
+    // Group boundaries by source.
+    auto Starts = filterIndex(
+        E.size(), [&](size_t I) { return I; },
+        [&](size_t I) {
+          return I == 0 || E[I].first != E[I - 1].first;
+        });
+    std::vector<std::pair<VertexId, EdgeSet>> Pairs(N);
+    parallelFor(0, N, [&](size_t V) {
+      Pairs[V] = {VertexId(V), EdgeSet()};
+    });
+    parallelFor(0, Starts.size(), [&](size_t G) {
+      size_t Lo = Starts[G];
+      size_t Hi = (G + 1 < Starts.size()) ? Starts[G + 1] : E.size();
+      VertexId Src = E[Lo].first;
+      assert(Src < N && "edge endpoint out of vertex range");
+      Pairs[Src].second = EdgeSet::buildSorted(Dst.data() + Lo, Hi - Lo);
+    });
+    return GraphSnapshotT(VT::buildSorted(Pairs.data(), Pairs.size()));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Basic queries (Section 5, "Basic Graph Operations").
+  //===--------------------------------------------------------------------===
+
+  /// Number of vertices, O(1).
+  size_t numVertices() const { return VT::size(Root); }
+
+  /// Number of directed edges via the augmented vertex tree, O(1).
+  uint64_t numEdges() const { return VT::aug(Root); }
+
+  /// Upper bound for dense vertex-indexed arrays (max id + 1).
+  VertexId vertexUniverse() const {
+    const Node *L = VT::last(Root);
+    return L ? L->Key + 1 : 0;
+  }
+
+  bool hasVertex(VertexId V) const {
+    return VT::findNode(Root, V) != nullptr;
+  }
+
+  /// Copy of the edge set of \p V (empty if V is absent). O(log n).
+  EdgeSet findVertex(VertexId V) const {
+    const Node *N = VT::findNode(Root, V);
+    return N ? N->Val : EdgeSet();
+  }
+
+  /// Degree of \p V; O(log n) lookup then O(1).
+  uint64_t degree(VertexId V) const {
+    const Node *N = VT::findNode(Root, V);
+    return N ? N->Val.size() : 0;
+  }
+
+  Node *root() const { return Root; }
+
+  /// Parallel traversal over (vertex, edge set) entries.
+  template <class F> void forEachVertex(const F &Fn) const {
+    VT::forEachPar(Root, Fn);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Functional batch updates (Section 5, "Batch Updates").
+  //===--------------------------------------------------------------------===
+
+  /// New snapshot with \p Edges inserted (duplicates combined). Sources
+  /// not yet present are created.
+  GraphSnapshotT insertEdges(std::vector<EdgePair> Edges) const {
+    if (Edges.empty())
+      return *this;
+    auto Pairs = groupBySource(std::move(Edges));
+    Node *Mine = Root;
+    VT::retain(Mine);
+    Node *NewRoot = VT::multiInsert(
+        Mine, Pairs.data(), Pairs.size(),
+        [](EdgeSet Old, EdgeSet New) {
+          return EdgeSet::setUnion(std::move(Old), std::move(New));
+        });
+    return GraphSnapshotT(NewRoot);
+  }
+
+  /// New snapshot with \p Edges removed. Vertices are kept even when their
+  /// edge sets become empty (the paper makes singleton removal optional;
+  /// see removeIsolatedVertices()). Unknown sources are ignored.
+  GraphSnapshotT deleteEdges(std::vector<EdgePair> Edges) const {
+    if (Edges.empty())
+      return *this;
+    auto Pairs = groupBySource(std::move(Edges));
+    Node *Batch = VT::buildSorted(Pairs.data(), Pairs.size());
+    Node *Mine = Root;
+    VT::retain(Mine);
+    Node *NewRoot = VT::updateExisting(
+        Mine, Batch, [](EdgeSet Old, EdgeSet Del) {
+          return EdgeSet::setDifference(std::move(Old), std::move(Del));
+        });
+    return GraphSnapshotT(NewRoot);
+  }
+
+  /// New snapshot containing the additional vertices (with empty edge
+  /// sets); existing vertices keep their edges.
+  GraphSnapshotT insertVertices(std::vector<VertexId> Vs) const {
+    parallelSort(Vs);
+    Vs.erase(std::unique(Vs.begin(), Vs.end()), Vs.end());
+    auto Pairs = tabulate(Vs.size(), [&](size_t I) {
+      return std::pair<VertexId, EdgeSet>{Vs[I], EdgeSet()};
+    });
+    Node *Mine = Root;
+    VT::retain(Mine);
+    Node *NewRoot =
+        VT::multiInsert(Mine, Pairs.data(), Pairs.size(),
+                        [](EdgeSet Old, EdgeSet) { return Old; });
+    return GraphSnapshotT(NewRoot);
+  }
+
+  /// New snapshot without the given vertices (and their out-edges). Edges
+  /// *to* deleted vertices stored at other vertices are not removed; for
+  /// symmetric graphs delete the incident edges first.
+  GraphSnapshotT deleteVertices(std::vector<VertexId> Vs) const {
+    parallelSort(Vs);
+    Vs.erase(std::unique(Vs.begin(), Vs.end()), Vs.end());
+    auto Pairs = tabulate(Vs.size(), [&](size_t I) {
+      return std::pair<VertexId, EdgeSet>{Vs[I], EdgeSet()};
+    });
+    Node *Batch = VT::buildSorted(Pairs.data(), Pairs.size());
+    Node *Mine = Root;
+    VT::retain(Mine);
+    return GraphSnapshotT(VT::difference(Mine, Batch));
+  }
+
+  /// Drop all degree-0 vertices.
+  GraphSnapshotT removeIsolatedVertices() const {
+    Node *Mine = Root;
+    VT::retain(Mine);
+    return GraphSnapshotT(VT::filter(
+        Mine, [](VertexId, const EdgeSet &S) { return !S.empty(); }));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Introspection.
+  //===--------------------------------------------------------------------===
+
+  /// Exact heap footprint: vertex-tree nodes plus all edge-set memory.
+  size_t memoryBytes() const { return memoryRec(Root); }
+
+  /// Structural audit of the vertex tree and every edge set.
+  bool checkInvariants() const {
+    if (!VT::validate(Root))
+      return false;
+    std::atomic<bool> Ok{true};
+    VT::forEachPar(Root, [&](VertexId, const EdgeSet &S) {
+      if (!S.checkInvariants())
+        Ok.store(false, std::memory_order_relaxed);
+    });
+    return Ok.load();
+  }
+
+private:
+  /// Sort + dedup a batch and build one edge set per distinct source.
+  static std::vector<std::pair<VertexId, EdgeSet>>
+  groupBySource(std::vector<EdgePair> Edges) {
+    parallelSort(Edges);
+    auto E = filterIndex(
+        Edges.size(), [&](size_t I) { return Edges[I]; },
+        [&](size_t I) { return I == 0 || Edges[I] != Edges[I - 1]; });
+    auto Dst = tabulate(E.size(), [&](size_t I) { return E[I].second; });
+    auto Starts = filterIndex(
+        E.size(), [&](size_t I) { return I; },
+        [&](size_t I) {
+          return I == 0 || E[I].first != E[I - 1].first;
+        });
+    std::vector<std::pair<VertexId, EdgeSet>> Pairs(Starts.size());
+    parallelFor(0, Starts.size(), [&](size_t G) {
+      size_t Lo = Starts[G];
+      size_t Hi = (G + 1 < Starts.size()) ? Starts[G + 1] : E.size();
+      Pairs[G] = {E[Lo].first,
+                  EdgeSet::buildSorted(Dst.data() + Lo, Hi - Lo)};
+    });
+    return Pairs;
+  }
+
+  static size_t memoryRec(const Node *N) {
+    if (!N)
+      return 0;
+    size_t Self = sizeof(Node) + N->Val.memoryBytes();
+    if (N->Size < VT::SeqCutoff)
+      return Self + memoryRec(N->Left) + memoryRec(N->Right);
+    size_t L = 0, R = 0;
+    parallelDo([&] { L = memoryRec(N->Left); },
+               [&] { R = memoryRec(N->Right); });
+    return Self + L + R;
+  }
+
+  Node *Root = nullptr;
+};
+
+/// Flat snapshot (Section 5.1): a dense array of per-vertex edge-set
+/// views plus degrees, giving O(1) vertex access like CSR. Slots are
+/// non-owning (trivially destructible); the retained source snapshot
+/// keeps every edge tree alive, so construction and destruction incur no
+/// per-vertex reference-count traffic. Built in O(n) work, O(log n)
+/// depth.
+template <class EdgeSet> class FlatSnapshotT {
+public:
+  using SetView = typename EdgeSet::View;
+
+  FlatSnapshotT() = default;
+
+  explicit FlatSnapshotT(GraphSnapshotT<EdgeSet> G)
+      : Owner(std::move(G)), NumEdgesV(Owner.numEdges()) {
+    VertexId N = Owner.vertexUniverse();
+    Slots.resize(N);
+    Degrees.resize(N);
+    using VT = typename GraphSnapshotT<EdgeSet>::VT;
+    VT::forEachPar(Owner.root(), [&](VertexId V, const EdgeSet &S) {
+      Slots[V] = S.view();
+      Degrees[V] = uint32_t(S.size());
+    });
+  }
+
+  VertexId numVertices() const { return VertexId(Slots.size()); }
+  uint64_t numEdges() const { return NumEdgesV; }
+  uint64_t degree(VertexId V) const { return Degrees[V]; }
+  SetView edges(VertexId V) const { return Slots[V]; }
+
+  /// Bytes used by the flat array itself (Table 2, "Flat Snap.").
+  size_t memoryBytes() const {
+    return Slots.size() * (sizeof(SetView) + sizeof(uint32_t));
+  }
+
+private:
+  GraphSnapshotT<EdgeSet> Owner;
+  std::vector<SetView> Slots;
+  std::vector<uint32_t> Degrees;
+  uint64_t NumEdgesV = 0;
+};
+
+//===----------------------------------------------------------------------===
+// Graph views: the uniform neighbor-access interface consumed by edgeMap
+// and the algorithms (degree / indexed map / early-exit iteration). Both
+// Aspen views and the static baselines implement this shape.
+//===----------------------------------------------------------------------===
+
+/// View that resolves vertices through the vertex tree on each access
+/// (O(log n) per vertex) - the default for local algorithms.
+template <class EdgeSet> class TreeGraphView {
+public:
+  explicit TreeGraphView(const GraphSnapshotT<EdgeSet> &G)
+      : G(&G), Universe(G.vertexUniverse()) {}
+
+  VertexId numVertices() const { return Universe; }
+  uint64_t numEdges() const { return G->numEdges(); }
+  uint64_t degree(VertexId V) const { return G->degree(V); }
+
+  template <class F>
+  void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+    G->findVertex(V).forEachIndexed(Fn);
+  }
+
+  template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+    G->findVertex(V).forEachSeq(Fn);
+  }
+
+  template <class F> bool iterNeighborsCond(VertexId V, const F &Fn) const {
+    return G->findVertex(V).iterCond(Fn);
+  }
+
+private:
+  const GraphSnapshotT<EdgeSet> *G;
+  VertexId Universe;
+};
+
+/// View over a flat snapshot: O(1) vertex access, as in CSR.
+template <class EdgeSet> class FlatGraphView {
+public:
+  explicit FlatGraphView(const FlatSnapshotT<EdgeSet> &FS) : FS(&FS) {}
+
+  VertexId numVertices() const { return FS->numVertices(); }
+  uint64_t numEdges() const { return FS->numEdges(); }
+  uint64_t degree(VertexId V) const { return FS->degree(V); }
+
+  template <class F>
+  void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+    FS->edges(V).forEachIndexed(Fn);
+  }
+
+  template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+    FS->edges(V).forEachSeq(Fn);
+  }
+
+  template <class F> bool iterNeighborsCond(VertexId V, const F &Fn) const {
+    return FS->edges(V).iterCond(Fn);
+  }
+
+private:
+  const FlatSnapshotT<EdgeSet> *FS;
+};
+
+/// Default Aspen configuration: C-trees with difference encoding.
+using Graph = GraphSnapshotT<CTreeSet<VertexId, DeltaByteCodec>>;
+/// C-trees without difference encoding ("Aspen (No DE)").
+using GraphNoDE = GraphSnapshotT<CTreeSet<VertexId, RawCodec>>;
+/// Plain purely-functional trees ("Aspen Uncomp.").
+using GraphUncompressed = GraphSnapshotT<UncompressedSet<VertexId>>;
+
+using FlatSnapshot = FlatSnapshotT<CTreeSet<VertexId, DeltaByteCodec>>;
+
+} // namespace aspen
+
+#endif // ASPEN_GRAPH_GRAPH_H

@@ -1,0 +1,148 @@
+//===- ligra/edge_map.h - edgeMap with direction optimization -------------===//
+//
+// Ligra's edgeMap (Section 2) over any graph view (Aspen snapshots, flat
+// snapshots, or the static CSR baselines): applies F to edges (u, v) with
+// u in the input frontier and C(v) true, returning the new frontier.
+//
+// Direction optimization (Section 5.1 / Beamer et al.): when the frontier
+// plus its out-degrees exceed m/20 the traversal switches to the dense
+// form, scanning in-neighbors of unvisited vertices with early exit.
+// Symmetric graphs are assumed (the paper symmetrizes all inputs), so
+// out-neighbors serve as in-neighbors.
+//
+// The functor F provides:
+//   bool update(u, v)        - non-atomic (dense traversal; one writer per v)
+//   bool updateAtomic(u, v)  - atomic (sparse traversal; concurrent writers)
+//   bool cond(v)             - whether v can still be updated
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_LIGRA_EDGE_MAP_H
+#define ASPEN_LIGRA_EDGE_MAP_H
+
+#include "ligra/vertex_subset.h"
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <vector>
+
+namespace aspen {
+
+struct EdgeMapOptions {
+  /// Disable the dense traversal (used for the Stinger/LLAMA comparisons,
+  /// whose implementations do not direction-optimize).
+  bool NoDense = false;
+  /// Dense threshold denominator: go dense when |U| + sum deg > m / Den.
+  uint64_t ThresholdDenominator = 20;
+};
+
+namespace detail {
+
+template <class GView, class F>
+VertexSubset edgeMapSparse(const GView &G, const std::vector<VertexId> &U,
+                           const std::vector<uint64_t> &Offsets,
+                           uint64_t Total, F &Fn) {
+  std::vector<VertexId> Out(Total, NoVertex);
+  parallelFor(0, U.size(), [&](size_t I) {
+    VertexId Src = U[I];
+    uint64_t Base = Offsets[I];
+    G.mapNeighborsIndexed(Src, [&](size_t J, VertexId Dst) {
+      if (Fn.cond(Dst) && Fn.updateAtomic(Src, Dst))
+        Out[Base + J] = Dst;
+    });
+  }, 8);
+  auto Next = filterIndex(
+      Out.size(), [&](size_t I) { return Out[I]; },
+      [&](size_t I) { return Out[I] != NoVertex; });
+  return VertexSubset(G.numVertices(), std::move(Next));
+}
+
+template <class GView, class F>
+VertexSubset edgeMapDense(const GView &G, const std::vector<uint8_t> &UFlags,
+                          F &Fn) {
+  VertexId N = G.numVertices();
+  std::vector<uint8_t> NextFlags(N, 0);
+  size_t Grain = std::max<size_t>(
+      128, size_t(N) / (32 * size_t(numWorkers())));
+  parallelFor(0, N, [&](size_t VI) {
+    VertexId V = VertexId(VI);
+    if (!Fn.cond(V))
+      return;
+    // Scan in-neighbors (== out-neighbors on symmetric graphs) until the
+    // vertex no longer satisfies cond.
+    G.iterNeighborsCond(V, [&](VertexId U) {
+      if (UFlags[U] && Fn.update(U, V))
+        NextFlags[V] = 1;
+      return Fn.cond(V);
+    });
+  }, Grain);
+  return VertexSubset(N, std::move(NextFlags));
+}
+
+} // namespace detail
+
+/// Map F over edges out of \p U; returns the target frontier. \p U may be
+/// converted between sparse and dense forms in place. The traversal mode
+/// is re-selected every round from |U| plus its out-degree sum (so shrunken
+/// dense frontiers fall back to the sparse traversal, as in Ligra).
+template <class GView, class F>
+VertexSubset edgeMap(const GView &G, VertexSubset &U, F Fn,
+                     EdgeMapOptions Options = {}) {
+  VertexId N = G.numVertices();
+  if (U.empty())
+    return VertexSubset(N);
+
+  // Out-degree sum of the frontier.
+  uint64_t DegreeSum;
+  if (U.isDense()) {
+    const auto &Flags = U.denseFlags();
+    DegreeSum = reduceSum(size_t(N), [&](size_t V) {
+      return Flags[V] ? G.degree(VertexId(V)) : uint64_t(0);
+    });
+  } else {
+    const auto &Ids = U.sparseIds();
+    DegreeSum = reduceSum(Ids.size(), [&](size_t I) {
+      return G.degree(Ids[I]);
+    });
+  }
+
+  uint64_t Threshold = G.numEdges() / Options.ThresholdDenominator;
+  bool GoDense =
+      !Options.NoDense && U.size() + DegreeSum > Threshold;
+
+  if (GoDense) {
+    U.toDense();
+    return detail::edgeMapDense(G, U.denseFlags(), Fn);
+  }
+  U.toSparse();
+  const auto &Ids = U.sparseIds();
+  std::vector<uint64_t> Offsets(Ids.size());
+  parallelFor(0, Ids.size(),
+              [&](size_t I) { Offsets[I] = G.degree(Ids[I]); });
+  uint64_t Total = scanExclusive(Offsets);
+  return detail::edgeMapSparse(G, Ids, Offsets, Total, Fn);
+}
+
+/// Map Fn(u, v) over all edges out of frontier \p U (no output frontier).
+template <class GView, class F>
+void edgeMapNoOutput(const GView &G, const VertexSubset &U, const F &Fn) {
+  U.forEach([&](VertexId Src) {
+    G.mapNeighbors(Src, [&](VertexId Dst) { Fn(Src, Dst); });
+  });
+}
+
+/// vertexMap: new subset of members of \p U satisfying Fn(v).
+template <class F>
+VertexSubset vertexFilter(const VertexSubset &U, const F &Fn) {
+  VertexSubset Copy = U;
+  Copy.toSparse();
+  const auto &Ids = Copy.sparseIds();
+  auto Kept = filterIndex(
+      Ids.size(), [&](size_t I) { return Ids[I]; },
+      [&](size_t I) { return Fn(Ids[I]); });
+  return VertexSubset(U.universe(), std::move(Kept));
+}
+
+} // namespace aspen
+
+#endif // ASPEN_LIGRA_EDGE_MAP_H

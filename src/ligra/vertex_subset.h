@@ -1,0 +1,136 @@
+//===- ligra/vertex_subset.h - Frontier representation --------------------===//
+//
+// Ligra's vertexSubset (Section 2): a subset of [0, n) kept in either
+// sparse (id list) or dense (flag array) form, converted lazily by
+// edgeMap's direction optimization.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_LIGRA_VERTEX_SUBSET_H
+#define ASPEN_LIGRA_VERTEX_SUBSET_H
+
+#include "parallel/primitives.h"
+#include "util/types.h"
+
+#include <cassert>
+#include <vector>
+
+namespace aspen {
+
+/// A subset of the vertices [0, N).
+class VertexSubset {
+public:
+  VertexSubset() = default;
+
+  /// Empty subset over universe \p N.
+  explicit VertexSubset(VertexId N) : N(N), IsDense(false) {}
+
+  /// Singleton subset.
+  VertexSubset(VertexId N, VertexId V) : N(N), IsDense(false) {
+    Sparse.push_back(V);
+  }
+
+  /// Sparse subset from an id list (may be unsorted; no duplicates).
+  VertexSubset(VertexId N, std::vector<VertexId> Ids)
+      : N(N), IsDense(false), Sparse(std::move(Ids)) {}
+
+  /// Dense subset from flags (Flags.size() == N).
+  VertexSubset(VertexId N, std::vector<uint8_t> Flags)
+      : N(N), IsDense(true), Dense(std::move(Flags)) {
+    assert(Dense.size() == N);
+    Count = reduceSum(Dense.size(),
+                      [&](size_t I) { return size_t(Dense[I] ? 1 : 0); });
+    HasCount = true;
+  }
+
+  VertexId universe() const { return N; }
+
+  /// Number of member vertices.
+  size_t size() const {
+    if (IsDense) {
+      assert(HasCount);
+      return Count;
+    }
+    return Sparse.size();
+  }
+
+  bool empty() const { return size() == 0; }
+  bool isDense() const { return IsDense; }
+
+  /// Membership test (requires dense form for O(1); sparse form scans).
+  bool contains(VertexId V) const {
+    if (IsDense)
+      return Dense[V] != 0;
+    for (VertexId U : Sparse)
+      if (U == V)
+        return true;
+    return false;
+  }
+
+  const std::vector<VertexId> &sparseIds() const {
+    assert(!IsDense && "call toSparse() first");
+    return Sparse;
+  }
+
+  const std::vector<uint8_t> &denseFlags() const {
+    assert(IsDense && "call toDense() first");
+    return Dense;
+  }
+
+  /// Convert to dense form in place.
+  void toDense() {
+    if (IsDense)
+      return;
+    std::vector<uint8_t> Flags(N, 0);
+    parallelFor(0, Sparse.size(), [&](size_t I) { Flags[Sparse[I]] = 1; });
+    Count = Sparse.size();
+    HasCount = true;
+    Dense = std::move(Flags);
+    Sparse.clear();
+    IsDense = true;
+  }
+
+  /// Convert to sparse form in place (ids come out in increasing order).
+  void toSparse() {
+    if (!IsDense)
+      return;
+    Sparse = filterIndex(
+        N, [&](size_t I) { return VertexId(I); },
+        [&](size_t I) { return Dense[I] != 0; });
+    Dense.clear();
+    IsDense = false;
+  }
+
+  /// Apply Fn(v) to each member, in parallel.
+  template <class F> void forEach(const F &Fn) const {
+    if (IsDense) {
+      parallelFor(0, N, [&](size_t V) {
+        if (Dense[V])
+          Fn(VertexId(V));
+      });
+      return;
+    }
+    parallelFor(0, Sparse.size(), [&](size_t I) { Fn(Sparse[I]); });
+  }
+
+  /// Members as a sorted vector (for tests).
+  std::vector<VertexId> toVector() const {
+    VertexSubset Copy = *this;
+    Copy.toSparse();
+    std::vector<VertexId> Out = Copy.Sparse;
+    parallelSort(Out);
+    return Out;
+  }
+
+private:
+  VertexId N = 0;
+  bool IsDense = false;
+  bool HasCount = false;
+  size_t Count = 0;
+  std::vector<VertexId> Sparse;
+  std::vector<uint8_t> Dense;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_LIGRA_VERTEX_SUBSET_H

@@ -1,0 +1,144 @@
+//===- memory/pool_allocator.cpp - Concurrent pool allocation -------------===//
+
+#include "memory/pool_allocator.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace aspen;
+
+static size_t roundUp(size_t X, size_t A) { return (X + A - 1) / A * A; }
+
+FixedPool::FixedPool(size_t Bytes)
+    : EltBytes(roundUp(Bytes < sizeof(void *) ? sizeof(void *) : Bytes,
+                       alignof(void *))),
+      Locals(static_cast<size_t>(maxContexts())) {
+  // Slabs of roughly 256KB amortize the global lock.
+  SlabElts = (256 * 1024) / EltBytes;
+  if (SlabElts < 64)
+    SlabElts = 64;
+}
+
+FixedPool::~FixedPool() {
+  for (char *A : Arenas)
+    std::free(A);
+}
+
+void FixedPool::refill(Local &L) {
+  std::lock_guard<std::mutex> Lock(GlobalM);
+  if (!GlobalSegments.empty()) {
+    Segment S = GlobalSegments.back();
+    GlobalSegments.pop_back();
+    L.Head = S.Head;
+    L.Count = S.Count;
+    return;
+  }
+  char *Arena = static_cast<char *>(std::malloc(EltBytes * SlabElts));
+  assert(Arena && "pool arena allocation failed");
+  Arenas.push_back(Arena);
+  // Thread the free list through the slab.
+  for (size_t I = 0; I + 1 < SlabElts; ++I)
+    *reinterpret_cast<void **>(Arena + I * EltBytes) =
+        Arena + (I + 1) * EltBytes;
+  *reinterpret_cast<void **>(Arena + (SlabElts - 1) * EltBytes) = nullptr;
+  L.Head = Arena;
+  L.Count = SlabElts;
+}
+
+void FixedPool::spill(Local &L) {
+  // Detach SlabElts blocks from the local list and publish them.
+  void *Head = L.Head;
+  void *Cur = Head;
+  for (size_t I = 1; I < SlabElts; ++I)
+    Cur = *reinterpret_cast<void **>(Cur);
+  L.Head = *reinterpret_cast<void **>(Cur);
+  *reinterpret_cast<void **>(Cur) = nullptr;
+  L.Count -= SlabElts;
+  std::lock_guard<std::mutex> Lock(GlobalM);
+  GlobalSegments.push_back(Segment{Head, SlabElts});
+}
+
+void *FixedPool::alloc() {
+  Local &L = Locals[static_cast<size_t>(workerId())];
+  if (!L.Head)
+    refill(L);
+  void *P = L.Head;
+  L.Head = *reinterpret_cast<void **>(P);
+  --L.Count;
+  ++L.Net;
+  return P;
+}
+
+void FixedPool::free(void *P) {
+  Local &L = Locals[static_cast<size_t>(workerId())];
+  *reinterpret_cast<void **>(P) = L.Head;
+  L.Head = P;
+  ++L.Count;
+  --L.Net;
+  if (L.Count >= 2 * SlabElts)
+    spill(L);
+}
+
+int64_t FixedPool::liveCount() const {
+  int64_t Total = 0;
+  for (const Local &L : Locals)
+    Total += L.Net;
+  return Total;
+}
+
+namespace {
+
+struct PoolRegistry {
+  std::mutex M;
+  std::vector<FixedPool *> Pools;
+};
+
+PoolRegistry &registry() {
+  static PoolRegistry R;
+  return R;
+}
+
+struct alignas(64) ByteCounter {
+  int64_t Bytes = 0;
+};
+
+std::vector<ByteCounter> &byteCounters() {
+  static std::vector<ByteCounter> C(static_cast<size_t>(maxContexts()));
+  return C;
+}
+
+} // namespace
+
+void aspen::detail::registerPool(FixedPool *P) {
+  PoolRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Pools.push_back(P);
+}
+
+int64_t aspen::totalPoolLiveBytes() {
+  PoolRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  int64_t Total = 0;
+  for (FixedPool *P : R.Pools)
+    Total += P->liveCount() * static_cast<int64_t>(P->eltBytes());
+  return Total;
+}
+
+void *aspen::countedAlloc(size_t Bytes) {
+  byteCounters()[static_cast<size_t>(workerId())].Bytes +=
+      static_cast<int64_t>(Bytes);
+  return std::malloc(Bytes);
+}
+
+void aspen::countedFree(void *P, size_t Bytes) {
+  byteCounters()[static_cast<size_t>(workerId())].Bytes -=
+      static_cast<int64_t>(Bytes);
+  std::free(P);
+}
+
+int64_t aspen::liveCountedBytes() {
+  int64_t Total = 0;
+  for (const ByteCounter &C : byteCounters())
+    Total += C.Bytes;
+  return Total;
+}

@@ -1,0 +1,230 @@
+//===- parallel/scheduler.cpp - Fork-join work-stealing scheduler ---------===//
+
+#include "parallel/scheduler.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace aspen;
+using namespace aspen::detail;
+
+namespace {
+
+/// Per-context work deque. The owner pushes/pops at the back; thieves take
+/// from the front (oldest job == largest remaining work).
+struct alignas(64) WorkDeque {
+  std::mutex M;
+  std::deque<Job *> Items;
+  std::atomic<int> Size{0}; ///< mirror of Items.size() for lock-free peeks
+  std::atomic<bool> Active{false};
+};
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Scheduler {
+public:
+  static constexpr int MaxContextsV = 512;
+
+  Scheduler() {
+    int P = 0;
+    if (const char *Env = std::getenv("ASPEN_WORKERS"))
+      P = std::atoi(Env);
+    if (P <= 0)
+      P = static_cast<int>(std::thread::hardware_concurrency());
+    if (P <= 0)
+      P = 1;
+    Workers = P;
+    Deques = new WorkDeque[MaxContextsV];
+    // Context ids [1, P) are reserved for the helper threads below;
+    // application threads are assigned ids from P upward so the two id
+    // spaces never collide (slot 0 is intentionally unused).
+    NextContext.store(P, std::memory_order_relaxed);
+    for (int I = 1; I < P; ++I)
+      Threads.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  ~Scheduler() {
+    Shutdown.store(true, std::memory_order_release);
+    for (auto &T : Threads)
+      T.join();
+    delete[] Deques;
+  }
+
+  int registerContext() {
+    int Id = NextContext.fetch_add(1, std::memory_order_relaxed);
+    assert(Id < MaxContextsV && "too many threads registered with scheduler");
+    Deques[Id].Active.store(true, std::memory_order_release);
+    return Id;
+  }
+
+  void push(int Ctx, Job *J) {
+    WorkDeque &D = Deques[Ctx];
+    std::lock_guard<std::mutex> Lock(D.M);
+    D.Items.push_back(J);
+    D.Size.store(int(D.Items.size()), std::memory_order_release);
+  }
+
+  bool popIfLocal(int Ctx, Job *J) {
+    WorkDeque &D = Deques[Ctx];
+    std::lock_guard<std::mutex> Lock(D.M);
+    if (!D.Items.empty() && D.Items.back() == J) {
+      D.Items.pop_back();
+      D.Size.store(int(D.Items.size()), std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Take one job: prefer own deque's back, then steal a random victim's
+  /// front. A lock-free Size peek keeps idle thieves off the mutexes.
+  /// Returns nullptr if no work was found after a few attempts.
+  Job *findWork(int Ctx, uint64_t &Rng) {
+    WorkDeque &Own = Deques[Ctx];
+    if (Own.Size.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> Lock(Own.M);
+      if (!Own.Items.empty()) {
+        Job *J = Own.Items.back();
+        Own.Items.pop_back();
+        Own.Size.store(int(Own.Items.size()), std::memory_order_release);
+        return J;
+      }
+    }
+    int Limit = NextContext.load(std::memory_order_acquire);
+    for (int Attempt = 0; Attempt < 8; ++Attempt) {
+      Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      int Victim = static_cast<int>((Rng >> 33) % static_cast<uint64_t>(
+                                        Limit > 0 ? Limit : 1));
+      if (Victim == Ctx)
+        continue;
+      WorkDeque &D = Deques[Victim];
+      if (!D.Active.load(std::memory_order_relaxed) ||
+          D.Size.load(std::memory_order_acquire) == 0)
+        continue;
+      // try_lock: if another thief (or the owner) holds the deque, move
+      // on instead of convoying on the mutex.
+      std::unique_lock<std::mutex> Lock(D.M, std::try_to_lock);
+      if (!Lock.owns_lock())
+        continue;
+      if (!D.Items.empty()) {
+        Job *J = D.Items.front();
+        D.Items.pop_front();
+        D.Size.store(int(D.Items.size()), std::memory_order_release);
+        return J;
+      }
+    }
+    return nullptr;
+  }
+
+  static void runJob(Job *J) {
+    J->Run(J->Arg);
+    J->Done.store(true, std::memory_order_release);
+  }
+
+  void waitFor(int Ctx, Job *J) {
+    uint64_t Rng = 0x9e3779b97f4a7c15ULL * (Ctx + 1);
+    int Idle = 0;
+    while (!J->Done.load(std::memory_order_acquire)) {
+      if (Job *Other = findWork(Ctx, Rng)) {
+        runJob(Other);
+        Idle = 0;
+        continue;
+      }
+      // Joins are latency-critical: spin with pauses, occasionally yield.
+      ++Idle;
+      if (Idle % 64 == 0)
+        std::this_thread::yield();
+      else
+        cpuRelax();
+    }
+  }
+
+  void workerLoop(int Ctx) {
+    WorkerIdTL = Ctx;
+    Deques[Ctx].Active.store(true, std::memory_order_release);
+    uint64_t Rng = 0x243f6a8885a308d3ULL * (Ctx + 1);
+    int Idle = 0;
+    while (!Shutdown.load(std::memory_order_acquire)) {
+      if (Job *J = findWork(Ctx, Rng)) {
+        runJob(J);
+        Idle = 0;
+        continue;
+      }
+      // Stay responsive for bursty fork-join regions: spin briefly, then
+      // yield, and only back off to short sleeps after ~a millisecond of
+      // idleness (a sleeping worker would miss a whole parallel region).
+      ++Idle;
+      if (Idle < 2048) {
+        cpuRelax();
+      } else if (Idle < 16384) {
+        if (Idle % 8 == 0)
+          std::this_thread::yield();
+        else
+          cpuRelax();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+  }
+
+  int workers() const { return Workers; }
+
+  static thread_local int WorkerIdTL;
+
+  std::atomic<bool> Shutdown{false};
+  std::atomic<int> NextContext{0};
+  WorkDeque *Deques = nullptr;
+  std::vector<std::thread> Threads;
+  int Workers = 1;
+};
+
+thread_local int Scheduler::WorkerIdTL = -1;
+
+Scheduler &scheduler() {
+  static Scheduler S;
+  return S;
+}
+
+std::atomic<bool> SequentialModeFlag{false};
+
+} // namespace
+
+void aspen::setSequentialMode(bool Enabled) {
+  SequentialModeFlag.store(Enabled, std::memory_order_release);
+}
+
+bool aspen::sequentialMode() {
+  return SequentialModeFlag.load(std::memory_order_acquire);
+}
+
+int aspen::numWorkers() { return scheduler().workers(); }
+
+int aspen::maxContexts() { return Scheduler::MaxContextsV; }
+
+int aspen::workerId() {
+  if (Scheduler::WorkerIdTL < 0)
+    Scheduler::WorkerIdTL = scheduler().registerContext();
+  return Scheduler::WorkerIdTL;
+}
+
+bool aspen::detail::parallelismEnabled() {
+  return scheduler().workers() > 1 &&
+         !SequentialModeFlag.load(std::memory_order_relaxed);
+}
+
+void aspen::detail::pushJob(Job *J) { scheduler().push(workerId(), J); }
+
+bool aspen::detail::popJobIfLocal(Job *J) {
+  return scheduler().popIfLocal(workerId(), J);
+}
+
+void aspen::detail::waitForJob(Job *J) { scheduler().waitFor(workerId(), J); }

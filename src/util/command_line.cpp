@@ -1,0 +1,62 @@
+//===- util/command_line.cpp - Tiny argv parser ---------------------------===//
+
+#include "util/command_line.h"
+
+#include <cstdlib>
+
+using namespace aspen;
+
+CommandLine::CommandLine(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.size() > 1 && Arg[0] == '-' &&
+        !(Arg.size() > 1 && (isdigit(Arg[1]) || Arg[1] == '.'))) {
+      std::string Name = Arg.substr(1);
+      // Accept GNU-style double dashes too.
+      if (!Name.empty() && Name[0] == '-')
+        Name = Name.substr(1);
+      std::string Value;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+        Value = Argv[I + 1];
+        ++I;
+      }
+      Options.emplace_back(Name, Value);
+      continue;
+    }
+    Positionals.push_back(Arg);
+  }
+}
+
+bool CommandLine::has(const std::string &Name) const {
+  for (const auto &KV : Options)
+    if (KV.first == Name)
+      return true;
+  return false;
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  for (const auto &KV : Options)
+    if (KV.first == Name)
+      return KV.second;
+  return Default;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  for (const auto &KV : Options)
+    if (KV.first == Name && !KV.second.empty())
+      return std::strtoll(KV.second.c_str(), nullptr, 10);
+  return Default;
+}
+
+double CommandLine::getDouble(const std::string &Name, double Default) const {
+  for (const auto &KV : Options)
+    if (KV.first == Name && !KV.second.empty())
+      return std::strtod(KV.second.c_str(), nullptr);
+  return Default;
+}
+
+std::string CommandLine::positional(size_t I,
+                                    const std::string &Default) const {
+  return I < Positionals.size() ? Positionals[I] : Default;
+}

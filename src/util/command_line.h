@@ -1,0 +1,42 @@
+//===- util/command_line.h - Tiny argv parser ------------------------------===//
+//
+// Minimal command-line option parser shared by the benchmark drivers and
+// examples: `-flag`, `-key value`, positional arguments.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_UTIL_COMMAND_LINE_H
+#define ASPEN_UTIL_COMMAND_LINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aspen {
+
+/// Parses `argv` into flags (`-quiet`), key/value options (`-n 1000`), and
+/// positional arguments.
+class CommandLine {
+public:
+  CommandLine(int Argc, char **Argv);
+
+  /// True if `-Name` appears (with or without a value).
+  bool has(const std::string &Name) const;
+
+  /// Value of `-Name Value`, or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default = "") const;
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+  double getDouble(const std::string &Name, double Default) const;
+
+  /// Positional argument \p I, or \p Default if missing.
+  std::string positional(size_t I, const std::string &Default = "") const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> Options;
+  std::vector<std::string> Positionals;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_UTIL_COMMAND_LINE_H

@@ -1,0 +1,45 @@
+//===- util/hash.h - Mixing hash functions --------------------------------===//
+//
+// 64-bit finalizer-style mixing hashes. The C-tree head-selection rule and
+// the deterministic pseudo-random generators are built on these. The paper
+// assumes a uniformly random hash family evaluable in O(1) work (Section 2);
+// a strong 64-bit mixer is the standard practical stand-in.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_UTIL_HASH_H
+#define ASPEN_UTIL_HASH_H
+
+#include <cstdint>
+
+namespace aspen {
+
+/// splitmix64 finalizer: a bijective 64-bit mixer with good avalanche.
+inline uint64_t hash64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// A second, independent mixer (murmur3 finalizer) for places that need two
+/// hash functions of the same key.
+inline uint64_t hash64b(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+/// Deterministic pseudo-random stream: the I-th draw of a stream seeded by
+/// \p Seed. Used for reproducible "random" priorities, sampling, and
+/// generators without shared RNG state across parallel workers.
+inline uint64_t hashAt(uint64_t Seed, uint64_t I) {
+  return hash64(Seed ^ hash64b(I));
+}
+
+} // namespace aspen
+
+#endif // ASPEN_UTIL_HASH_H

@@ -1,0 +1,56 @@
+//===- util/timer.h - Wall-clock timing -----------------------------------===//
+//
+// Simple monotonic wall-clock timer used by the benchmark harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_UTIL_TIMER_H
+#define ASPEN_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace aspen {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Run \p F once and return the elapsed seconds.
+template <class F> double timeIt(F &&Fn) {
+  Timer T;
+  Fn();
+  return T.elapsed();
+}
+
+/// Run \p F \p Rounds times and return the median elapsed seconds.
+/// The paper reports medians of three trials for the update benchmarks.
+template <class F> double medianTime(int Rounds, F &&Fn) {
+  double Best[64];
+  if (Rounds > 64)
+    Rounds = 64;
+  for (int I = 0; I < Rounds; ++I)
+    Best[I] = timeIt(Fn);
+  // Insertion sort; Rounds is tiny.
+  for (int I = 1; I < Rounds; ++I)
+    for (int J = I; J > 0 && Best[J] < Best[J - 1]; --J)
+      std::swap(Best[J], Best[J - 1]);
+  return Best[Rounds / 2];
+}
+
+} // namespace aspen
+
+#endif // ASPEN_UTIL_TIMER_H

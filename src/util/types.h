@@ -1,0 +1,39 @@
+//===- util/types.h - Fundamental scalar types ----------------------------===//
+//
+// Part of the Aspen reproduction. Shared scalar typedefs used throughout
+// the library: vertex identifiers, edge counts, and the empty payload type
+// used by set-like tree instantiations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_UTIL_TYPES_H
+#define ASPEN_UTIL_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace aspen {
+
+/// Vertex identifier. 32 bits suffices for the graph scales this machine
+/// holds; the tree and C-tree layers are templated and also accept 64-bit
+/// keys.
+using VertexId = uint32_t;
+
+/// Edge counts can exceed 2^32.
+using EdgeCount = uint64_t;
+
+/// A directed edge update (source, destination).
+using EdgePair = std::pair<VertexId, VertexId>;
+
+/// Placeholder value type for set-like instantiations.
+struct Empty {
+  friend bool operator==(const Empty &, const Empty &) { return true; }
+};
+
+/// Sentinel vertex id meaning "none".
+inline constexpr VertexId NoVertex = ~VertexId(0);
+
+} // namespace aspen
+
+#endif // ASPEN_UTIL_TYPES_H

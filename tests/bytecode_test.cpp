@@ -1,0 +1,267 @@
+//===- tests/bytecode_test.cpp - Varint and chunk codec tests -------------===//
+
+#include "ctree/chunk.h"
+#include "encoding/byte_code.h"
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace aspen;
+
+TEST(Varint, RoundTripBoundaries) {
+  std::vector<uint64_t> Cases = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 21) - 1,
+                                 1ull << 21,
+                                 (1ull << 28) - 1,
+                                 1ull << 28,
+                                 (1ull << 35),
+                                 (1ull << 42),
+                                 (1ull << 49),
+                                 (1ull << 56),
+                                 (1ull << 63),
+                                 ~0ull};
+  uint8_t Buf[16];
+  for (uint64_t V : Cases) {
+    uint8_t *End = encodeVarint(V, Buf);
+    EXPECT_EQ(size_t(End - Buf), varintSize(V)) << V;
+    uint64_t Out;
+    const uint8_t *P = decodeVarint(Buf, Out);
+    EXPECT_EQ(P, End) << V;
+    EXPECT_EQ(Out, V);
+  }
+}
+
+TEST(Varint, SizesAreMinimal) {
+  EXPECT_EQ(varintSize(0), 1u);
+  EXPECT_EQ(varintSize(127), 1u);
+  EXPECT_EQ(varintSize(128), 2u);
+  EXPECT_EQ(varintSize(16383), 2u);
+  EXPECT_EQ(varintSize(16384), 3u);
+  EXPECT_EQ(varintSize(~0ull), 10u);
+}
+
+TEST(Varint, SequenceRoundTrip) {
+  std::vector<uint64_t> Vals;
+  for (size_t I = 0; I < 10000; ++I)
+    Vals.push_back(hash64(I) >> (I % 60));
+  std::vector<uint8_t> Buf;
+  size_t Total = 0;
+  for (uint64_t V : Vals)
+    Total += varintSize(V);
+  Buf.resize(Total);
+  uint8_t *Out = Buf.data();
+  for (uint64_t V : Vals)
+    Out = encodeVarint(V, Out);
+  ASSERT_EQ(size_t(Out - Buf.data()), Total);
+  const uint8_t *In = Buf.data();
+  for (uint64_t V : Vals) {
+    uint64_t Got;
+    In = decodeVarint(In, Got);
+    ASSERT_EQ(Got, V);
+  }
+}
+
+namespace {
+
+template <class Codec> class ChunkCodecTest : public ::testing::Test {};
+using Codecs = ::testing::Types<DeltaByteCodec, RawCodec>;
+
+} // namespace
+
+TYPED_TEST_SUITE(ChunkCodecTest, Codecs);
+
+TYPED_TEST(ChunkCodecTest, MakeAndIterate) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E = {3, 7, 8, 100, 1000000, 1000001};
+  auto *C = makeChunk<Codec>(E.data(), E.size());
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Count, E.size());
+  EXPECT_EQ(C->First, 3u);
+  EXPECT_EQ(C->Last, 1000001u);
+  std::vector<uint32_t> Got;
+  decodeChunk<Codec>(C, Got);
+  EXPECT_EQ(Got, E);
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, EmptyAndSingleton) {
+  using Codec = TypeParam;
+  EXPECT_EQ((makeChunk<Codec, uint32_t>(nullptr, 0)), nullptr);
+  uint32_t X = 42;
+  auto *C = makeChunk<Codec>(&X, 1);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Count, 1u);
+  EXPECT_EQ(C->Bytes, 0u);
+  EXPECT_TRUE(chunkContains<Codec>(C, 42u));
+  EXPECT_FALSE(chunkContains<Codec>(C, 41u));
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, Contains) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E;
+  for (uint32_t I = 0; I < 500; ++I)
+    E.push_back(I * 3 + 1);
+  auto *C = makeChunk<Codec>(E.data(), E.size());
+  for (uint32_t I = 0; I < 1600; ++I) {
+    bool Expect = (I % 3 == 1) && I <= E.back();
+    ASSERT_EQ((chunkContains<Codec>(C, I)), Expect) << I;
+  }
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, IterateEarlyExit) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E = {1, 2, 3, 4, 5};
+  auto *C = makeChunk<Codec>(E.data(), E.size());
+  int Seen = 0;
+  bool Finished = Codec::template iterate<uint32_t>(C, [&](uint32_t V) {
+    ++Seen;
+    return V < 3;
+  });
+  EXPECT_FALSE(Finished);
+  EXPECT_EQ(Seen, 3);
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, UnionChunks) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> A = {1, 5, 9, 20};
+  std::vector<uint32_t> B = {2, 5, 21};
+  auto *CA = makeChunk<Codec>(A.data(), A.size());
+  auto *CB = makeChunk<Codec>(B.data(), B.size());
+  auto *U = unionChunks<Codec>(CA, CB);
+  std::vector<uint32_t> Got;
+  decodeChunk<Codec>(U, Got);
+  EXPECT_EQ(Got, (std::vector<uint32_t>{1, 2, 5, 9, 20, 21}));
+  releaseChunk(CA);
+  releaseChunk(CB);
+  releaseChunk(U);
+}
+
+TYPED_TEST(ChunkCodecTest, UnionWithNull) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> A = {4, 8};
+  auto *CA = makeChunk<Codec>(A.data(), A.size());
+  auto *U1 = unionChunks<Codec, uint32_t>(CA, nullptr);
+  EXPECT_EQ(U1, CA) << "union with empty shares the payload";
+  auto *U2 = unionChunks<Codec, uint32_t>(nullptr, CA);
+  EXPECT_EQ(U2, CA);
+  releaseChunk(U1);
+  releaseChunk(U2);
+  releaseChunk(CA);
+}
+
+TYPED_TEST(ChunkCodecTest, SplitChunkCases) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E = {10, 20, 30, 40};
+  auto *C = makeChunk<Codec>(E.data(), E.size());
+
+  // Below the first element: everything goes right, shared payload.
+  ChunkSplit S = splitChunk<Codec>(C, 5u);
+  EXPECT_EQ(S.Left, nullptr);
+  EXPECT_FALSE(S.Found);
+  EXPECT_EQ(S.Right, C);
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Right));
+
+  // Above the last element: everything left.
+  S = splitChunk<Codec>(C, 50u);
+  EXPECT_EQ(S.Right, nullptr);
+  EXPECT_EQ(S.Left, C);
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Left));
+
+  // Key present in the middle.
+  S = splitChunk<Codec>(C, 30u);
+  EXPECT_TRUE(S.Found);
+  std::vector<uint32_t> L, R;
+  decodeChunk<Codec>(static_cast<ChunkPayload<uint32_t> *>(S.Left), L);
+  decodeChunk<Codec>(static_cast<ChunkPayload<uint32_t> *>(S.Right), R);
+  EXPECT_EQ(L, (std::vector<uint32_t>{10, 20}));
+  EXPECT_EQ(R, (std::vector<uint32_t>{40}));
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Left));
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Right));
+
+  // Key absent in the middle.
+  S = splitChunk<Codec>(C, 25u);
+  EXPECT_FALSE(S.Found);
+  L.clear();
+  R.clear();
+  decodeChunk<Codec>(static_cast<ChunkPayload<uint32_t> *>(S.Left), L);
+  decodeChunk<Codec>(static_cast<ChunkPayload<uint32_t> *>(S.Right), R);
+  EXPECT_EQ(L, (std::vector<uint32_t>{10, 20}));
+  EXPECT_EQ(R, (std::vector<uint32_t>{30, 40}));
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Left));
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Right));
+
+  // Key equals the first element.
+  S = splitChunk<Codec>(C, 10u);
+  EXPECT_TRUE(S.Found);
+  EXPECT_EQ(S.Left, nullptr);
+  R.clear();
+  decodeChunk<Codec>(static_cast<ChunkPayload<uint32_t> *>(S.Right), R);
+  EXPECT_EQ(R, (std::vector<uint32_t>{20, 30, 40}));
+  releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Right));
+
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, ChunkMinusAndIntersect) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E = {1, 2, 3, 4, 5, 6};
+  auto *C = makeChunk<Codec>(E.data(), E.size());
+  auto *M = chunkMinus<Codec>(C, {2u, 4u, 9u});
+  std::vector<uint32_t> Got;
+  decodeChunk<Codec>(M, Got);
+  EXPECT_EQ(Got, (std::vector<uint32_t>{1, 3, 5, 6}));
+  releaseChunk(M);
+
+  auto *I = chunkIntersect<Codec>(C, {2u, 4u, 9u});
+  Got.clear();
+  decodeChunk<Codec>(I, Got);
+  EXPECT_EQ(Got, (std::vector<uint32_t>{2, 4}));
+  releaseChunk(I);
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, LeakFree) {
+  using Codec = TypeParam;
+  int64_t Base = liveCountedBytes();
+  for (int Round = 0; Round < 10; ++Round) {
+    std::vector<uint32_t> E;
+    for (uint32_t I = 0; I < 1000; ++I)
+      E.push_back(uint32_t(hash64(I + Round * 7919) % 100000));
+    std::sort(E.begin(), E.end());
+    E.erase(std::unique(E.begin(), E.end()), E.end());
+    auto *A = makeChunk<Codec>(E.data(), E.size() / 2);
+    auto *B = makeChunk<Codec>(E.data() + E.size() / 2,
+                               E.size() - E.size() / 2);
+    auto *U = unionChunks<Codec>(A, B);
+    ChunkSplit S = splitChunk<Codec>(U, E[E.size() / 3]);
+    releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Left));
+    releaseChunk(static_cast<ChunkPayload<uint32_t> *>(S.Right));
+    releaseChunk(U);
+    releaseChunk(B);
+    releaseChunk(A);
+  }
+  EXPECT_EQ(liveCountedBytes(), Base);
+}
+
+TEST(DeltaCompression, CompressesClusteredIds) {
+  // Difference encoding should use ~1 byte per small delta, far less than
+  // 4 bytes raw (the Table 2 effect).
+  std::vector<uint32_t> E;
+  for (uint32_t I = 0; I < 10000; ++I)
+    E.push_back(1000000 + I * 3);
+  auto *D = makeChunk<DeltaByteCodec>(E.data(), E.size());
+  auto *R = makeChunk<RawCodec>(E.data(), E.size());
+  EXPECT_LT(D->Bytes * 3u, R->Bytes) << "delta coding should save >3x here";
+  releaseChunk(D);
+  releaseChunk(R);
+}

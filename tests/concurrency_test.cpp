@@ -1,0 +1,247 @@
+//===- tests/concurrency_test.cpp - Concurrent readers/writer fuzzing -----===//
+//
+// Stress tests for the paper's core concurrency claims (Section 6): any
+// number of readers on acquired versions run concurrently with a single
+// writer; no reader is ever blocked, torn, or sees a partially-applied
+// batch; memory is reclaimed exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/bfs.h"
+#include "gen/generators.h"
+#include "graph/versioned_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace aspen;
+
+namespace {
+
+/// Batches constructed so that every version's edge count identifies the
+/// exact prefix of batches applied: batch i consists of edges with a
+/// disjoint id range, so numEdges is a strict witness of atomicity.
+std::vector<EdgePair> disjointBatch(int I, size_t Size, VertexId N) {
+  std::vector<EdgePair> Out;
+  for (size_t J = 0; J < Size; ++J) {
+    uint64_t Id = uint64_t(I) * Size + J;
+    Out.push_back({VertexId(Id % N), VertexId((Id / N) % N)});
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Concurrency, ReadersSeeOnlyWholeBatches) {
+  const VertexId N = 512;
+  const size_t BatchSize = 128;
+  const int NumBatches = 60;
+  VersionedGraph VG(Graph::fromEdges(N, {}));
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Violations{0};
+
+  std::thread Writer([&] {
+    for (int B = 0; B < NumBatches; ++B)
+      VG.insertEdgesBatch(disjointBatch(B, BatchSize, N));
+    Done.store(true);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 4; ++R)
+    Readers.emplace_back([&] {
+      while (!Done.load()) {
+        auto V = VG.acquire();
+        uint64_t E = V.graph().numEdges();
+        // Every batch is disjoint, so the count must be an exact multiple
+        // of the batch size (no partially-visible batch).
+        if (E % BatchSize != 0)
+          Violations.fetch_add(1);
+        // The version is immutable: re-reading gives the same count.
+        if (V.graph().numEdges() != E)
+          Violations.fetch_add(1);
+      }
+    });
+
+  Writer.join();
+  for (auto &T : Readers)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_EQ(VG.acquire().graph().numEdges(),
+            uint64_t(NumBatches) * BatchSize);
+}
+
+TEST(Concurrency, MixedInsertDeleteWithReaderValidation) {
+  const VertexId N = 256;
+  auto Fixed = dedupEdges(symmetrize(uniformRandomEdges(N, 2000, 1)));
+  VersionedGraph VG(Graph::fromEdges(N, Fixed));
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Violations{0};
+
+  // The writer repeatedly inserts and deletes the same churn batch; the
+  // fixed edge set is never touched, so every version contains it.
+  auto Churn = dedupEdges(symmetrize(uniformRandomEdges(N, 300, 999)));
+  std::vector<EdgePair> ChurnOnly;
+  {
+    std::set<EdgePair> FixedSet(Fixed.begin(), Fixed.end());
+    for (const EdgePair &E : Churn)
+      if (!FixedSet.count(E))
+        ChurnOnly.push_back(E);
+  }
+
+  std::thread Writer([&] {
+    for (int I = 0; I < 25; ++I) {
+      VG.insertEdgesBatch(ChurnOnly);
+      VG.deleteEdgesBatch(ChurnOnly);
+    }
+    Done.store(true);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&](){
+      uint64_t FixedCount = Fixed.size();
+      while (!Done.load()) {
+        auto V = VG.acquire();
+        uint64_t E = V.graph().numEdges();
+        // Either all churn edges are present or none are.
+        if (E != FixedCount && E != FixedCount + ChurnOnly.size())
+          Violations.fetch_add(1);
+        if (!V.graph().checkInvariants())
+          Violations.fetch_add(1);
+      }
+    });
+
+  Writer.join();
+  for (auto &T : Readers)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_EQ(VG.acquire().graph().numEdges(), Fixed.size());
+}
+
+TEST(Concurrency, FlatSnapshotsDuringUpdates) {
+  const VertexId N = 256;
+  auto Fixed = dedupEdges(symmetrize(uniformRandomEdges(N, 3000, 2)));
+  VersionedGraph VG(Graph::fromEdges(N, Fixed));
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Violations{0};
+
+  std::thread Writer([&] {
+    RMatGenerator Stream(8, 777);
+    for (int B = 0; B < 30; ++B)
+      VG.insertEdgesBatch(Stream.edges(uint64_t(B) * 100, 100));
+    Done.store(true);
+  });
+
+  std::thread Reader([&] {
+    while (!Done.load()) {
+      auto V = VG.acquire();
+      FlatSnapshot FS(V.graph());
+      // The flat snapshot must agree with the tree view of its version.
+      if (FS.numEdges() != V.graph().numEdges())
+        Violations.fetch_add(1);
+      for (VertexId X = 0; X < N; X += 37)
+        if (FS.degree(X) != V.graph().degree(X))
+          Violations.fetch_add(1);
+      // And it must support queries while newer versions appear.
+      FlatGraphView FV(FS);
+      bfs(FV, 0);
+    }
+  });
+
+  Writer.join();
+  Reader.join();
+  EXPECT_EQ(Violations.load(), 0u);
+}
+
+TEST(Concurrency, QueriesOutliveReleasedVersions) {
+  const VertexId N = 128;
+  VersionedGraph VG(
+      Graph::fromEdges(N, dedupEdges(symmetrize(uniformRandomEdges(
+                              N, 1000, 3)))));
+  // Acquire a version, let the writer race far ahead, then verify the old
+  // version still answers correctly after many newer versions were
+  // created and collected.
+  auto Old = VG.acquire();
+  uint64_t OldEdges = Old.graph().numEdges();
+  auto OldAdj = Old.graph().findVertex(5).toVector();
+  for (int I = 0; I < 50; ++I)
+    VG.insertEdgesBatch(disjointBatch(I, 64, N));
+  EXPECT_EQ(Old.graph().numEdges(), OldEdges);
+  EXPECT_EQ(Old.graph().findVertex(5).toVector(), OldAdj);
+  EXPECT_TRUE(Old.graph().checkInvariants());
+}
+
+TEST(Concurrency, ManyConcurrentLocalQueriesOnePerVersion) {
+  // Many threads each pin their own version and run local queries while
+  // the writer streams; versions differ but each must be self-consistent.
+  const VertexId N = 512;
+  VersionedGraph VG(
+      Graph::fromEdges(N, dedupEdges(symmetrize(uniformRandomEdges(
+                              N, 4000, 4)))));
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Violations{0};
+
+  std::thread Writer([&] {
+    for (int B = 0; B < 30; ++B)
+      VG.insertEdgesBatch(disjointBatch(B, 50, N));
+    Done.store(true);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 4; ++R)
+    Readers.emplace_back([&, R] {
+      uint64_t Q = 0;
+      while (!Done.load()) {
+        auto V = VG.acquire();
+        // Sum of degrees must equal numEdges on any single version.
+        uint64_t DegSum = 0;
+        for (VertexId X = 0; X < N; ++X)
+          DegSum += V.graph().degree(X);
+        if (DegSum != V.graph().numEdges())
+          Violations.fetch_add(1);
+        ++Q;
+      }
+      (void)Q;
+    });
+
+  Writer.join();
+  for (auto &T : Readers)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+}
+
+TEST(Concurrency, ParallelSetOpsOnSharedInputs) {
+  // Two application threads run set operations against the SAME shared
+  // tree concurrently; shared subtrees are read-only so both must get
+  // correct results.
+  auto Keys = tabulate(20000, [](size_t I) {
+    return uint32_t(hashAt(50, I) % 100000);
+  });
+  using CT = CTreeSet<uint32_t, DeltaByteCodec>;
+  CT Shared = CT::fromUnsorted(Keys);
+  std::vector<uint32_t> SortedKeys = Shared.toVector();
+
+  std::atomic<uint64_t> Violations{0};
+  auto Work = [&](uint64_t Seed) {
+    for (int I = 0; I < 10; ++I) {
+      auto Batch = tabulate(2000, [&](size_t J) {
+        return uint32_t(hashAt(Seed + I, J) % 100000);
+      });
+      CT Mine = Shared.multiInsert(Batch);
+      std::set<uint32_t> Ref(SortedKeys.begin(), SortedKeys.end());
+      Ref.insert(Batch.begin(), Batch.end());
+      if (Mine.size() != Ref.size())
+        Violations.fetch_add(1);
+      if (!Mine.checkInvariants())
+        Violations.fetch_add(1);
+    }
+  };
+  std::thread T1(Work, 60), T2(Work, 61), T3(Work, 62);
+  T1.join();
+  T2.join();
+  T3.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_EQ(Shared.toVector(), SortedKeys) << "shared input unchanged";
+}

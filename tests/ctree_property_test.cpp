@@ -1,0 +1,279 @@
+//===- tests/ctree_property_test.cpp - C-tree property/edge-case tests ----===//
+//
+// Beyond ctree_test.cpp: extreme chunk parameters (everything-a-head,
+// nothing-a-head), 64-bit keys, adversarial key patterns, long snapshot
+// chains, idempotence/algebraic laws of the set operations, and memory
+// accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctree/ctree.h"
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace aspen;
+
+namespace {
+
+using CT = CTreeSet<uint32_t, DeltaByteCodec>;
+using CT64 = CTreeSet<uint64_t, DeltaByteCodec>;
+
+std::vector<uint32_t> sortedUnique(std::vector<uint32_t> V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+  return V;
+}
+
+std::vector<uint32_t> randomKeys(size_t N, uint64_t Seed, uint32_t Range) {
+  std::vector<uint32_t> Out(N);
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = uint32_t(hashAt(Seed, I) % Range);
+  return Out;
+}
+
+} // namespace
+
+TEST(CTreeExtreme, ChunkSizeOneEveryElementIsHead) {
+  // b = 1 => mask 0 => hash & 0 == 0 always: every element is a head;
+  // tails and prefix are empty and the structure degenerates to a plain
+  // tree. All operations must still work.
+  ChunkSizeGuard G(1);
+  auto E = sortedUnique(randomKeys(2000, 1, 100000));
+  CT T = CT::buildSorted(E.data(), E.size());
+  EXPECT_EQ(T.numHeads(), E.size());
+  EXPECT_EQ(T.size(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), E);
+  CT U = CT::setUnion(T, T.multiInsert({999999u}));
+  EXPECT_EQ(U.size(), E.size() + 1);
+  EXPECT_TRUE(U.checkInvariants());
+}
+
+TEST(CTreeExtreme, HugeChunkSizeMostlyPrefix) {
+  // b = 2^20 on a small set: with high probability no element is a head
+  // and the entire structure is one prefix chunk.
+  ChunkSizeGuard G(1 << 20);
+  auto E = sortedUnique(randomKeys(500, 2, 1u << 20));
+  CT T = CT::buildSorted(E.data(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), E);
+  // Set algebra must still work through the base cases.
+  auto B = sortedUnique(randomKeys(500, 3, 1u << 20));
+  CT TB = CT::buildSorted(B.data(), B.size());
+  std::set<uint32_t> Ref(E.begin(), E.end());
+  Ref.insert(B.begin(), B.end());
+  CT U = CT::setUnion(T, TB);
+  EXPECT_EQ(U.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
+  ASSERT_TRUE(U.checkInvariants());
+  CT D = CT::setDifference(U, TB);
+  std::vector<uint32_t> RefD;
+  std::set_difference(E.begin(), E.end(), B.begin(), B.end(),
+                      std::back_inserter(RefD));
+  EXPECT_EQ(D.toVector(), RefD);
+}
+
+TEST(CTreeExtreme, DenseConsecutiveKeys) {
+  // Consecutive integers: delta coding uses exactly one byte per element
+  // after the first of each chunk.
+  std::vector<uint32_t> E(100000);
+  for (uint32_t I = 0; I < E.size(); ++I)
+    E[I] = I + 1000000;
+  CT T = CT::buildSorted(E.data(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.size(), E.size());
+  // ~1 byte per non-head element + node overhead for heads.
+  double BytesPerElt = double(T.memoryBytes()) / double(E.size());
+  EXPECT_LT(BytesPerElt, 3.0);
+}
+
+TEST(CTreeExtreme, WideSpreadKeys) {
+  // Keys spread over the whole 32-bit range: deltas need up to 5 bytes.
+  auto E = sortedUnique(randomKeys(50000, 4, ~0u));
+  CT T = CT::buildSorted(E.data(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), E);
+}
+
+TEST(CTreeExtreme, SixtyFourBitKeys) {
+  std::vector<uint64_t> E;
+  for (size_t I = 0; I < 10000; ++I)
+    E.push_back(hashAt(5, I)); // full 64-bit range
+  std::sort(E.begin(), E.end());
+  E.erase(std::unique(E.begin(), E.end()), E.end());
+  CT64 T = CT64::buildSorted(E.data(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), E);
+  for (size_t I = 0; I < E.size(); I += 97)
+    EXPECT_TRUE(T.contains(E[I]));
+  EXPECT_FALSE(T.contains(E.back() + 1));
+  // Batch ops on 64-bit keys.
+  CT64 T2 = T.multiDelete(std::vector<uint64_t>(E.begin(),
+                                                E.begin() + E.size() / 2));
+  EXPECT_EQ(T2.size(), E.size() - E.size() / 2);
+  EXPECT_TRUE(T2.checkInvariants());
+}
+
+TEST(CTreeAlgebra, UnionCommutesAndAssociates) {
+  auto A = sortedUnique(randomKeys(2000, 10, 20000));
+  auto B = sortedUnique(randomKeys(2000, 11, 20000));
+  auto C = sortedUnique(randomKeys(2000, 12, 20000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT TC = CT::buildSorted(C.data(), C.size());
+  EXPECT_EQ(CT::setUnion(TA, TB).toVector(),
+            CT::setUnion(TB, TA).toVector());
+  EXPECT_EQ(CT::setUnion(CT::setUnion(TA, TB), TC).toVector(),
+            CT::setUnion(TA, CT::setUnion(TB, TC)).toVector());
+}
+
+TEST(CTreeAlgebra, DeMorganStyleIdentities) {
+  auto A = sortedUnique(randomKeys(3000, 13, 15000));
+  auto B = sortedUnique(randomKeys(3000, 14, 15000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  // A = (A \ B) ∪ (A ∩ B)
+  CT Lhs = CT::setUnion(CT::setDifference(TA, TB),
+                        CT::setIntersect(TA, TB));
+  EXPECT_EQ(Lhs.toVector(), A);
+  // (A ∪ B) \ B == A \ B
+  EXPECT_EQ(CT::setDifference(CT::setUnion(TA, TB), TB).toVector(),
+            CT::setDifference(TA, TB).toVector());
+  // |A| + |B| == |A ∪ B| + |A ∩ B|
+  EXPECT_EQ(TA.size() + TB.size(),
+            CT::setUnion(TA, TB).size() + CT::setIntersect(TA, TB).size());
+}
+
+TEST(CTreeAlgebra, UnionIdempotent) {
+  auto A = sortedUnique(randomKeys(2000, 15, 50000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT U = TA;
+  for (int I = 0; I < 4; ++I) {
+    U = CT::setUnion(U, TA);
+    ASSERT_EQ(U.toVector(), A);
+    ASSERT_TRUE(U.checkInvariants());
+  }
+}
+
+TEST(CTreeSnapshots, LongVersionChain) {
+  // 100 versions, each inserting a small batch; every version must stay
+  // exactly as it was when created.
+  std::vector<CT> Versions;
+  std::vector<size_t> Sizes;
+  CT Cur;
+  std::set<uint32_t> Ref;
+  for (int I = 0; I < 100; ++I) {
+    auto Batch = randomKeys(50, 100 + I, 100000);
+    Cur = Cur.multiInsert(Batch);
+    Ref.insert(Batch.begin(), Batch.end());
+    Versions.push_back(Cur);
+    Sizes.push_back(Ref.size());
+  }
+  for (size_t I = 0; I < Versions.size(); ++I)
+    ASSERT_EQ(Versions[I].size(), Sizes[I]) << "version " << I;
+  EXPECT_EQ(Versions.back().toVector(),
+            std::vector<uint32_t>(Ref.begin(), Ref.end()));
+  // Dropping interior versions must not perturb the others.
+  for (size_t I = 0; I < Versions.size(); I += 2)
+    Versions[I] = CT();
+  for (size_t I = 1; I < Versions.size(); I += 2)
+    ASSERT_EQ(Versions[I].size(), Sizes[I]);
+}
+
+TEST(CTreeSnapshots, StructuralSharingKeepsMemoryLinear) {
+  // Memory for k versions with small diffs must be far below k copies.
+  auto E = sortedUnique(randomKeys(50000, 20, 1u << 22));
+  CT Base = CT::buildSorted(E.data(), E.size());
+  size_t OneCopy = Base.memoryBytes();
+  int64_t Before = liveCountedBytes() + totalPoolLiveBytes();
+  std::vector<CT> Versions;
+  CT Cur = Base;
+  for (int I = 0; I < 20; ++I) {
+    Cur = Cur.insert(uint32_t(5000000 + I));
+    Versions.push_back(Cur);
+  }
+  int64_t After = liveCountedBytes() + totalPoolLiveBytes();
+  // 20 versions cost far less than 20 full copies.
+  EXPECT_LT(After - Before, int64_t(4 * OneCopy));
+}
+
+TEST(CTreeBoundary, EmptyOperandCombinations) {
+  auto A = sortedUnique(randomKeys(100, 30, 1000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT Empty;
+  EXPECT_EQ(CT::setUnion(TA, Empty).toVector(), A);
+  EXPECT_EQ(CT::setUnion(Empty, TA).toVector(), A);
+  EXPECT_TRUE(CT::setUnion(Empty, Empty).empty());
+  EXPECT_EQ(CT::setDifference(TA, Empty).toVector(), A);
+  EXPECT_TRUE(CT::setDifference(Empty, TA).empty());
+  EXPECT_TRUE(CT::setIntersect(TA, Empty).empty());
+  EXPECT_TRUE(CT::setIntersect(Empty, TA).empty());
+}
+
+TEST(CTreeBoundary, SingletonsAndExtremeValues) {
+  CT T = CT::fromUnsorted({0u});
+  EXPECT_TRUE(T.contains(0u));
+  T = T.insert(~0u); // max key
+  EXPECT_TRUE(T.contains(~0u));
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), (std::vector<uint32_t>{0u, ~0u}));
+  T = T.remove(0u);
+  T = T.remove(~0u);
+  EXPECT_TRUE(T.empty());
+}
+
+TEST(CTreeBoundary, InterleavedRangesStressSplitPaths) {
+  // A = evens, B = odds: every chunk boundary interleaves; union must be
+  // all values, intersect empty, difference the original.
+  std::vector<uint32_t> A, B;
+  for (uint32_t I = 0; I < 20000; ++I)
+    (I % 2 ? B : A).push_back(I);
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT U = CT::setUnion(TA, TB);
+  EXPECT_EQ(U.size(), 20000u);
+  ASSERT_TRUE(U.checkInvariants());
+  EXPECT_TRUE(CT::setIntersect(TA, TB).empty());
+  EXPECT_EQ(CT::setDifference(U, TB).toVector(), A);
+}
+
+class CTreeRandomizedLifecycle : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CTreeRandomizedLifecycle, ChurnWithSnapshotsIsLeakFree) {
+  uint64_t Seed = GetParam();
+  int64_t BaseNodes = totalPoolLiveBytes();
+  int64_t BaseBytes = liveCountedBytes();
+  {
+    std::vector<CT> Pinned;
+    CT Cur;
+    std::set<uint32_t> Ref;
+    for (int Round = 0; Round < 30; ++Round) {
+      uint64_t Op = hashAt(Seed, Round) % 4;
+      auto Batch = randomKeys(1 + hashAt(Seed, Round * 7) % 500,
+                              Seed * 13 + Round, 5000);
+      if (Op == 0 || Op == 1) {
+        Cur = Cur.multiInsert(Batch);
+        Ref.insert(Batch.begin(), Batch.end());
+      } else if (Op == 2) {
+        Cur = Cur.multiDelete(Batch);
+        for (uint32_t K : Batch)
+          Ref.erase(K);
+      } else {
+        Pinned.push_back(Cur); // pin a snapshot
+        if (Pinned.size() > 5)
+          Pinned.erase(Pinned.begin()); // unpin the oldest
+      }
+      ASSERT_EQ(Cur.size(), Ref.size()) << "round " << Round;
+      ASSERT_TRUE(Cur.checkInvariants()) << "round " << Round;
+    }
+    EXPECT_EQ(Cur.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
+  }
+  EXPECT_EQ(totalPoolLiveBytes(), BaseNodes);
+  EXPECT_EQ(liveCountedBytes(), BaseBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CTreeRandomizedLifecycle,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));

@@ -1,0 +1,352 @@
+//===- tests/ctree_test.cpp - C-tree tests --------------------------------===//
+//
+// Correctness of the paper's core data structure: construction invariants
+// (heads chosen by hash, prefix/tail placement, count augmentation),
+// queries, and the batch set algebra cross-checked against std::set,
+// parameterized over chunk sizes and codecs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctree/ctree.h"
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace aspen;
+
+namespace {
+
+using CT = CTreeSet<uint32_t, DeltaByteCodec>;
+using CTRaw = CTreeSet<uint32_t, RawCodec>;
+
+std::vector<uint32_t> sortedUnique(std::vector<uint32_t> V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+  return V;
+}
+
+std::vector<uint32_t> randomKeys(size_t N, uint64_t Seed, uint32_t Range) {
+  std::vector<uint32_t> Out(N);
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = uint32_t(hashAt(Seed, I) % Range);
+  return Out;
+}
+
+int64_t liveNodes() { return NodePool<CT::Node>::liveCount(); }
+
+} // namespace
+
+TEST(CTreeLayout, CompressedEdgeNodeIs48Bytes) {
+  // The paper reports 48 bytes per compressed edge-tree node.
+  EXPECT_LE(sizeof(CT::Node), 48u);
+}
+
+TEST(CTreeBasic, EmptyTree) {
+  CT T;
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_FALSE(T.contains(0));
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), std::vector<uint32_t>{});
+}
+
+TEST(CTreeBasic, BuildSmall) {
+  std::vector<uint32_t> E = {1, 5, 9, 100, 1000};
+  CT T = CT::buildSorted(E.data(), E.size());
+  EXPECT_EQ(T.size(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), E);
+  for (uint32_t X : E)
+    EXPECT_TRUE(T.contains(X));
+  EXPECT_FALSE(T.contains(2));
+  EXPECT_FALSE(T.contains(0));
+  EXPECT_FALSE(T.contains(2000));
+}
+
+TEST(CTreeBasic, BuildLargeDense) {
+  auto E = sortedUnique(randomKeys(50000, 1, 1u << 20));
+  CT T = CT::buildSorted(E.data(), E.size());
+  EXPECT_EQ(T.size(), E.size());
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.toVector(), E);
+}
+
+TEST(CTreeBasic, ExpectedChunkStatistics) {
+  // With n elements and chunk parameter b, expect ~n/b heads (Lemma 3.1).
+  ChunkSizeGuard G(64);
+  auto E = sortedUnique(randomKeys(200000, 2, 1u << 24));
+  CT T = CT::buildSorted(E.data(), E.size());
+  double ExpectHeads = double(E.size()) / 64.0;
+  EXPECT_GT(double(T.numHeads()), 0.5 * ExpectHeads);
+  EXPECT_LT(double(T.numHeads()), 2.0 * ExpectHeads);
+}
+
+TEST(CTreeBasic, ContainsExhaustive) {
+  auto E = sortedUnique(randomKeys(3000, 3, 20000));
+  CT T = CT::buildSorted(E.data(), E.size());
+  std::set<uint32_t> Ref(E.begin(), E.end());
+  for (uint32_t X = 0; X < 20000; X += 7)
+    ASSERT_EQ(T.contains(X), Ref.count(X) > 0) << X;
+}
+
+TEST(CTreeBasic, CopySemantics) {
+  int64_t Base = liveNodes();
+  {
+    auto E = sortedUnique(randomKeys(10000, 4, 1u << 20));
+    CT A = CT::buildSorted(E.data(), E.size());
+    CT B = A; // O(1) snapshot
+    EXPECT_EQ(B.size(), A.size());
+    CT C;
+    C = B;
+    EXPECT_EQ(C.toVector(), E);
+    CT D = std::move(B);
+    EXPECT_EQ(D.size(), E.size());
+  }
+  EXPECT_EQ(liveNodes(), Base);
+}
+
+TEST(CTreeBasic, FromUnsortedDeduplicates) {
+  std::vector<uint32_t> E = {5, 1, 5, 3, 1, 9, 3};
+  CT T = CT::fromUnsorted(E);
+  EXPECT_EQ(T.toVector(), (std::vector<uint32_t>{1, 3, 5, 9}));
+}
+
+TEST(CTreeTraversal, IndexedMatchesOrder) {
+  auto E = sortedUnique(randomKeys(30000, 5, 1u << 22));
+  CT T = CT::buildSorted(E.data(), E.size());
+  std::vector<uint32_t> ByIndex(E.size(), ~0u);
+  T.forEachIndexed([&](size_t I, uint32_t V) { ByIndex[I] = V; });
+  EXPECT_EQ(ByIndex, E);
+}
+
+TEST(CTreeTraversal, ParallelCoversAll) {
+  auto E = sortedUnique(randomKeys(30000, 6, 1u << 22));
+  CT T = CT::buildSorted(E.data(), E.size());
+  std::atomic<uint64_t> Sum{0}, Count{0};
+  T.forEachPar([&](uint32_t V) {
+    Sum.fetch_add(V, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  });
+  uint64_t RefSum = 0;
+  for (uint32_t V : E)
+    RefSum += V;
+  EXPECT_EQ(Count.load(), E.size());
+  EXPECT_EQ(Sum.load(), RefSum);
+}
+
+TEST(CTreeTraversal, IterCondEarlyExit) {
+  auto E = sortedUnique(randomKeys(5000, 7, 1u << 20));
+  CT T = CT::buildSorted(E.data(), E.size());
+  size_t Stop = E.size() / 3;
+  std::vector<uint32_t> Seen;
+  bool Finished = T.iterCond([&](uint32_t V) {
+    Seen.push_back(V);
+    return Seen.size() < Stop;
+  });
+  EXPECT_FALSE(Finished);
+  EXPECT_EQ(Seen.size(), Stop);
+  EXPECT_TRUE(std::equal(Seen.begin(), Seen.end(), E.begin()));
+}
+
+TEST(CTreeMemory, DeltaSmallerThanRawOnClusteredKeys) {
+  // Clustered ids compress well under difference encoding (Table 2).
+  std::vector<uint32_t> E;
+  for (uint32_t I = 0; I < 100000; ++I)
+    E.push_back(I * 2);
+  CT D = CT::buildSorted(E.data(), E.size());
+  CTRaw R = CTRaw::buildSorted(E.data(), E.size());
+  EXPECT_LT(D.memoryBytes() * 2, R.memoryBytes());
+}
+
+TEST(CTreeMemory, FewerNodesThanElements) {
+  ChunkSizeGuard G(128);
+  auto E = sortedUnique(randomKeys(100000, 8, 1u << 24));
+  CT T = CT::buildSorted(E.data(), E.size());
+  // ~n/b tree nodes versus n nodes for the uncompressed tree.
+  EXPECT_LT(T.numHeads() * 20, E.size());
+}
+
+//===----------------------------------------------------------------------===
+// Set algebra, parameterized over (chunk size, seed).
+//===----------------------------------------------------------------------===
+
+class CTreeSetOps
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {
+protected:
+  void SetUp() override {
+    Guard.emplace(std::get<0>(GetParam()));
+    Seed = std::get<1>(GetParam());
+  }
+  std::optional<ChunkSizeGuard> Guard;
+  uint64_t Seed = 0;
+};
+
+TEST_P(CTreeSetOps, UnionMatchesReference) {
+  auto A = sortedUnique(randomKeys(4000, Seed, 30000));
+  auto B = sortedUnique(randomKeys(4000, Seed + 100, 30000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT U = CT::setUnion(TA, TB);
+  std::set<uint32_t> Ref(A.begin(), A.end());
+  Ref.insert(B.begin(), B.end());
+  ASSERT_TRUE(U.checkInvariants());
+  EXPECT_EQ(U.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
+  // Inputs survive (value semantics).
+  EXPECT_EQ(TA.toVector(), A);
+  EXPECT_EQ(TB.toVector(), B);
+}
+
+TEST_P(CTreeSetOps, DifferenceMatchesReference) {
+  auto A = sortedUnique(randomKeys(5000, Seed + 1, 20000));
+  auto B = sortedUnique(randomKeys(5000, Seed + 101, 20000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT D = CT::setDifference(TA, TB);
+  std::vector<uint32_t> Ref;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(Ref));
+  ASSERT_TRUE(D.checkInvariants());
+  EXPECT_EQ(D.toVector(), Ref);
+}
+
+TEST_P(CTreeSetOps, IntersectMatchesReference) {
+  auto A = sortedUnique(randomKeys(5000, Seed + 2, 20000));
+  auto B = sortedUnique(randomKeys(5000, Seed + 102, 20000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT I = CT::setIntersect(TA, TB);
+  std::vector<uint32_t> Ref;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::back_inserter(Ref));
+  ASSERT_TRUE(I.checkInvariants());
+  EXPECT_EQ(I.toVector(), Ref);
+}
+
+TEST_P(CTreeSetOps, MultiInsertDeleteSequence) {
+  int64_t Base = liveNodes();
+  int64_t BaseBytes = liveCountedBytes();
+  {
+    std::set<uint32_t> Ref;
+    CT T;
+    for (int Round = 0; Round < 10; ++Round) {
+      auto Batch =
+          randomKeys(1 + hashAt(Seed, Round) % 3000, Seed * 7 + Round, 15000);
+      if (Round % 3 != 2) {
+        T = T.multiInsert(Batch);
+        Ref.insert(Batch.begin(), Batch.end());
+      } else {
+        T = T.multiDelete(Batch);
+        for (uint32_t K : Batch)
+          Ref.erase(K);
+      }
+      ASSERT_TRUE(T.checkInvariants()) << "round " << Round;
+      ASSERT_EQ(T.size(), Ref.size()) << "round " << Round;
+      ASSERT_EQ(T.toVector(),
+                std::vector<uint32_t>(Ref.begin(), Ref.end()))
+          << "round " << Round;
+    }
+  }
+  EXPECT_EQ(liveNodes(), Base) << "leaked tree nodes";
+  EXPECT_EQ(liveCountedBytes(), BaseBytes) << "leaked chunk bytes";
+}
+
+TEST_P(CTreeSetOps, SnapshotSurvivesUpdates) {
+  auto A = sortedUnique(randomKeys(8000, Seed + 3, 40000));
+  CT V1 = CT::buildSorted(A.data(), A.size());
+  CT Snapshot = V1; // O(1)
+  auto Batch = randomKeys(4000, Seed + 200, 40000);
+  CT V2 = V1.multiInsert(Batch);
+  CT V3 = V2.multiDelete(std::vector<uint32_t>(A.begin(), A.begin() + 100));
+  EXPECT_EQ(Snapshot.toVector(), A) << "old snapshot must be unchanged";
+  EXPECT_TRUE(V3.checkInvariants());
+}
+
+TEST_P(CTreeSetOps, UnionDisjointRanges) {
+  // Non-overlapping key ranges exercise the join2/prefix-stitching paths.
+  std::vector<uint32_t> A, B;
+  for (uint32_t I = 0; I < 3000; ++I)
+    A.push_back(I);
+  for (uint32_t I = 10000; I < 13000; ++I)
+    B.push_back(I);
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT U1 = CT::setUnion(TA, TB);
+  CT U2 = CT::setUnion(TB, TA);
+  auto All = A;
+  All.insert(All.end(), B.begin(), B.end());
+  EXPECT_EQ(U1.toVector(), All);
+  EXPECT_EQ(U2.toVector(), All);
+  ASSERT_TRUE(U1.checkInvariants());
+  ASSERT_TRUE(U2.checkInvariants());
+  // Difference that removes the entire low range.
+  CT D = CT::setDifference(U1, TA);
+  EXPECT_EQ(D.toVector(), B);
+  ASSERT_TRUE(D.checkInvariants());
+}
+
+TEST_P(CTreeSetOps, SelfOperations) {
+  auto A = sortedUnique(randomKeys(3000, Seed + 4, 20000));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT U = CT::setUnion(TA, TA);
+  EXPECT_EQ(U.toVector(), A);
+  CT I = CT::setIntersect(TA, TA);
+  EXPECT_EQ(I.toVector(), A);
+  CT D = CT::setDifference(TA, TA);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST_P(CTreeSetOps, SingleElementOps) {
+  CT T;
+  std::set<uint32_t> Ref;
+  for (int I = 0; I < 200; ++I) {
+    uint32_t K = uint32_t(hashAt(Seed + 5, I) % 500);
+    if (I % 4 == 3) {
+      T = T.remove(K);
+      Ref.erase(K);
+    } else {
+      T = T.insert(K);
+      Ref.insert(K);
+    }
+    ASSERT_EQ(T.size(), Ref.size());
+  }
+  EXPECT_EQ(T.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkSizesAndSeeds, CTreeSetOps,
+    ::testing::Combine(::testing::Values(2, 8, 32, 128, 512),
+                       ::testing::Values(1, 2, 3)));
+
+//===----------------------------------------------------------------------===
+// Raw-codec instantiation sanity (the "No DE" configuration).
+//===----------------------------------------------------------------------===
+
+TEST(CTreeRawCodec, SetOpsMatchReference) {
+  auto A = sortedUnique(randomKeys(4000, 900, 30000));
+  auto B = sortedUnique(randomKeys(4000, 901, 30000));
+  CTRaw TA = CTRaw::buildSorted(A.data(), A.size());
+  CTRaw TB = CTRaw::buildSorted(B.data(), B.size());
+  CTRaw U = CTRaw::setUnion(TA, TB);
+  std::set<uint32_t> Ref(A.begin(), A.end());
+  Ref.insert(B.begin(), B.end());
+  ASSERT_TRUE(U.checkInvariants());
+  EXPECT_EQ(U.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
+}
+
+TEST(CTreeStress, LargeUnionThroughput) {
+  // Moderate-size sanity run of the batch-update path used by the graph.
+  auto A = sortedUnique(randomKeys(200000, 910, 1u << 24));
+  auto B = sortedUnique(randomKeys(200000, 911, 1u << 24));
+  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TB = CT::buildSorted(B.data(), B.size());
+  CT U = CT::setUnion(std::move(TA), std::move(TB));
+  std::vector<uint32_t> Ref;
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Ref));
+  EXPECT_EQ(U.size(), Ref.size());
+  EXPECT_EQ(U.toVector(), Ref);
+}
