@@ -1,0 +1,248 @@
+//===- bench/bench_chunk_ops.cpp - Chunk-operation microbenchmark ---------===//
+//
+// Measures the zero-materialization cursor rewrite of the chunk set
+// operations (union / minus / intersect / split / contains) against naive
+// decode-to-vector reference implementations equivalent to the seed code,
+// reporting throughput and allocations per operation.
+//
+// Allocation accounting: a global operator new/delete override counts
+// heap allocation *events* (this is what the std::vector temporaries of
+// the naive path hit), countedAllocEvents() counts chunk payload
+// allocations, and scratchAllocEvents() counts scratch-cache misses.
+//
+//   -count <n>   elements per chunk (default 128, the paper's b)
+//   -pairs <n>   number of chunk pairs (default 1024)
+//   -rounds <r>  timing repetitions (default 3)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+#include "ctree/chunk.h"
+#include "util/hash.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+static std::atomic<uint64_t> GHeapAllocs{0};
+
+void *operator new(std::size_t N) {
+  GHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(N ? N : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t N) { return ::operator new(N); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+using namespace aspen;
+
+namespace {
+
+using P32 = ChunkPayload<uint32_t>;
+
+//===----------------------------------------------------------------------===
+// Naive reference implementations (the seed's decode-to-vector shape).
+//===----------------------------------------------------------------------===
+
+template <class Codec> P32 *naiveUnion(const P32 *A, const P32 *B) {
+  std::vector<uint32_t> EA, EB;
+  decodeChunk<Codec>(A, EA);
+  decodeChunk<Codec>(B, EB);
+  std::vector<uint32_t> Out;
+  Out.reserve(EA.size() + EB.size());
+  std::set_union(EA.begin(), EA.end(), EB.begin(), EB.end(),
+                 std::back_inserter(Out));
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+template <class Codec>
+P32 *naiveMinus(const P32 *A, const uint32_t *Sub, size_t NSub) {
+  std::vector<uint32_t> EA;
+  decodeChunk<Codec>(A, EA);
+  std::vector<uint32_t> Out;
+  Out.reserve(EA.size());
+  std::set_difference(EA.begin(), EA.end(), Sub, Sub + NSub,
+                      std::back_inserter(Out));
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+template <class Codec> ChunkSplit naiveSplit(const P32 *C, uint32_t Key) {
+  ChunkSplit S;
+  if (!C)
+    return S;
+  std::vector<uint32_t> E;
+  decodeChunk<Codec>(C, E);
+  size_t Lo = size_t(std::lower_bound(E.begin(), E.end(), Key) - E.begin());
+  size_t Hi = Lo;
+  if (Hi < E.size() && E[Hi] == Key) {
+    S.Found = true;
+    ++Hi;
+  }
+  S.Left = makeChunk<Codec>(E.data(), Lo);
+  S.Right = makeChunk<Codec>(E.data() + Hi, E.size() - Hi);
+  return S;
+}
+
+//===----------------------------------------------------------------------===
+// Harness.
+//===----------------------------------------------------------------------===
+
+struct AllocStats {
+  uint64_t Heap;
+  uint64_t Counted;
+  uint64_t Scratch;
+};
+
+AllocStats snapshotAllocs() {
+  return {GHeapAllocs.load(std::memory_order_relaxed),
+          countedAllocEvents(), scratchAllocEvents()};
+}
+
+struct OpReport {
+  double Seconds;
+  AllocStats Delta;
+  uint64_t Ops;
+};
+
+template <class F> OpReport measure(int Rounds, uint64_t Ops, const F &Fn) {
+  // Warm-up pass populates scratch caches and vector allocator pools.
+  Fn();
+  AllocStats Before = snapshotAllocs();
+  double Best = 1e30;
+  for (int R = 0; R < Rounds; ++R) {
+    double T = timeIt(Fn);
+    if (T < Best)
+      Best = T;
+  }
+  AllocStats After = snapshotAllocs();
+  uint64_t TotalOps = Ops * uint64_t(Rounds);
+  return {Best,
+          {(After.Heap - Before.Heap) / uint64_t(Rounds),
+           (After.Counted - Before.Counted) / uint64_t(Rounds),
+           (After.Scratch - Before.Scratch) / uint64_t(Rounds)},
+          TotalOps};
+}
+
+void printRow(const char *Op, const char *Impl, const OpReport &R,
+              uint64_t OpsPerRound) {
+  std::printf("  %-10s %-8s %10s   %7.2f allocs/op (heap %6.2f, "
+              "payload %6.2f, scratch %g)\n",
+              Op, Impl, fmtRate(double(OpsPerRound) / R.Seconds).c_str(),
+              double(R.Delta.Heap + R.Delta.Counted + R.Delta.Scratch) /
+                  double(OpsPerRound),
+              double(R.Delta.Heap) / double(OpsPerRound),
+              double(R.Delta.Counted) / double(OpsPerRound),
+              double(R.Delta.Scratch) / double(OpsPerRound));
+}
+
+template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
+  std::printf("\ncodec %s, %zu elements/chunk, %zu pairs:\n", Codec::Name,
+              Count, Pairs);
+
+  // Overlapping sorted-unique element sets per pair.
+  std::vector<P32 *> As(Pairs), Bs(Pairs);
+  std::vector<std::vector<uint32_t>> Spans(Pairs);
+  for (size_t P = 0; P < Pairs; ++P) {
+    auto Make = [&](uint64_t Seed) {
+      std::vector<uint32_t> E(Count);
+      for (size_t I = 0; I < Count; ++I)
+        E[I] = uint32_t(hashAt(Seed, I) % (Count * 8));
+      std::sort(E.begin(), E.end());
+      E.erase(std::unique(E.begin(), E.end()), E.end());
+      return E;
+    };
+    auto EA = Make(2 * P);
+    auto EB = Make(2 * P + 1);
+    As[P] = makeChunk<Codec>(EA.data(), EA.size());
+    Bs[P] = makeChunk<Codec>(EB.data(), EB.size());
+    Spans[P] = EB;
+  }
+
+  OpReport R;
+  auto Run = [&](auto &&Fn) { return measure(Rounds, Pairs, Fn); };
+
+  R = Run([&] {
+    for (size_t P = 0; P < Pairs; ++P)
+      releaseChunk(naiveUnion<Codec>(As[P], Bs[P]));
+  });
+  printRow("union", "naive", R, Pairs);
+  R = Run([&] {
+    for (size_t P = 0; P < Pairs; ++P)
+      releaseChunk(unionChunks<Codec>(As[P], Bs[P]));
+  });
+  printRow("union", "cursor", R, Pairs);
+
+  R = Run([&] {
+    for (size_t P = 0; P < Pairs; ++P)
+      releaseChunk(
+          naiveMinus<Codec>(As[P], Spans[P].data(), Spans[P].size()));
+  });
+  printRow("minus", "naive", R, Pairs);
+  R = Run([&] {
+    for (size_t P = 0; P < Pairs; ++P)
+      releaseChunk(
+          chunkMinus<Codec>(As[P], Spans[P].data(), Spans[P].size()));
+  });
+  printRow("minus", "cursor", R, Pairs);
+
+  auto SplitKey = [&](size_t P) {
+    return As[P]->First + uint32_t(hashAt(7, P) % (As[P]->Last -
+                                                   As[P]->First + 1));
+  };
+  R = Run([&] {
+    for (size_t P = 0; P < Pairs; ++P) {
+      ChunkSplit S = naiveSplit<Codec>(As[P], SplitKey(P));
+      releaseChunk(static_cast<P32 *>(S.Left));
+      releaseChunk(static_cast<P32 *>(S.Right));
+    }
+  });
+  printRow("split", "naive", R, Pairs);
+  R = Run([&] {
+    for (size_t P = 0; P < Pairs; ++P) {
+      ChunkSplit S = splitChunk<Codec>(As[P], SplitKey(P));
+      releaseChunk(static_cast<P32 *>(S.Left));
+      releaseChunk(static_cast<P32 *>(S.Right));
+    }
+  });
+  printRow("split", "cursor", R, Pairs);
+
+  // Contains: no allocation either way; throughput only.
+  uint64_t Probes = Pairs * 64;
+  std::atomic<uint64_t> Sink{0};
+  R = measure(Rounds, Probes, [&] {
+    uint64_t Hits = 0;
+    for (size_t P = 0; P < Pairs; ++P)
+      for (size_t I = 0; I < 64; ++I)
+        Hits += chunkContains<Codec>(As[P], uint32_t(hashAt(9, P * 64 + I) %
+                                                     (Count * 8)));
+    Sink += Hits;
+  });
+  printRow("contains", "cursor", R, Probes);
+
+  for (size_t P = 0; P < Pairs; ++P) {
+    releaseChunk(As[P]);
+    releaseChunk(Bs[P]);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  size_t Count = size_t(CL.getInt("count", 128));
+  size_t Pairs = size_t(CL.getInt("pairs", 1024));
+  int Rounds = int(CL.getInt("rounds", 3));
+
+  printHeader("chunk set-operation microbenchmark");
+  printEnvironment();
+  runCodec<DeltaByteCodec>(Count, Pairs, Rounds);
+  runCodec<RawCodec>(Count, Pairs, Rounds);
+  runCodec<DeltaByteCodec>(Count * 16, Pairs / 8 + 1, Rounds);
+  return 0;
+}

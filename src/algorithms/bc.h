@@ -33,7 +33,11 @@ struct BCForwardF {
     double Contribution = NumPaths[U].load(std::memory_order_relaxed);
     double Old;
     if (Atomic) {
-      Old = NumPaths[V].fetch_add(Contribution, std::memory_order_relaxed);
+      // C++17 has no atomic<double>::fetch_add; CAS-loop instead.
+      Old = NumPaths[V].load(std::memory_order_relaxed);
+      while (!NumPaths[V].compare_exchange_weak(Old, Old + Contribution,
+                                                std::memory_order_relaxed))
+        ;
     } else {
       // Dense traversal: a single writer per destination vertex.
       Old = NumPaths[V].load(std::memory_order_relaxed);

@@ -10,6 +10,17 @@
 //    ("Aspen (DE)" in Table 2).
 //  * RawCodec       - plain element array ("Aspen (No DE)").
 //
+// Every codec exposes a streaming Cursor (done/value/advance, plus
+// lower-bound seeking with byte-offset tracking), and all set operations
+// below are one-pass cursor merges: elements stream from the input
+// cursors through a bounded single-pass encoder into per-thread scratch
+// (capacity known from the input counts), then one memcpy lands them in
+// the exactly-sized payload. No operation materializes a decoded element
+// array; the only allocation on any hot path is the output payload
+// itself. Split goes further and byte-slices the encoded stream: a
+// chunk's encoding after element i is independent of elements before i,
+// so both halves are header fix-ups plus a memcpy.
+//
 // Chunks are immutable after construction, so sharing them between tree
 // versions is a reference-count bump; all "modifications" build new chunks.
 //
@@ -47,37 +58,103 @@ template <class K> struct ChunkPayload {
 struct DeltaByteCodec {
   static constexpr const char *Name = "delta-byte";
 
+  /// Encoded size of the gap between consecutive elements.
+  template <class K> static size_t gapBytes(K Prev, K Next) {
+    return varintSize(static_cast<uint64_t>(Next) -
+                      static_cast<uint64_t>(Prev));
+  }
+
+  /// Upper bound on gapBytes for any pair of K values.
+  template <class K> static constexpr size_t maxGapBytes() {
+    return (sizeof(K) * 8 + 6) / 7;
+  }
+
+  /// Append the encoding of the gap Prev -> Next at \p Out; returns the
+  /// byte past it.
+  template <class K>
+  static uint8_t *encodeGap(K Prev, K Next, uint8_t *Out) {
+    return encodeVarint(static_cast<uint64_t>(Next) -
+                            static_cast<uint64_t>(Prev),
+                        Out);
+  }
+
   template <class K> static size_t encodedBytes(const K *E, size_t N) {
     size_t Bytes = 0;
     for (size_t I = 1; I < N; ++I)
-      Bytes += varintSize(static_cast<uint64_t>(E[I]) -
-                          static_cast<uint64_t>(E[I - 1]));
+      Bytes += gapBytes(E[I - 1], E[I]);
     return Bytes;
   }
 
   template <class K>
-  static void encode(const K *E, size_t N, uint8_t *Out) {
+  static void encode(const K *E, size_t N, uint8_t *Out, size_t Cap) {
+    VarintWriter W(Out, Cap);
     for (size_t I = 1; I < N; ++I)
-      Out = encodeVarint(static_cast<uint64_t>(E[I]) -
-                             static_cast<uint64_t>(E[I - 1]),
-                         Out);
+      W.append(static_cast<uint64_t>(E[I]) - static_cast<uint64_t>(E[I - 1]));
   }
+
+  /// Streaming reader over one chunk's elements.
+  template <class K> class Cursor {
+  public:
+    Cursor() = default;
+    explicit Cursor(const ChunkPayload<K> *C) {
+      if (!C)
+        return;
+      Cur = C->First;
+      Begin = C->data();
+      Rest = VarintCursor(Begin, C->Count - 1);
+      Left = C->Count;
+    }
+
+    bool done() const { return Left == 0; }
+    uint32_t remaining() const { return Left; }
+    K value() const {
+      assert(Left > 0 && "value() on exhausted cursor");
+      return Cur;
+    }
+
+    void advance() {
+      assert(Left > 0 && "advance() on exhausted cursor");
+      --Left;
+      if (Left)
+        Cur = static_cast<K>(static_cast<uint64_t>(Cur) + Rest.next());
+    }
+
+    /// Bytes of encoded elements consumed so far: the encodings of
+    /// elements [1 .. index] (element 0 lives in the header).
+    size_t byteOffset() const {
+      return static_cast<size_t>(Rest.pos() - Begin);
+    }
+
+    /// Advance to the first element >= Key (or done()). prevValue() /
+    /// prevByteOffset() then describe the last element < Key, when the
+    /// seek moved past at least one element.
+    void seekLowerBound(K Key) {
+      while (Left && Cur < Key) {
+        Prev = Cur;
+        PrevOff = byteOffset();
+        advance();
+      }
+    }
+
+    K prevValue() const { return Prev; }
+    size_t prevByteOffset() const { return PrevOff; }
+
+  private:
+    K Cur{};
+    K Prev{};
+    VarintCursor Rest;
+    const uint8_t *Begin = nullptr;
+    size_t PrevOff = 0;
+    uint32_t Left = 0;
+  };
 
   /// Invoke Fn on each element in order; Fn returns false to stop early.
   /// Returns false iff stopped early.
   template <class K, class F>
   static bool iterate(const ChunkPayload<K> *C, const F &Fn) {
-    K Cur = C->First;
-    if (!Fn(Cur))
-      return false;
-    const uint8_t *In = C->data();
-    for (uint32_t I = 1; I < C->Count; ++I) {
-      uint64_t Delta;
-      In = decodeVarint(In, Delta);
-      Cur = static_cast<K>(static_cast<uint64_t>(Cur) + Delta);
-      if (!Fn(Cur))
+    for (Cursor<K> Cu(C); !Cu.done(); Cu.advance())
+      if (!Fn(Cu.value()))
         return false;
-    }
     return true;
   }
 };
@@ -86,27 +163,95 @@ struct DeltaByteCodec {
 struct RawCodec {
   static constexpr const char *Name = "raw";
 
+  template <class K> static size_t gapBytes(K, K) { return sizeof(K); }
+
+  template <class K> static constexpr size_t maxGapBytes() {
+    return sizeof(K);
+  }
+
+  template <class K>
+  static uint8_t *encodeGap(K, K Next, uint8_t *Out) {
+    std::memcpy(Out, &Next, sizeof(K));
+    return Out + sizeof(K);
+  }
+
   template <class K> static size_t encodedBytes(const K *, size_t N) {
     return N > 1 ? (N - 1) * sizeof(K) : 0;
   }
 
   template <class K>
-  static void encode(const K *E, size_t N, uint8_t *Out) {
+  static void encode(const K *E, size_t N, uint8_t *Out, size_t) {
     if (N > 1)
       std::memcpy(Out, E + 1, (N - 1) * sizeof(K));
   }
 
+  template <class K> class Cursor {
+  public:
+    Cursor() = default;
+    explicit Cursor(const ChunkPayload<K> *C) {
+      if (!C)
+        return;
+      First = C->First;
+      Data = C->data();
+      Count = C->Count;
+    }
+
+    bool done() const { return Idx == Count; }
+    uint32_t remaining() const { return Count - Idx; }
+    K value() const {
+      assert(Idx < Count && "value() on exhausted cursor");
+      return elem(Idx);
+    }
+    void advance() {
+      assert(Idx < Count && "advance() on exhausted cursor");
+      ++Idx;
+    }
+
+    size_t byteOffset() const { return size_t(Idx) * sizeof(K); }
+
+    /// O(log count): raw chunks support true binary search.
+    void seekLowerBound(K Key) {
+      if (done() || value() >= Key)
+        return;
+      // Invariant: elem(Lo) < Key <= elem(Hi) (Hi == Count as sentinel).
+      uint32_t Lo = Idx, Hi = Count;
+      while (Hi - Lo > 1) {
+        uint32_t Mid = Lo + (Hi - Lo) / 2;
+        if (elem(Mid) < Key)
+          Lo = Mid;
+        else
+          Hi = Mid;
+      }
+      Prev = elem(Lo);
+      PrevOff = size_t(Lo) * sizeof(K);
+      Idx = Hi;
+    }
+
+    K prevValue() const { return Prev; }
+    size_t prevByteOffset() const { return PrevOff; }
+
+  private:
+    K elem(uint32_t I) const {
+      if (I == 0)
+        return First;
+      K V;
+      std::memcpy(&V, Data + size_t(I - 1) * sizeof(K), sizeof(K));
+      return V;
+    }
+
+    K First{};
+    K Prev{};
+    const uint8_t *Data = nullptr;
+    size_t PrevOff = 0;
+    uint32_t Idx = 0;
+    uint32_t Count = 0;
+  };
+
   template <class K, class F>
   static bool iterate(const ChunkPayload<K> *C, const F &Fn) {
-    if (!Fn(C->First))
-      return false;
-    const uint8_t *In = C->data();
-    for (uint32_t I = 1; I < C->Count; ++I) {
-      K V;
-      std::memcpy(&V, In + (I - 1) * sizeof(K), sizeof(K));
-      if (!Fn(V))
+    for (Cursor<K> Cu(C); !Cu.done(); Cu.advance())
+      if (!Fn(Cu.value()))
         return false;
-    }
     return true;
   }
 };
@@ -131,6 +276,111 @@ template <class K> void releaseChunk(ChunkPayload<K> *C) {
   }
 }
 
+/// Cursor-concept adapter over a sorted span, matching the codec cursors'
+/// done/value/advance/remaining surface so merge bodies are shared between
+/// chunk-vs-chunk and chunk-vs-span operations.
+template <class K> class SpanCursor {
+public:
+  SpanCursor() = default;
+  SpanCursor(const K *E, size_t N) : E(E), N(N) {}
+
+  bool done() const { return I == N; }
+  size_t remaining() const { return N - I; }
+  K value() const {
+    assert(I < N && "value() on exhausted cursor");
+    return E[I];
+  }
+  void advance() {
+    assert(I < N && "advance() on exhausted cursor");
+    ++I;
+  }
+
+private:
+  const K *E = nullptr;
+  size_t I = 0;
+  size_t N = 0;
+};
+
+namespace detail {
+
+/// The three streaming set-merge bodies, over any pair of cursors. Each
+/// consumes its cursors (taken by value) and emits a strictly increasing
+/// stream into \p Sink.
+
+template <class CA, class CB, class Sink>
+void mergeUnion(CA A, CB B, const Sink &S) {
+  while (!A.done() && !B.done()) {
+    auto VA = A.value(), VB = B.value();
+    if (VA < VB) {
+      S(VA);
+      A.advance();
+    } else if (VB < VA) {
+      S(VB);
+      B.advance();
+    } else {
+      S(VA);
+      A.advance();
+      B.advance();
+    }
+  }
+  for (; !A.done(); A.advance())
+    S(A.value());
+  for (; !B.done(); B.advance())
+    S(B.value());
+}
+
+/// Elements of A not present in B.
+template <class CA, class CB, class Sink>
+void mergeMinus(CA A, CB B, const Sink &S) {
+  for (; !A.done(); A.advance()) {
+    auto V = A.value();
+    while (!B.done() && B.value() < V)
+      B.advance();
+    if (!B.done() && B.value() == V)
+      continue;
+    S(V);
+  }
+}
+
+/// Elements of A also present in B.
+template <class CA, class CB, class Sink>
+void mergeIntersect(CA A, CB B, const Sink &S) {
+  for (; !A.done(); A.advance()) {
+    auto V = A.value();
+    while (!B.done() && B.value() < V)
+      B.advance();
+    if (!B.done() && B.value() == V)
+      S(V);
+  }
+}
+
+/// Allocate a payload with the given header; the encoded region is left
+/// for the caller to fill (exactly \p Bytes bytes).
+template <class K>
+ChunkPayload<K> *allocChunk(K First, K Last, uint32_t Count, size_t Bytes) {
+  void *Mem = countedAlloc(sizeof(ChunkPayload<K>) + Bytes);
+  auto *C = new (Mem) ChunkPayload<K>();
+  C->Ref.store(1, std::memory_order_relaxed);
+  C->Count = Count;
+  C->Bytes = static_cast<uint32_t>(Bytes);
+  C->First = First;
+  C->Last = Last;
+  return C;
+}
+
+/// Payload whose encoded region is a verbatim copy of \p Src (valid
+/// because a chunk's encoding from any element onward is position-
+/// independent under both codecs).
+template <class K>
+ChunkPayload<K> *sliceChunk(K First, K Last, uint32_t Count,
+                            const uint8_t *Src, size_t Bytes) {
+  ChunkPayload<K> *C = allocChunk(First, Last, Count, Bytes);
+  std::memcpy(C->data(), Src, Bytes);
+  return C;
+}
+
+} // namespace detail
+
 /// Build a chunk from \p N sorted, duplicate-free elements (nullptr if
 /// N == 0).
 template <class Codec, class K>
@@ -138,14 +388,49 @@ ChunkPayload<K> *makeChunk(const K *E, size_t N) {
   if (N == 0)
     return nullptr;
   size_t Bytes = Codec::template encodedBytes<K>(E, N);
-  void *Mem = countedAlloc(sizeof(ChunkPayload<K>) + Bytes);
-  auto *C = new (Mem) ChunkPayload<K>();
-  C->Ref.store(1, std::memory_order_relaxed);
-  C->Count = static_cast<uint32_t>(N);
-  C->Bytes = static_cast<uint32_t>(Bytes);
-  C->First = E[0];
-  C->Last = E[N - 1];
-  Codec::template encode<K>(E, N, C->data());
+  ChunkPayload<K> *C =
+      detail::allocChunk(E[0], E[N - 1], static_cast<uint32_t>(N), Bytes);
+  Codec::template encode<K>(E, N, C->data(), Bytes);
+  return C;
+}
+
+/// Build a chunk by running the element generator \p G once, encoding as
+/// it goes: a bounded single-pass encode into per-thread scratch (capacity
+/// maxGapBytes * MaxCount, an upper bound every set operation knows from
+/// its input counts), then one memcpy into the exactly-sized payload.
+/// \p G invokes its sink with each output element in strictly increasing
+/// order; \p MaxCount must bound the number of elements it emits. Returns
+/// nullptr for an empty stream. This is the zero-materialization workhorse
+/// behind every chunk set operation: the payload is the only allocation,
+/// and only the scratch cache's first warm-up ever touches the heap.
+template <class Codec, class K, class Gen>
+ChunkPayload<K> *buildChunkStreaming(size_t MaxCount, const Gen &G) {
+  if (MaxCount == 0)
+    return nullptr;
+  size_t CapBytes = MaxCount * Codec::template maxGapBytes<K>();
+  size_t Cap;
+  auto *Buf = static_cast<uint8_t *>(scratchAcquire(CapBytes, Cap));
+  uint8_t *Out = Buf;
+  uint32_t N = 0;
+  K First{}, Prev{};
+  G([&](K V) {
+    assert((N == 0 || Prev < V) && "stream must be strictly increasing");
+    if (N)
+      Out = Codec::template encodeGap<K>(Prev, V, Out);
+    else
+      First = V;
+    Prev = V;
+    ++N;
+  });
+  assert(N <= MaxCount && "generator exceeded its element bound");
+  assert(size_t(Out - Buf) <= CapBytes && "encode overran the gap bound");
+  ChunkPayload<K> *C = nullptr;
+  if (N) {
+    size_t Bytes = static_cast<size_t>(Out - Buf);
+    C = detail::allocChunk(First, Prev, N, Bytes);
+    std::memcpy(C->data(), Buf, Bytes);
+  }
+  scratchRelease(Buf, Cap);
   return C;
 }
 
@@ -157,7 +442,8 @@ template <class K> size_t chunkBytes(const ChunkPayload<K> *C) {
   return C ? sizeof(ChunkPayload<K>) + C->Bytes : 0;
 }
 
-/// Append the chunk's elements to \p Out.
+/// Append the chunk's elements to \p Out (test/compat helper; hot paths
+/// use cursors or decodeChunkTo into scratch).
 template <class Codec, class K>
 void decodeChunk(const ChunkPayload<K> *C, std::vector<K> &Out) {
   if (!C)
@@ -169,24 +455,33 @@ void decodeChunk(const ChunkPayload<K> *C, std::vector<K> &Out) {
   });
 }
 
-/// Membership test; O(count) sequential scan with early exit (chunks are
-/// O(b log n) w.h.p., Section 4.2).
+/// Decode into a caller-provided buffer of capacity >= chunkCount(C);
+/// returns the element count.
+template <class Codec, class K>
+size_t decodeChunkTo(const ChunkPayload<K> *C, K *Out) {
+  size_t N = 0;
+  for (typename Codec::template Cursor<K> Cu(C); !Cu.done(); Cu.advance())
+    Out[N++] = Cu.value();
+  return N;
+}
+
+/// Membership test. Header bounds give O(1) answers at both ends (First
+/// and Last symmetric); otherwise a lower-bound seek: O(log b) for raw
+/// chunks, early-exiting scan for delta chunks.
 template <class Codec, class K>
 bool chunkContains(const ChunkPayload<K> *C, K X) {
   if (!C || X < C->First || X > C->Last)
     return false;
-  bool Found = false;
-  Codec::template iterate<K>(C, [&](K V) {
-    if (V >= X) {
-      Found = (V == X);
-      return false;
-    }
+  if (X == C->First || X == C->Last)
     return true;
-  });
-  return Found;
+  typename Codec::template Cursor<K> Cu(C);
+  Cu.seekLowerBound(X);
+  return !Cu.done() && Cu.value() == X;
 }
 
-/// Merge two sorted chunks, removing duplicates.
+/// Merge two sorted chunks, removing duplicates. One pass per side; no
+/// decoded intermediates. Disjoint ordered ranges (the common case when a
+/// tail meets the next subtree's prefix) degrade to byte concatenation.
 template <class Codec, class K>
 ChunkPayload<K> *unionChunks(const ChunkPayload<K> *A,
                              const ChunkPayload<K> *B) {
@@ -200,66 +495,106 @@ ChunkPayload<K> *unionChunks(const ChunkPayload<K> *A,
     retainChunk(R);
     return R;
   }
-  std::vector<K> EA, EB;
-  decodeChunk<Codec>(A, EA);
-  decodeChunk<Codec>(B, EB);
-  std::vector<K> Out;
-  Out.reserve(EA.size() + EB.size());
-  size_t I = 0, J = 0;
-  while (I < EA.size() && J < EB.size()) {
-    if (EA[I] < EB[J])
-      Out.push_back(EA[I++]);
-    else if (EB[J] < EA[I])
-      Out.push_back(EB[J++]);
-    else {
-      Out.push_back(EA[I]);
-      ++I;
-      ++J;
-    }
+  if (B->Last < A->First)
+    std::swap(A, B);
+  if (A->Last < B->First) {
+    // Disjoint: A's bytes, the bridging gap, B's first-element gap
+    // re-encoded, B's remaining bytes... B's encoding after its first
+    // element is position-independent, so only the A.Last -> B.First gap
+    // is new.
+    size_t Gap = Codec::template gapBytes<K>(A->Last, B->First);
+    size_t Bytes = size_t(A->Bytes) + Gap + B->Bytes;
+    ChunkPayload<K> *C =
+        detail::allocChunk(A->First, B->Last, A->Count + B->Count, Bytes);
+    uint8_t *Out = C->data();
+    std::memcpy(Out, A->data(), A->Bytes);
+    Out += A->Bytes;
+    Out = Codec::template encodeGap<K>(A->Last, B->First, Out);
+    std::memcpy(Out, B->data(), B->Bytes);
+    return C;
   }
-  Out.insert(Out.end(), EA.begin() + I, EA.end());
-  Out.insert(Out.end(), EB.begin() + J, EB.end());
-  return makeChunk<Codec>(Out.data(), Out.size());
+  return buildChunkStreaming<Codec, K>(
+      size_t(A->Count) + B->Count, [&](auto &&Sink) {
+        detail::mergeUnion(typename Codec::template Cursor<K>(A),
+                           typename Codec::template Cursor<K>(B), Sink);
+      });
 }
 
-/// Elements of \p A not in the sorted vector \p Sub.
+/// Union of chunk \p A with the sorted, duplicate-free span \p B.
+template <class Codec, class K>
+ChunkPayload<K> *unionChunkSpan(const ChunkPayload<K> *A, const K *B,
+                                size_t NB) {
+  if (NB == 0) {
+    auto *R = const_cast<ChunkPayload<K> *>(A);
+    retainChunk(R);
+    return R;
+  }
+  if (!A)
+    return makeChunk<Codec>(B, NB);
+  return buildChunkStreaming<Codec, K>(A->Count + NB, [&](auto &&Sink) {
+    detail::mergeUnion(typename Codec::template Cursor<K>(A),
+                       SpanCursor<K>(B, NB), Sink);
+  });
+}
+
+/// Elements of \p A not in the sorted span \p Sub.
+template <class Codec, class K>
+ChunkPayload<K> *chunkMinus(const ChunkPayload<K> *A, const K *Sub,
+                            size_t NSub) {
+  if (!A)
+    return nullptr;
+  if (NSub == 0 || Sub[NSub - 1] < A->First || Sub[0] > A->Last) {
+    auto *R = const_cast<ChunkPayload<K> *>(A);
+    retainChunk(R);
+    return R;
+  }
+  return buildChunkStreaming<Codec, K>(A->Count, [&](auto &&Sink) {
+    detail::mergeMinus(typename Codec::template Cursor<K>(A),
+                       SpanCursor<K>(Sub, NSub), Sink);
+  });
+}
+
 template <class Codec, class K>
 ChunkPayload<K> *chunkMinus(const ChunkPayload<K> *A,
                             const std::vector<K> &Sub) {
-  if (!A)
-    return nullptr;
-  std::vector<K> EA;
-  decodeChunk<Codec>(A, EA);
-  std::vector<K> Out;
-  Out.reserve(EA.size());
-  size_t J = 0;
-  for (K V : EA) {
-    while (J < Sub.size() && Sub[J] < V)
-      ++J;
-    if (J < Sub.size() && Sub[J] == V)
-      continue;
-    Out.push_back(V);
-  }
-  return makeChunk<Codec>(Out.data(), Out.size());
+  return chunkMinus<Codec>(A, Sub.data(), Sub.size());
 }
 
-/// Elements of \p A also present in the sorted vector \p Keep.
+/// Elements of \p A not in chunk \p Sub; both sides stream.
+template <class Codec, class K>
+ChunkPayload<K> *chunkMinusChunk(const ChunkPayload<K> *A,
+                                 const ChunkPayload<K> *Sub) {
+  if (!A)
+    return nullptr;
+  if (!Sub || Sub->Last < A->First || Sub->First > A->Last) {
+    auto *R = const_cast<ChunkPayload<K> *>(A);
+    retainChunk(R);
+    return R;
+  }
+  return buildChunkStreaming<Codec, K>(A->Count, [&](auto &&Sink) {
+    detail::mergeMinus(typename Codec::template Cursor<K>(A),
+                       typename Codec::template Cursor<K>(Sub), Sink);
+  });
+}
+
+/// Elements of \p A also present in the sorted span \p Keep.
+template <class Codec, class K>
+ChunkPayload<K> *chunkIntersect(const ChunkPayload<K> *A, const K *Keep,
+                                size_t NKeep) {
+  if (!A || NKeep == 0 || Keep[NKeep - 1] < A->First ||
+      Keep[0] > A->Last)
+    return nullptr;
+  return buildChunkStreaming<Codec, K>(
+      A->Count < NKeep ? A->Count : uint32_t(NKeep), [&](auto &&Sink) {
+        detail::mergeIntersect(typename Codec::template Cursor<K>(A),
+                               SpanCursor<K>(Keep, NKeep), Sink);
+      });
+}
+
 template <class Codec, class K>
 ChunkPayload<K> *chunkIntersect(const ChunkPayload<K> *A,
                                 const std::vector<K> &Keep) {
-  if (!A)
-    return nullptr;
-  std::vector<K> EA;
-  decodeChunk<Codec>(A, EA);
-  std::vector<K> Out;
-  size_t J = 0;
-  for (K V : EA) {
-    while (J < Keep.size() && Keep[J] < V)
-      ++J;
-    if (J < Keep.size() && Keep[J] == V)
-      Out.push_back(V);
-  }
-  return makeChunk<Codec>(Out.data(), Out.size());
+  return chunkIntersect<Codec>(A, Keep.data(), Keep.size());
 }
 
 struct ChunkSplit {
@@ -269,6 +604,9 @@ struct ChunkSplit {
 };
 
 /// Split \p C around \p Key into (elements < Key, found, elements > Key).
+/// A lower-bound seek (binary search for raw chunks, byte-offset-tracking
+/// scan for delta chunks) locates the boundary; both halves are then
+/// byte slices of the original encoding - no re-encoding.
 template <class Codec, class K>
 ChunkSplit splitChunk(const ChunkPayload<K> *C, K Key) {
   ChunkSplit S;
@@ -284,18 +622,20 @@ ChunkSplit splitChunk(const ChunkPayload<K> *C, K Key) {
     S.Left = const_cast<ChunkPayload<K> *>(C);
     return S;
   }
-  std::vector<K> E;
-  decodeChunk<Codec>(C, E);
-  size_t Lo = 0;
-  while (Lo < E.size() && E[Lo] < Key)
-    ++Lo;
-  size_t Hi = Lo;
-  if (Hi < E.size() && E[Hi] == Key) {
-    S.Found = true;
-    ++Hi;
+  typename Codec::template Cursor<K> Cu(C);
+  Cu.seekLowerBound(Key);
+  uint32_t LoCount = C->Count - Cu.remaining(); // elements strictly < Key
+  S.Found = !Cu.done() && Cu.value() == Key;
+  if (LoCount > 0)
+    S.Left = detail::sliceChunk(C->First, Cu.prevValue(), LoCount,
+                                C->data(), Cu.prevByteOffset());
+  if (S.Found)
+    Cu.advance();
+  if (!Cu.done()) {
+    size_t Off = Cu.byteOffset();
+    S.Right = detail::sliceChunk(Cu.value(), C->Last, Cu.remaining(),
+                                 C->data() + Off, C->Bytes - Off);
   }
-  S.Left = makeChunk<Codec>(E.data(), Lo);
-  S.Right = makeChunk<Codec>(E.data() + Hi, E.size() - Hi);
   return S;
 }
 

@@ -22,6 +22,13 @@
 // per input and return owned roots; the public CTreeSet class provides
 // value semantics on top.
 //
+// Hot-path memory discipline: chunk-level merges stream through codec
+// cursors and encode directly into exactly-sized payloads (see
+// ctree/chunk.h); the only materialized temporaries are the batch spans
+// needed for head routing in unionBC/diffBC, which live in the per-thread
+// scratch workspace (memory/pool_allocator.h) and are recycled across
+// operations.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_CTREE_CTREE_H
@@ -200,21 +207,55 @@ public:
     size_t size() const { return chunkCount(Prefix) + T::aug(Root); }
     bool empty() const { return !Root && !Prefix; }
 
+    /// Streaming in-order cursor over every element: composes the prefix
+    /// chunk cursor, the heads-tree cursor, and per-head tail cursors.
+    /// Nothing is materialized; the view must outlive the cursor.
+    class Cursor {
+    public:
+      using ChunkCursor = typename Codec::template Cursor<K>;
+
+      Cursor() = default;
+      explicit Cursor(const View &V) : TC(V.Root) {
+        CC = ChunkCursor(V.Prefix);
+        State = !CC.done() ? InChunk : (!TC.done() ? AtHead : Drained);
+      }
+
+      bool done() const { return State == Drained; }
+      K value() const {
+        assert(State != Drained && "value() on exhausted cursor");
+        return State == InChunk ? CC.value() : TC.node()->Key;
+      }
+      void advance() {
+        assert(State != Drained && "advance() on exhausted cursor");
+        if (State == InChunk) {
+          CC.advance();
+          if (!CC.done())
+            return;
+        } else {
+          // Leave the head: its tail chunk comes next.
+          CC = ChunkCursor(TC.node()->Val.get());
+          TC.advance();
+          if (!CC.done()) {
+            State = InChunk;
+            return;
+          }
+        }
+        State = TC.done() ? Drained : AtHead;
+      }
+
+    private:
+      enum S { InChunk, AtHead, Drained };
+      ChunkCursor CC;
+      typename T::Cursor TC;
+      S State = Drained;
+    };
+
+    Cursor cursor() const { return Cursor(*this); }
+
     /// Sequential in-order traversal: Fn(element).
     template <class F> void forEachSeq(const F &Fn) const {
-      if (Prefix)
-        Codec::template iterate<K>(Prefix, [&](K V) {
-          Fn(V);
-          return true;
-        });
-      T::forEachSeq(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
-        Fn(Key);
-        if (Tail.get())
-          Codec::template iterate<K>(Tail.get(), [&](K V) {
-            Fn(V);
-            return true;
-          });
-      });
+      for (Cursor C(*this); !C.done(); C.advance())
+        Fn(C.value());
     }
 
     /// Parallel traversal (unordered across chunks): Fn(element).
@@ -260,15 +301,10 @@ public:
     /// Sequential in-order traversal with early exit: Fn returns false
     /// to stop. Returns false iff stopped early.
     template <class F> bool iterCond(const F &Fn) const {
-      if (Prefix && !Codec::template iterate<K>(Prefix, Fn))
-        return false;
-      return T::iterCond(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
-        if (!Fn(Key))
+      for (Cursor C(*this); !C.done(); C.advance())
+        if (!Fn(C.value()))
           return false;
-        if (Tail.get())
-          return Codec::template iterate<K>(Tail.get(), Fn);
-        return true;
-      });
+      return true;
     }
 
     /// All elements, in order.
@@ -282,6 +318,9 @@ public:
 
   /// Borrow a view of this set (valid while this set is alive).
   View view() const { return View{Root, Prefix}; }
+
+  /// Streaming cursor over all elements (this set must outlive it).
+  typename View::Cursor cursor() const { return view().cursor(); }
 
   //===--------------------------------------------------------------------===
   // Queries.
@@ -612,31 +651,26 @@ private:
     releaseChunk(PL);
     if (!PR)
       return Raw{C.T, NP};
-    // Route each remaining element to its head and merge tails.
-    std::vector<K> E;
-    decodeChunk<Codec>(PR, E);
+    // Route each remaining element to its head and merge tails. The batch
+    // is the one buffer that must be materialized (group boundaries need
+    // random access); it lives in per-thread scratch, and each tail merge
+    // streams the old tail against its span straight into the new payload.
+    ScratchArray<K> E(PR->Count);
+    size_t NE = decodeChunkTo<Codec>(PR, E.data());
     releaseChunk(PR);
     std::vector<std::pair<K, ChunkRef<K>>> Updates;
     size_t I = 0;
-    while (I < E.size()) {
+    while (I < NE) {
       const Node *HN = T::findLE(C.T, E[I]);
       assert(HN && "element below the smallest head reached tree routing");
       K Head = HN->Key;
       // The group ends where the next head's territory begins.
       const Node *Succ = nextHead(C.T, Head);
       size_t J = I;
-      while (J < E.size() && (!Succ || E[J] < Succ->Key))
+      while (J < NE && (!Succ || E[J] < Succ->Key))
         ++J;
-      // Merge [I, J) into Head's tail.
-      std::vector<K> TailElems;
-      decodeChunk<Codec>(HN->Val.get(), TailElems);
-      std::vector<K> Merged;
-      Merged.reserve(TailElems.size() + (J - I));
-      std::merge(TailElems.begin(), TailElems.end(), E.begin() + I,
-                 E.begin() + J, std::back_inserter(Merged));
-      Merged.erase(std::unique(Merged.begin(), Merged.end()), Merged.end());
-      Updates.emplace_back(
-          Head, ChunkRef<K>(makeChunk<Codec>(Merged.data(), Merged.size())));
+      Updates.emplace_back(Head, ChunkRef<K>(unionChunkSpan<Codec>(
+                                     HN->Val.get(), E.data() + I, J - I)));
       I = J;
     }
     Node *NT = T::multiInsert(
@@ -694,35 +728,36 @@ private:
   static Raw diffBC(Raw A, Payload *Sub) {
     if (!Sub)
       return A;
-    std::vector<K> S;
-    decodeChunk<Codec>(Sub, S);
-    releaseChunk(Sub);
     if (!A.T) {
-      Payload *NP = chunkMinus<Codec>(A.P, S);
+      // Prefix-only: both sides stream, nothing is materialized.
+      Payload *NP = chunkMinusChunk<Codec>(A.P, Sub);
       releaseChunk(A.P);
+      releaseChunk(Sub);
       return Raw{nullptr, NP};
     }
+    // Materialize the subtrahend in per-thread scratch for group routing;
+    // each group subtraction streams over a span of it.
+    ScratchArray<K> S(Sub->Count);
+    size_t NS = decodeChunkTo<Codec>(Sub, S.data());
+    releaseChunk(Sub);
     K Smallest = T::first(A.T)->Key;
     size_t Cut = 0;
-    while (Cut < S.size() && S[Cut] < Smallest)
+    while (Cut < NS && S[Cut] < Smallest)
       ++Cut;
-    std::vector<K> Lo(S.begin(), S.begin() + Cut);
-    Payload *NP = chunkMinus<Codec>(A.P, Lo);
+    Payload *NP = chunkMinus<Codec>(A.P, S.data(), Cut);
     releaseChunk(A.P);
     std::vector<std::pair<K, ChunkRef<K>>> Updates;
     size_t I = Cut;
-    while (I < S.size()) {
+    while (I < NS) {
       const Node *HN = T::findLE(A.T, S[I]);
       assert(HN && "subtrahend below smallest head routed into tree");
       K Head = HN->Key;
       const Node *Succ = nextHead(A.T, Head);
       size_t J = I;
-      while (J < S.size() && (!Succ || S[J] < Succ->Key))
+      while (J < NS && (!Succ || S[J] < Succ->Key))
         ++J;
-      std::vector<K> Group(S.begin() + I, S.begin() + J);
-      Updates.emplace_back(Head,
-                           ChunkRef<K>(chunkMinus<Codec>(HN->Val.get(),
-                                                         Group)));
+      Updates.emplace_back(Head, ChunkRef<K>(chunkMinus<Codec>(
+                                     HN->Val.get(), S.data() + I, J - I)));
       I = J;
     }
     Node *NT = T::multiInsert(
@@ -741,17 +776,18 @@ private:
     if (!B.T)
       return diffBC(A, B.P);
     if (!A.T) {
-      // Keep prefix elements of A absent from B.
-      std::vector<K> E;
-      decodeChunk<Codec>(A.P, E);
-      releaseChunk(A.P);
+      // Keep prefix elements of A absent from B: stream A's prefix
+      // through a membership filter straight into the result payload.
       CTreeSet BView = fromRaw(B); // adopt for reads; released at exit
-      std::vector<K> Out;
-      Out.reserve(E.size());
-      for (K V : E)
-        if (!BView.contains(V))
-          Out.push_back(V);
-      return Raw{nullptr, makeChunk<Codec>(Out.data(), Out.size())};
+      Payload *NP = buildChunkStreaming<Codec, K>(
+          chunkCount(A.P), [&](auto &&Sink) {
+        for (typename Codec::template Cursor<K> Cu(A.P); !Cu.done();
+             Cu.advance())
+          if (!BView.contains(Cu.value()))
+            Sink(Cu.value());
+      });
+      releaseChunk(A.P);
+      return Raw{nullptr, NP};
     }
     typename T::Exposed E = T::expose(B.T);
     K H = E.Shell->Key;
@@ -781,18 +817,20 @@ private:
     }
     if (!B.T || !A.T) {
       // One side is a bare chunk: the intersection consists of non-head
-      // elements only, hence is prefix-only.
+      // elements only, hence is prefix-only. Stream the chunk through a
+      // membership filter.
       Raw ChunkSide = !B.T ? B : A;
       Raw TreeSide = !B.T ? A : B;
-      std::vector<K> E;
-      decodeChunk<Codec>(ChunkSide.P, E);
       CTreeSet View = fromRaw(TreeSide);
-      std::vector<K> Out;
-      for (K V : E)
-        if (View.contains(V))
-          Out.push_back(V);
+      Payload *NP = buildChunkStreaming<Codec, K>(
+          chunkCount(ChunkSide.P), [&](auto &&Sink) {
+        for (typename Codec::template Cursor<K> Cu(ChunkSide.P); !Cu.done();
+             Cu.advance())
+          if (View.contains(Cu.value()))
+            Sink(Cu.value());
+      });
       releaseChunk(ChunkSide.P);
-      return Raw{nullptr, makeChunk<Codec>(Out.data(), Out.size())};
+      return Raw{nullptr, NP};
     }
     typename T::Exposed E = T::expose(B.T);
     K H = E.Shell->Key;

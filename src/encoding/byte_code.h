@@ -5,11 +5,22 @@
 // byte codes of Ligra+ cited in Section 3.2. Byte codes decode fast while
 // capturing most of the compression available from shorter codes.
 //
+// Besides the raw encode/decode primitives, this file provides the
+// streaming layer the chunk operations are built on:
+//
+//  * VarintCursor - a bounded forward reader (decode-next / peek / skip-N)
+//    over a region holding a known number of varints.
+//  * VarintWriter - a bounded single-pass appender that asserts it never
+//    overruns the destination computed by a sizing pass.
+//
+// Both are trivially copyable so merge loops can keep them in registers.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ENCODING_BYTE_CODE_H
 #define ASPEN_ENCODING_BYTE_CODE_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 
@@ -48,6 +59,75 @@ inline const uint8_t *decodeVarint(const uint8_t *In, uint64_t &V) {
   V = Result;
   return In;
 }
+
+/// Bounded forward reader over a region containing exactly \p Count
+/// varints. Decoding never materializes more than one value at a time.
+class VarintCursor {
+public:
+  VarintCursor() = default;
+  VarintCursor(const uint8_t *In, size_t Count) : In(In), Left(Count) {}
+
+  bool done() const { return Left == 0; }
+  size_t remaining() const { return Left; }
+
+  /// Byte position of the next undecoded varint.
+  const uint8_t *pos() const { return In; }
+
+  /// Decode the next varint and advance past it.
+  uint64_t next() {
+    assert(Left > 0 && "next() past the end");
+    uint64_t V;
+    In = decodeVarint(In, V);
+    --Left;
+    return V;
+  }
+
+  /// Decode the next varint without advancing.
+  uint64_t peek() const {
+    assert(Left > 0 && "peek() past the end");
+    uint64_t V;
+    decodeVarint(In, V);
+    return V;
+  }
+
+  /// Skip \p N varints without decoding their values (scans continue
+  /// bits only).
+  void skip(size_t N) {
+    assert(N <= Left && "skip() past the end");
+    Left -= N;
+    while (N > 0) {
+      while (*In & 0x80)
+        ++In;
+      ++In;
+      --N;
+    }
+  }
+
+private:
+  const uint8_t *In = nullptr;
+  size_t Left = 0;
+};
+
+/// Bounded single-pass appender. The destination capacity comes from a
+/// prior sizing (dry-run) pass; debug builds assert the bound holds.
+class VarintWriter {
+public:
+  VarintWriter() = default;
+  VarintWriter(uint8_t *Out, size_t Cap) : Cur(Out), Begin(Out), Cap(Cap) {}
+
+  void append(uint64_t V) {
+    Cur = encodeVarint(V, Cur);
+    assert(bytesWritten() <= Cap && "writer overran its sizing pass");
+  }
+
+  size_t bytesWritten() const { return static_cast<size_t>(Cur - Begin); }
+  uint8_t *pos() const { return Cur; }
+
+private:
+  uint8_t *Cur = nullptr;
+  uint8_t *Begin = nullptr;
+  size_t Cap = 0;
+};
 
 } // namespace aspen
 

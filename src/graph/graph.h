@@ -134,6 +134,14 @@ public:
     return N ? N->Val : EdgeSet();
   }
 
+  /// Borrowed (non-owning, no refcount traffic) view of \p V's edge set;
+  /// valid while this snapshot is alive. The uniform entry point for
+  /// cursor-based neighbor iteration.
+  typename EdgeSet::View edgesView(VertexId V) const {
+    const Node *N = VT::findNode(Root, V);
+    return N ? N->Val.view() : typename EdgeSet::View{};
+  }
+
   /// Degree of \p V; O(log n) lookup then O(1).
   uint64_t degree(VertexId V) const {
     const Node *N = VT::findNode(Root, V);
@@ -332,6 +340,8 @@ private:
 /// (O(log n) per vertex) - the default for local algorithms.
 template <class EdgeSet> class TreeGraphView {
 public:
+  using NeighborCursor = typename EdgeSet::View::Cursor;
+
   explicit TreeGraphView(const GraphSnapshotT<EdgeSet> &G)
       : G(&G), Universe(G.vertexUniverse()) {}
 
@@ -339,17 +349,22 @@ public:
   uint64_t numEdges() const { return G->numEdges(); }
   uint64_t degree(VertexId V) const { return G->degree(V); }
 
+  /// Streaming cursor over \p V's neighbors (graph must stay alive).
+  NeighborCursor neighborCursor(VertexId V) const {
+    return G->edgesView(V).cursor();
+  }
+
   template <class F>
   void mapNeighborsIndexed(VertexId V, const F &Fn) const {
-    G->findVertex(V).forEachIndexed(Fn);
+    G->edgesView(V).forEachIndexed(Fn);
   }
 
   template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
-    G->findVertex(V).forEachSeq(Fn);
+    G->edgesView(V).forEachSeq(Fn);
   }
 
   template <class F> bool iterNeighborsCond(VertexId V, const F &Fn) const {
-    return G->findVertex(V).iterCond(Fn);
+    return G->edgesView(V).iterCond(Fn);
   }
 
 private:
@@ -360,11 +375,18 @@ private:
 /// View over a flat snapshot: O(1) vertex access, as in CSR.
 template <class EdgeSet> class FlatGraphView {
 public:
+  using NeighborCursor = typename EdgeSet::View::Cursor;
+
   explicit FlatGraphView(const FlatSnapshotT<EdgeSet> &FS) : FS(&FS) {}
 
   VertexId numVertices() const { return FS->numVertices(); }
   uint64_t numEdges() const { return FS->numEdges(); }
   uint64_t degree(VertexId V) const { return FS->degree(V); }
+
+  /// Streaming cursor over \p V's neighbors (snapshot must stay alive).
+  NeighborCursor neighborCursor(VertexId V) const {
+    return FS->edges(V).cursor();
+  }
 
   template <class F>
   void mapNeighborsIndexed(VertexId V, const F &Fn) const {

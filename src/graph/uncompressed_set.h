@@ -114,8 +114,26 @@ public:
     size_t size() const { return T::size(Root); }
     bool empty() const { return !Root; }
 
+    /// Streaming in-order cursor (mirrors CTreeSet::View::Cursor so the
+    /// graph layer compiles against either edge-set representation).
+    class Cursor {
+    public:
+      Cursor() = default;
+      explicit Cursor(const View &V) : TC(V.Root) {}
+
+      bool done() const { return TC.done(); }
+      K value() const { return TC.node()->Key; }
+      void advance() { TC.advance(); }
+
+    private:
+      typename T::Cursor TC;
+    };
+
+    Cursor cursor() const { return Cursor(*this); }
+
     template <class F> void forEachSeq(const F &Fn) const {
-      T::forEachSeq(Root, [&](const K &Key, Empty) { Fn(Key); });
+      for (Cursor C(*this); !C.done(); C.advance())
+        Fn(C.value());
     }
 
     template <class F> void forEachPar(const F &Fn) const {
@@ -129,8 +147,10 @@ public:
     }
 
     template <class F> bool iterCond(const F &Fn) const {
-      return T::iterCond(Root,
-                         [&](const K &Key, Empty) { return Fn(Key); });
+      for (Cursor C(*this); !C.done(); C.advance())
+        if (!Fn(C.value()))
+          return false;
+      return true;
     }
 
     std::vector<K> toVector() const {
@@ -142,6 +162,9 @@ public:
   };
 
   View view() const { return View{Root}; }
+
+  /// Streaming cursor over all elements (this set must outlive it).
+  typename View::Cursor cursor() const { return view().cursor(); }
 
   template <class F> void forEachSeq(const F &Fn) const {
     view().forEachSeq(Fn);

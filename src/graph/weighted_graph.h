@@ -119,6 +119,28 @@ public:
     return WeightedEdgeSet(T::difference(A.take(), B.take()));
   }
 
+  /// Streaming in-order cursor over (neighbor, weight) entries; the
+  /// weighted analogue of the unweighted edge-set cursors, so the graph
+  /// layer can iterate any edge-set representation uniformly.
+  class Cursor {
+  public:
+    Cursor() = default;
+    explicit Cursor(const WeightedEdgeSet &S) : TC(S.Root) {}
+
+    bool done() const { return TC.done(); }
+    VertexId neighbor() const { return TC.node()->Key; }
+    const W &weight() const { return TC.node()->Val; }
+    void advance() { TC.advance(); }
+
+  private:
+    friend class WeightedEdgeSet;
+    explicit Cursor(const Node *Root) : TC(Root) {}
+    typename T::Cursor TC;
+  };
+
+  /// This set must outlive the cursor.
+  Cursor cursor() const { return Cursor(*this); }
+
   template <class F> void forEachSeq(const F &Fn) const {
     T::forEachSeq(Root, Fn);
   }
@@ -231,6 +253,13 @@ public:
     if (!N)
       return true;
     return N->Val.iterCond(Fn);
+  }
+
+  /// Streaming cursor over \p V's (neighbor, weight) entries; empty
+  /// cursor when the vertex is absent. The graph must outlive it.
+  typename EdgeSet::Cursor neighborCursor(VertexId V) const {
+    const Node *N = VT::findNode(Root, V);
+    return N ? N->Val.cursor() : typename EdgeSet::Cursor();
   }
 
   /// Insert weighted edges; \p Fn(old, new) combines weights of existing

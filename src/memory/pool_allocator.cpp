@@ -100,11 +100,38 @@ PoolRegistry &registry() {
 
 struct alignas(64) ByteCounter {
   int64_t Bytes = 0;
+  uint64_t Events = 0;
 };
 
 std::vector<ByteCounter> &byteCounters() {
   static std::vector<ByteCounter> C(static_cast<size_t>(maxContexts()));
   return C;
+}
+
+/// Per-context cache of scratch blocks, all power-of-two sized.
+struct alignas(64) ScratchLocal {
+  static constexpr int MaxCached = 8;
+  void *Blocks[MaxCached];
+  size_t Caps[MaxCached];
+  int N = 0;
+  uint64_t Misses = 0;
+
+  ~ScratchLocal() {
+    for (int I = 0; I < N; ++I)
+      std::free(Blocks[I]);
+  }
+};
+
+std::vector<ScratchLocal> &scratchLocals() {
+  static std::vector<ScratchLocal> C(static_cast<size_t>(maxContexts()));
+  return C;
+}
+
+size_t scratchRound(size_t Bytes) {
+  size_t Cap = 4096;
+  while (Cap < Bytes)
+    Cap <<= 1;
+  return Cap;
 }
 
 } // namespace
@@ -125,8 +152,9 @@ int64_t aspen::totalPoolLiveBytes() {
 }
 
 void *aspen::countedAlloc(size_t Bytes) {
-  byteCounters()[static_cast<size_t>(workerId())].Bytes +=
-      static_cast<int64_t>(Bytes);
+  ByteCounter &C = byteCounters()[static_cast<size_t>(workerId())];
+  C.Bytes += static_cast<int64_t>(Bytes);
+  ++C.Events;
   return std::malloc(Bytes);
 }
 
@@ -140,5 +168,66 @@ int64_t aspen::liveCountedBytes() {
   int64_t Total = 0;
   for (const ByteCounter &C : byteCounters())
     Total += C.Bytes;
+  return Total;
+}
+
+uint64_t aspen::countedAllocEvents() {
+  uint64_t Total = 0;
+  for (const ByteCounter &C : byteCounters())
+    Total += C.Events;
+  return Total;
+}
+
+void *aspen::scratchAcquire(size_t MinBytes, size_t &CapOut) {
+  ScratchLocal &L = scratchLocals()[static_cast<size_t>(workerId())];
+  // Smallest cached block that fits.
+  int Best = -1;
+  for (int I = 0; I < L.N; ++I)
+    if (L.Caps[I] >= MinBytes && (Best < 0 || L.Caps[I] < L.Caps[Best]))
+      Best = I;
+  if (Best >= 0) {
+    void *P = L.Blocks[Best];
+    CapOut = L.Caps[Best];
+    --L.N;
+    L.Blocks[Best] = L.Blocks[L.N];
+    L.Caps[Best] = L.Caps[L.N];
+    return P;
+  }
+  ++L.Misses;
+  CapOut = scratchRound(MinBytes);
+  void *P = std::malloc(CapOut);
+  assert(P && "scratch allocation failed");
+  return P;
+}
+
+void aspen::scratchRelease(void *P, size_t Cap) {
+  if (!P)
+    return;
+  ScratchLocal &L = scratchLocals()[static_cast<size_t>(workerId())];
+  if (L.N < ScratchLocal::MaxCached) {
+    L.Blocks[L.N] = P;
+    L.Caps[L.N] = Cap;
+    ++L.N;
+    return;
+  }
+  // Cache full: evict the smallest block (keep the big ones, they serve
+  // the widest range of requests).
+  int Smallest = 0;
+  for (int I = 1; I < L.N; ++I)
+    if (L.Caps[I] < L.Caps[Smallest])
+      Smallest = I;
+  if (L.Caps[Smallest] < Cap) {
+    std::free(L.Blocks[Smallest]);
+    L.Blocks[Smallest] = P;
+    L.Caps[Smallest] = Cap;
+  } else {
+    std::free(P);
+  }
+}
+
+uint64_t aspen::scratchAllocEvents() {
+  uint64_t Total = 0;
+  for (const ScratchLocal &L : scratchLocals())
+    Total += L.Misses;
   return Total;
 }

@@ -109,6 +109,53 @@ void countedFree(void *P, size_t Bytes);
 /// Live bytes in counted (variable-size) allocations.
 int64_t liveCountedBytes();
 
+/// Cumulative number of countedAlloc calls since process start (allocation
+/// *events*, not live objects; benchmarks diff this around an operation).
+uint64_t countedAllocEvents();
+
+//===----------------------------------------------------------------------===
+// Scratch workspace: per-context reusable byte buffers for the few chunk
+// and C-tree operations that genuinely need a materialized array (batch
+// routing in unionBC/diffBC). Blocks are cached per worker context after
+// first use, so steady-state batch updates perform no heap allocation for
+// temporaries. Scratch memory is deliberately outside the countedAlloc
+// accounting: it is cache, not live data, and tests assert countedAlloc
+// balances exactly.
+//===----------------------------------------------------------------------===
+
+/// Borrow a block of at least \p MinBytes; \p CapOut receives the actual
+/// capacity, which must be passed back to scratchRelease.
+void *scratchAcquire(size_t MinBytes, size_t &CapOut);
+void scratchRelease(void *P, size_t Cap);
+
+/// Cumulative number of scratch blocks allocated from the OS (cache
+/// misses); flat once the per-context caches are warm.
+uint64_t scratchAllocEvents();
+
+/// Borrowed typed scratch array (RAII). Elements are uninitialized; only
+/// trivially-copyable T makes sense here.
+template <class T> class ScratchArray {
+public:
+  explicit ScratchArray(size_t N)
+      : Mem(static_cast<T *>(scratchAcquire(N * sizeof(T), Cap))), N(N) {}
+  ScratchArray(const ScratchArray &) = delete;
+  ScratchArray &operator=(const ScratchArray &) = delete;
+  ~ScratchArray() { scratchRelease(Mem, Cap); }
+
+  T *data() { return Mem; }
+  const T *data() const { return Mem; }
+  size_t size() const { return N; }
+  T &operator[](size_t I) { return Mem[I]; }
+  const T &operator[](size_t I) const { return Mem[I]; }
+  T *begin() { return Mem; }
+  T *end() { return Mem + N; }
+
+private:
+  T *Mem;
+  size_t Cap;
+  size_t N;
+};
+
 } // namespace aspen
 
 #endif // ASPEN_MEMORY_POOL_ALLOCATOR_H

@@ -618,6 +618,60 @@ template <class Entry> struct Tree {
   // Traversal.
   //===--------------------------------------------------------------------===
 
+  /// Explicit-stack in-order cursor (done / node / advance): the streaming
+  /// counterpart of forEachSeq, composable with chunk cursors so callers
+  /// can merge tree contents against other streams without materializing
+  /// either side. Trivially copyable; holds no references (the borrowed
+  /// tree must stay alive).
+  class Cursor {
+  public:
+    Cursor() = default;
+    explicit Cursor(const Node *Root) { descend(Root); }
+    /// Cursor positioned at the first entry with key >= LoKey.
+    Cursor(const Node *Root, const KeyT &LoKey) {
+      const Node *N = Root;
+      while (N) {
+        if (Entry::less(N->Key, LoKey)) {
+          N = N->Right;
+        } else {
+          push(N);
+          N = N->Left;
+        }
+      }
+    }
+
+    bool done() const { return Top == 0; }
+    const Node *node() const {
+      assert(Top > 0 && "node() on exhausted cursor");
+      return Stack[Top - 1];
+    }
+    void advance() {
+      assert(Top > 0 && "advance() on exhausted cursor");
+      const Node *N = Stack[--Top];
+      descend(N->Right);
+    }
+
+  private:
+    // Weight balance with alpha = 0.29 bounds the depth by
+    // log(n) / log(1/(1-alpha)) < 2.03 log2(n); Size is 32-bit, so 96
+    // levels leave ample slack.
+    static constexpr int MaxDepth = 96;
+
+    void push(const Node *N) {
+      assert(Top < MaxDepth && "tree deeper than the balance bound");
+      Stack[Top++] = N;
+    }
+    void descend(const Node *N) {
+      while (N) {
+        push(N);
+        N = N->Left;
+      }
+    }
+
+    const Node *Stack[MaxDepth];
+    int Top = 0;
+  };
+
   /// Sequential in-order traversal applying Fn(key, value).
   template <class F> static void forEachSeq(const Node *T, const F &Fn) {
     if (!T)

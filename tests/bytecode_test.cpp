@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 using namespace aspen;
@@ -264,4 +266,99 @@ TEST(DeltaCompression, CompressesClusteredIds) {
   EXPECT_LT(D->Bytes * 3u, R->Bytes) << "delta coding should save >3x here";
   releaseChunk(D);
   releaseChunk(R);
+}
+
+TEST(VarintCursor, NextPeekSkip) {
+  std::vector<uint64_t> Vals;
+  for (size_t I = 0; I < 1000; ++I)
+    Vals.push_back(hash64(I) >> (I % 60));
+  std::vector<uint8_t> Buf;
+  size_t Total = 0;
+  for (uint64_t V : Vals)
+    Total += varintSize(V);
+  Buf.resize(Total);
+  uint8_t *Out = Buf.data();
+  for (uint64_t V : Vals)
+    Out = encodeVarint(V, Out);
+
+  // Sequential decode via next(), with peek() agreeing at every step.
+  VarintCursor Cu(Buf.data(), Vals.size());
+  for (size_t I = 0; I < Vals.size(); ++I) {
+    ASSERT_FALSE(Cu.done());
+    ASSERT_EQ(Cu.remaining(), Vals.size() - I);
+    ASSERT_EQ(Cu.peek(), Vals[I]);
+    ASSERT_EQ(Cu.next(), Vals[I]);
+  }
+  ASSERT_TRUE(Cu.done());
+
+  // skip(N) lands exactly where N next() calls would.
+  for (size_t SkipBy : {1u, 2u, 7u, 63u, 999u}) {
+    VarintCursor A(Buf.data(), Vals.size());
+    VarintCursor B(Buf.data(), Vals.size());
+    size_t N = SkipBy < Vals.size() ? SkipBy : Vals.size();
+    A.skip(N);
+    for (size_t I = 0; I < N; ++I)
+      B.next();
+    ASSERT_EQ(A.pos(), B.pos());
+    ASSERT_EQ(A.remaining(), B.remaining());
+  }
+}
+
+TEST(VarintWriter, BoundedAppendMatchesFreeEncode) {
+  std::vector<uint64_t> Vals = {0, 1, 127, 128, 1ull << 40, ~0ull};
+  size_t Cap = 0;
+  for (uint64_t V : Vals)
+    Cap += varintSize(V);
+  std::vector<uint8_t> A(Cap), B(Cap);
+  VarintWriter W(A.data(), Cap);
+  uint8_t *Out = B.data();
+  for (uint64_t V : Vals) {
+    W.append(V);
+    Out = encodeVarint(V, Out);
+  }
+  EXPECT_EQ(W.bytesWritten(), Cap);
+  EXPECT_EQ(std::memcmp(A.data(), B.data(), Cap), 0);
+}
+
+TYPED_TEST(ChunkCodecTest, CursorWalksChunk) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E = {5, 6, 900, 1000000, ~0u};
+  auto *C = makeChunk<Codec>(E.data(), E.size());
+  typename Codec::template Cursor<uint32_t> Cu(C);
+  for (size_t I = 0; I < E.size(); ++I) {
+    ASSERT_FALSE(Cu.done());
+    ASSERT_EQ(Cu.remaining(), E.size() - I);
+    ASSERT_EQ(Cu.value(), E[I]);
+    Cu.advance();
+  }
+  ASSERT_TRUE(Cu.done());
+  // Null chunk: immediately exhausted.
+  typename Codec::template Cursor<uint32_t> Null(nullptr);
+  EXPECT_TRUE(Null.done());
+  releaseChunk(C);
+}
+
+TYPED_TEST(ChunkCodecTest, BuildChunkStreamingMatchesMakeChunk) {
+  using Codec = TypeParam;
+  std::vector<uint32_t> E;
+  for (uint32_t I = 0; I < 777; ++I)
+    E.push_back(I * 17 + (I % 3));
+  E.erase(std::unique(E.begin(), E.end()), E.end());
+  auto *Want = makeChunk<Codec>(E.data(), E.size());
+  auto *Got = buildChunkStreaming<Codec, uint32_t>(E.size(),
+                                                   [&](auto &&Sink) {
+    for (uint32_t V : E)
+      Sink(V);
+  });
+  ASSERT_EQ(Got->Count, Want->Count);
+  ASSERT_EQ(Got->Bytes, Want->Bytes);
+  ASSERT_EQ(Got->First, Want->First);
+  ASSERT_EQ(Got->Last, Want->Last);
+  EXPECT_EQ(std::memcmp(Got->data(), Want->data(), Got->Bytes), 0);
+  releaseChunk(Want);
+  releaseChunk(Got);
+  EXPECT_EQ((buildChunkStreaming<Codec, uint32_t>(0, [](auto &&) {})),
+            nullptr);
+  EXPECT_EQ((buildChunkStreaming<Codec, uint32_t>(16, [](auto &&) {})),
+            nullptr);
 }

@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 using namespace aspen;
 
@@ -277,3 +279,249 @@ TEST_P(CTreeRandomizedLifecycle, ChurnWithSnapshotsIsLeakFree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CTreeRandomizedLifecycle,
                          ::testing::Values(21, 22, 23, 24, 25, 26));
+
+//===----------------------------------------------------------------------===
+// Differential tests: every cursor-based chunk operation against a naive
+// decode-to-vector reference, across both codecs and adversarial inputs
+// (singleton chunks, max-delta gaps, duplicate-heavy batches).
+//===----------------------------------------------------------------------===
+
+namespace {
+
+template <class Codec> class ChunkDifferential : public ::testing::Test {};
+using BothCodecs = ::testing::Types<DeltaByteCodec, RawCodec>;
+
+using P32 = ChunkPayload<uint32_t>;
+
+template <class Codec>
+std::vector<uint32_t> decoded(const P32 *C) {
+  std::vector<uint32_t> Out;
+  decodeChunk<Codec>(C, Out);
+  return Out;
+}
+
+/// Check the payload header agrees with its contents.
+template <class Codec> void checkHeader(const P32 *C) {
+  if (!C)
+    return;
+  auto E = decoded<Codec>(C);
+  ASSERT_EQ(E.size(), C->Count);
+  ASSERT_EQ(E.front(), C->First);
+  ASSERT_EQ(E.back(), C->Last);
+  ASSERT_TRUE(std::is_sorted(E.begin(), E.end()));
+  ASSERT_EQ(std::adjacent_find(E.begin(), E.end()), E.end());
+}
+
+// Naive references: decode everything, use <algorithm>, re-encode.
+template <class Codec> P32 *refUnion(const P32 *A, const P32 *B) {
+  auto EA = decoded<Codec>(A), EB = decoded<Codec>(B);
+  std::vector<uint32_t> Out;
+  std::set_union(EA.begin(), EA.end(), EB.begin(), EB.end(),
+                 std::back_inserter(Out));
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+template <class Codec>
+P32 *refMinus(const P32 *A, const std::vector<uint32_t> &Sub) {
+  auto EA = decoded<Codec>(A);
+  std::vector<uint32_t> Out;
+  std::set_difference(EA.begin(), EA.end(), Sub.begin(), Sub.end(),
+                      std::back_inserter(Out));
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+template <class Codec>
+P32 *refIntersect(const P32 *A, const std::vector<uint32_t> &Keep) {
+  auto EA = decoded<Codec>(A);
+  std::vector<uint32_t> Out;
+  std::set_intersection(EA.begin(), EA.end(), Keep.begin(), Keep.end(),
+                        std::back_inserter(Out));
+  return makeChunk<Codec>(Out.data(), Out.size());
+}
+
+/// Adversarial element-set families, indexed by Case.
+std::vector<uint32_t> adversarialSet(size_t Case, uint64_t Seed) {
+  switch (Case % 7) {
+  case 0: // empty
+    return {};
+  case 1: // singleton
+    return {uint32_t(hashAt(Seed, 0))};
+  case 2: { // consecutive run (minimal deltas)
+    uint32_t Base = uint32_t(hashAt(Seed, 1) % 1000000);
+    std::vector<uint32_t> E(200);
+    for (size_t I = 0; I < E.size(); ++I)
+      E[I] = Base + uint32_t(I);
+    return E;
+  }
+  case 3: { // max-delta gaps across the full 32-bit range
+    std::vector<uint32_t> E = {0u, 1u, (1u << 15), (1u << 30),
+                               ~0u - 1, ~0u};
+    return E;
+  }
+  case 4: // duplicate-heavy small universe
+    return sortedUnique(randomKeys(300, Seed, 64));
+  case 5: // dense random
+    return sortedUnique(randomKeys(400, Seed, 2000));
+  default: // sparse random
+    return sortedUnique(randomKeys(250, Seed, ~0u));
+  }
+}
+
+} // namespace
+
+TYPED_TEST_SUITE(ChunkDifferential, BothCodecs);
+
+TYPED_TEST(ChunkDifferential, UnionMatchesReference) {
+  using Codec = TypeParam;
+  int64_t Base = liveCountedBytes();
+  for (size_t CA = 0; CA < 7; ++CA) {
+    for (size_t CB = 0; CB < 7; ++CB) {
+      auto A = adversarialSet(CA, 40 + CA);
+      auto B = adversarialSet(CB, 50 + CB);
+      P32 *PA = makeChunk<Codec>(A.data(), A.size());
+      P32 *PB = makeChunk<Codec>(B.data(), B.size());
+      P32 *Got = unionChunks<Codec>(PA, PB);
+      P32 *Want = refUnion<Codec>(PA, PB);
+      checkHeader<Codec>(Got);
+      ASSERT_EQ(decoded<Codec>(Got), decoded<Codec>(Want))
+          << "case " << CA << "," << CB;
+      releaseChunk(Got);
+      releaseChunk(Want);
+      // Span variant against the same reference.
+      P32 *GotSpan = unionChunkSpan<Codec>(PA, B.data(), B.size());
+      P32 *WantSpan = refUnion<Codec>(PA, PB);
+      ASSERT_EQ(decoded<Codec>(GotSpan), decoded<Codec>(WantSpan));
+      releaseChunk(GotSpan);
+      releaseChunk(WantSpan);
+      releaseChunk(PA);
+      releaseChunk(PB);
+    }
+  }
+  EXPECT_EQ(liveCountedBytes(), Base);
+}
+
+TYPED_TEST(ChunkDifferential, MinusAndIntersectMatchReference) {
+  using Codec = TypeParam;
+  int64_t Base = liveCountedBytes();
+  for (size_t CA = 0; CA < 7; ++CA) {
+    for (size_t CB = 0; CB < 7; ++CB) {
+      auto A = adversarialSet(CA, 60 + CA);
+      auto B = adversarialSet(CB, 70 + CB);
+      P32 *PA = makeChunk<Codec>(A.data(), A.size());
+      P32 *PB = makeChunk<Codec>(B.data(), B.size());
+      P32 *GotM = chunkMinus<Codec>(PA, B.data(), B.size());
+      P32 *WantM = refMinus<Codec>(PA, B);
+      checkHeader<Codec>(GotM);
+      ASSERT_EQ(decoded<Codec>(GotM), decoded<Codec>(WantM));
+      releaseChunk(GotM);
+      releaseChunk(WantM);
+      P32 *GotMC = chunkMinusChunk<Codec>(PA, PB);
+      P32 *WantMC = refMinus<Codec>(PA, B);
+      ASSERT_EQ(decoded<Codec>(GotMC), decoded<Codec>(WantMC));
+      releaseChunk(GotMC);
+      releaseChunk(WantMC);
+      P32 *GotI = chunkIntersect<Codec>(PA, B.data(), B.size());
+      P32 *WantI = refIntersect<Codec>(PA, B);
+      checkHeader<Codec>(GotI);
+      ASSERT_EQ(decoded<Codec>(GotI), decoded<Codec>(WantI));
+      releaseChunk(GotI);
+      releaseChunk(WantI);
+      releaseChunk(PA);
+      releaseChunk(PB);
+    }
+  }
+  EXPECT_EQ(liveCountedBytes(), Base);
+}
+
+TYPED_TEST(ChunkDifferential, SplitAndContainsMatchReference) {
+  using Codec = TypeParam;
+  int64_t Base = liveCountedBytes();
+  for (size_t CA = 1; CA < 7; ++CA) { // skip the empty family
+    auto A = adversarialSet(CA, 80 + CA);
+    if (A.empty())
+      continue;
+    P32 *PA = makeChunk<Codec>(A.data(), A.size());
+    // Candidate keys: every element, its neighbors, and the extremes.
+    std::vector<uint32_t> Keys;
+    for (uint32_t V : A) {
+      Keys.push_back(V);
+      if (V > 0)
+        Keys.push_back(V - 1);
+      if (V < ~0u)
+        Keys.push_back(V + 1);
+    }
+    Keys.push_back(0);
+    Keys.push_back(~0u);
+    for (uint32_t Key : Keys) {
+      bool WantIn = std::binary_search(A.begin(), A.end(), Key);
+      ASSERT_EQ((chunkContains<Codec>(PA, Key)), WantIn) << Key;
+      ChunkSplit S = splitChunk<Codec>(PA, Key);
+      auto *SL = static_cast<P32 *>(S.Left);
+      auto *SR = static_cast<P32 *>(S.Right);
+      checkHeader<Codec>(SL);
+      checkHeader<Codec>(SR);
+      ASSERT_EQ(S.Found, WantIn) << Key;
+      std::vector<uint32_t> WantL(A.begin(),
+                                  std::lower_bound(A.begin(), A.end(), Key));
+      std::vector<uint32_t> WantR(std::upper_bound(A.begin(), A.end(), Key),
+                                  A.end());
+      ASSERT_EQ(decoded<Codec>(SL), WantL) << Key;
+      ASSERT_EQ(decoded<Codec>(SR), WantR) << Key;
+      releaseChunk(SL);
+      releaseChunk(SR);
+    }
+    releaseChunk(PA);
+  }
+  EXPECT_EQ(liveCountedBytes(), Base);
+}
+
+TYPED_TEST(ChunkDifferential, CursorSeekAgainstLinearScan) {
+  using Codec = TypeParam;
+  for (size_t CA = 1; CA < 7; ++CA) {
+    auto A = adversarialSet(CA, 90 + CA);
+    if (A.empty())
+      continue;
+    P32 *PA = makeChunk<Codec>(A.data(), A.size());
+    for (size_t Probe = 0; Probe < 40; ++Probe) {
+      uint32_t Key = uint32_t(hashAt(91, CA * 100 + Probe));
+      typename Codec::template Cursor<uint32_t> Cu(PA);
+      Cu.seekLowerBound(Key);
+      auto It = std::lower_bound(A.begin(), A.end(), Key);
+      if (It == A.end()) {
+        ASSERT_TRUE(Cu.done());
+      } else {
+        ASSERT_FALSE(Cu.done());
+        ASSERT_EQ(Cu.value(), *It);
+        ASSERT_EQ(Cu.remaining(), uint32_t(A.end() - It));
+      }
+    }
+    releaseChunk(PA);
+  }
+}
+
+TYPED_TEST(ChunkDifferential, CTreeBatchOpsAgainstStdSet) {
+  // End-to-end: duplicate-heavy batches through multiInsert/multiDelete
+  // (the unionBC/diffBC scratch paths) against a std::set reference, at a
+  // chunk size small enough to exercise head routing constantly.
+  using Codec = TypeParam;
+  ChunkSizeGuard G(8);
+  CTreeSet<uint32_t, Codec> Cur;
+  std::set<uint32_t> Ref;
+  for (int Round = 0; Round < 40; ++Round) {
+    // Duplicate-heavy: draw from a small universe so batches collide with
+    // themselves and with the tree.
+    auto Batch = randomKeys(200, 1000 + Round, 900);
+    if (Round % 3 != 2) {
+      Cur = Cur.multiInsert(Batch);
+      Ref.insert(Batch.begin(), Batch.end());
+    } else {
+      Cur = Cur.multiDelete(Batch);
+      for (uint32_t V : Batch)
+        Ref.erase(V);
+    }
+    ASSERT_EQ(Cur.size(), Ref.size()) << "round " << Round;
+    ASSERT_TRUE(Cur.checkInvariants()) << "round " << Round;
+  }
+  EXPECT_EQ(Cur.toVector(),
+            std::vector<uint32_t>(Ref.begin(), Ref.end()));
+}

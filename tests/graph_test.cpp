@@ -303,3 +303,39 @@ TEST(GraphBuild, AutoCreatesSourcesOnInsert) {
   G = G.deleteEdges({{77, 1}});
   EXPECT_FALSE(G.hasVertex(77));
 }
+
+TYPED_TEST(GraphRepTest, NeighborCursorMatchesTraversal) {
+  // The cursor surface (edgesView / neighborCursor) must agree with the
+  // recursive traversals on every vertex, through both graph views.
+  using GraphT = TypeParam;
+  auto Edges = randomEdgeBatch(4000, 200, 77);
+  RefModel M = refFromEdges(Edges);
+  GraphT G = GraphT::fromEdges(200, Edges);
+  TreeGraphView<typename GraphT::VertexEntry::ValT> TV(G);
+  for (VertexId V = 0; V < 200; ++V) {
+    std::vector<VertexId> Want;
+    TV.mapNeighbors(V, [&](VertexId U) { Want.push_back(U); });
+    std::vector<VertexId> Got;
+    for (auto Cu = TV.neighborCursor(V); !Cu.done(); Cu.advance())
+      Got.push_back(Cu.value());
+    ASSERT_EQ(Got, Want) << "vertex " << V;
+    const auto &Ref = M.count(V) ? M[V] : std::set<VertexId>{};
+    ASSERT_EQ(Got, std::vector<VertexId>(Ref.begin(), Ref.end()));
+  }
+}
+
+TEST(FlatSnapshotCursor, MatchesTreeCursor) {
+  auto Edges = randomEdgeBatch(5000, 128, 78);
+  Graph G = Graph::fromEdges(128, Edges);
+  FlatSnapshot FS(G);
+  FlatGraphView<CTreeSet<VertexId, DeltaByteCodec>> FV(FS);
+  TreeGraphView<CTreeSet<VertexId, DeltaByteCodec>> TV(G);
+  for (VertexId V = 0; V < 128; ++V) {
+    std::vector<VertexId> A, B;
+    for (auto Cu = FV.neighborCursor(V); !Cu.done(); Cu.advance())
+      A.push_back(Cu.value());
+    for (auto Cu = TV.neighborCursor(V); !Cu.done(); Cu.advance())
+      B.push_back(Cu.value());
+    ASSERT_EQ(A, B) << "vertex " << V;
+  }
+}

@@ -124,3 +124,55 @@ TEST(CountedAlloc, TracksBytes) {
   countedFree(B, 24);
   EXPECT_EQ(liveCountedBytes(), Base);
 }
+
+TEST(CountedAlloc, CountsEvents) {
+  uint64_t Base = countedAllocEvents();
+  void *A = countedAlloc(64);
+  void *B = countedAlloc(64);
+  EXPECT_EQ(countedAllocEvents(), Base + 2);
+  countedFree(A, 64);
+  countedFree(B, 64);
+  // Events are cumulative: frees do not decrement.
+  EXPECT_EQ(countedAllocEvents(), Base + 2);
+}
+
+TEST(Scratch, ReusesBlocksAcrossAcquires) {
+  // Warm the cache, then repeated acquire/release cycles must not touch
+  // the OS allocator again.
+  size_t Cap1 = 0;
+  void *P = scratchAcquire(1000, Cap1);
+  EXPECT_GE(Cap1, 1000u);
+  scratchRelease(P, Cap1);
+  uint64_t Warm = scratchAllocEvents();
+  for (int I = 0; I < 100; ++I) {
+    size_t Cap = 0;
+    void *Q = scratchAcquire(1000, Cap);
+    EXPECT_GE(Cap, 1000u);
+    // The block must be usable end to end.
+    std::memset(Q, 0xab, Cap);
+    scratchRelease(Q, Cap);
+  }
+  EXPECT_EQ(scratchAllocEvents(), Warm);
+}
+
+TEST(Scratch, NestedBorrowsGetDistinctBlocks) {
+  size_t CapA = 0, CapB = 0;
+  void *A = scratchAcquire(512, CapA);
+  void *B = scratchAcquire(512, CapB);
+  EXPECT_NE(A, B);
+  std::memset(A, 1, CapA);
+  std::memset(B, 2, CapB);
+  EXPECT_EQ(static_cast<unsigned char *>(A)[0], 1);
+  EXPECT_EQ(static_cast<unsigned char *>(B)[0], 2);
+  scratchRelease(B, CapB);
+  scratchRelease(A, CapA);
+}
+
+TEST(Scratch, TypedArrayRoundTrip) {
+  ScratchArray<uint32_t> A(333);
+  ASSERT_EQ(A.size(), 333u);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = uint32_t(I * 3);
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(A[I], uint32_t(I * 3));
+}

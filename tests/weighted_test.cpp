@@ -251,3 +251,24 @@ TEST(WeightedGraph, LeakFree) {
   }
   EXPECT_EQ(totalPoolLiveBytes(), Base);
 }
+
+TEST(WeightedGraph, NeighborCursorStreamsPairs) {
+  std::vector<WeightedEdge<double>> Edges = {
+      {0, 1, 1.5}, {0, 2, 2.5}, {0, 9, 0.25}, {3, 0, 4.0}};
+  WeightedGraph G = WeightedGraph::fromEdges(10, Edges);
+  std::vector<std::pair<VertexId, double>> Got;
+  for (auto Cu = G.neighborCursor(0); !Cu.done(); Cu.advance())
+    Got.emplace_back(Cu.neighbor(), Cu.weight());
+  std::vector<std::pair<VertexId, double>> Want = {
+      {1, 1.5}, {2, 2.5}, {9, 0.25}};
+  EXPECT_EQ(Got, Want);
+  // Cursor agrees with iterNeighborsW.
+  std::vector<std::pair<VertexId, double>> Iter;
+  G.iterNeighborsW(0, [&](VertexId V, double W) {
+    Iter.emplace_back(V, W);
+    return true;
+  });
+  EXPECT_EQ(Iter, Want);
+  // Absent vertex: empty cursor.
+  EXPECT_TRUE(G.neighborCursor(42).done());
+}
