@@ -18,6 +18,7 @@
 
 #include "bench_common.h"
 #include "ctree/chunk.h"
+#include "encoding/byte_code.h"
 #include "util/hash.h"
 
 #include <algorithm>
@@ -231,6 +232,64 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
   }
 }
 
+//===----------------------------------------------------------------------===
+// Varint skip: scalar byte loop (the pre-word-at-a-time implementation)
+// vs VarintCursor::skip's 8-byte-load + popcount continuation-bit count.
+// Skips land mid-stream (seekLowerBound's raw-offset pattern), mixing
+// 1..5-byte encodings.
+//===----------------------------------------------------------------------===
+
+const uint8_t *scalarSkip(const uint8_t *In, size_t N) {
+  while (N > 0) {
+    while (*In & 0x80)
+      ++In;
+    ++In;
+    --N;
+  }
+  return In;
+}
+
+void runVarintSkip(size_t Count, size_t Streams, int Rounds) {
+  std::printf("\nvarint skip, %zu varints/stream, %zu streams:\n", Count,
+              Streams);
+  // Per-stream encodings with hash-spread values (1..5 byte codes).
+  std::vector<std::vector<uint8_t>> Bufs(Streams);
+  for (size_t S = 0; S < Streams; ++S) {
+    Bufs[S].resize(Count * 10);
+    uint8_t *P = Bufs[S].data();
+    for (size_t I = 0; I < Count; ++I)
+      P = encodeVarint(hashAt(S, I) % (uint64_t(1) << 28), P);
+    Bufs[S].resize(size_t(P - Bufs[S].data()));
+  }
+  // Each op: skip 7/8 of the stream, then decode one value (the seek
+  // pattern: position, then read).
+  size_t SkipN = Count - Count / 8;
+  std::atomic<uint64_t> Sink{0};
+
+  OpReport R = measure(Rounds, Streams, [&] {
+    uint64_t Acc = 0;
+    for (size_t S = 0; S < Streams; ++S) {
+      const uint8_t *P = scalarSkip(Bufs[S].data(), SkipN);
+      uint64_t V;
+      decodeVarint(P, V);
+      Acc += V;
+    }
+    Sink += Acc;
+  });
+  printRow("skip", "scalar", R, Streams);
+
+  R = measure(Rounds, Streams, [&] {
+    uint64_t Acc = 0;
+    for (size_t S = 0; S < Streams; ++S) {
+      VarintCursor Cu(Bufs[S].data(), Count);
+      Cu.skip(SkipN);
+      Acc += Cu.next();
+    }
+    Sink += Acc;
+  });
+  printRow("skip", "word", R, Streams);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -244,5 +303,6 @@ int main(int Argc, char **Argv) {
   runCodec<DeltaByteCodec>(Count, Pairs, Rounds);
   runCodec<RawCodec>(Count, Pairs, Rounds);
   runCodec<DeltaByteCodec>(Count * 16, Pairs / 8 + 1, Rounds);
+  runVarintSkip(Count * 16, Pairs, Rounds);
   return 0;
 }

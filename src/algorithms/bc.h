@@ -11,14 +11,22 @@
 // between rounds, so every same-level contribution is accumulated before a
 // vertex stops accepting updates.
 //
+// Instead of retaining one VertexSubset per level, the forward phase packs
+// every settled frontier into a single workspace queue with per-level
+// offsets (at most N entries / N+1 offsets), so the whole traversal record
+// lives in two AlgoContext blocks and is reused across runs.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ALGORITHMS_BC_H
 #define ASPEN_ALGORITHMS_BC_H
 
 #include "ligra/edge_map.h"
+#include "memory/algo_context.h"
 
 #include <atomic>
+#include <cstring>
+#include <new>
 #include <vector>
 
 namespace aspen {
@@ -58,29 +66,38 @@ struct BCForwardF {
 } // namespace detail
 
 /// Betweenness contributions of shortest paths from \p Src (Brandes
-/// dependencies); Scores[Src] == 0.
+/// dependencies) using workspace \p Ctx; Scores[Src] == 0.
 template <class GView>
-std::vector<double> bc(const GView &G, VertexId Src,
+std::vector<double> bc(const GView &G, VertexId Src, AlgoContext &Ctx,
                        EdgeMapOptions Options = {}) {
   VertexId N = G.numVertices();
-  std::vector<std::atomic<double>> NumPaths(N);
-  std::vector<uint8_t> Visited(N, 0);
-  std::vector<uint32_t> Level(N, ~0u);
+  CtxArray<std::atomic<double>> NumPaths(Ctx, N);
+  CtxArray<uint8_t> Visited(Ctx, N);
+  CtxArray<uint32_t> Level(Ctx, N);
   parallelFor(0, N, [&](size_t I) {
-    NumPaths[I].store(0.0, std::memory_order_relaxed);
+    new (&NumPaths[I]) std::atomic<double>(0.0);
+    Visited[I] = 0;
+    Level[I] = ~0u;
   });
   NumPaths[Src].store(1.0, std::memory_order_relaxed);
   Visited[Src] = 1;
   Level[Src] = 0;
 
-  // Forward phase: record the frontier of every level.
-  std::vector<VertexSubset> Levels;
-  Levels.emplace_back(N, Src);
+  // Forward phase: pack the frontier of every level into Queue; level L
+  // occupies Queue[Offsets[L], Offsets[L+1]).
+  CtxArray<VertexId> Queue(Ctx, N);
+  CtxArray<uint64_t> Offsets(Ctx, size_t(N) + 1);
+  Queue[0] = Src;
+  Offsets[0] = 0;
+  Offsets[1] = 1;
+  uint32_t NumLevels = 1;
+
+  VertexSubset Frontier(N, Src, &Ctx);
   uint32_t D = 0;
   while (true) {
     ++D;
     detail::BCForwardF F{NumPaths.data(), Visited.data()};
-    VertexSubset Next = edgeMap(G, Levels.back(), F, Options);
+    VertexSubset Next = edgeMap(G, Frontier, F, Options);
     if (Next.empty())
       break;
     // Settle the round: mark the new frontier visited.
@@ -88,19 +105,27 @@ std::vector<double> bc(const GView &G, VertexId Src,
       Visited[V] = 1;
       Level[V] = D;
     });
-    Levels.push_back(std::move(Next));
+    Next.toSparse();
+    std::memcpy(Queue.data() + Offsets[NumLevels], Next.sparseIds(),
+                Next.size() * sizeof(VertexId));
+    Offsets[NumLevels + 1] = Offsets[NumLevels] + Next.size();
+    ++NumLevels;
+    Frontier = std::move(Next);
   }
 
   // Backward phase: dependency accumulation, one level at a time, one
   // writer per vertex.
-  std::vector<double> Dep(N, 0.0);
-  for (size_t L = Levels.size(); L-- > 1;) {
-    VertexSubset &Prev = Levels[L - 1];
-    Prev.forEach([&](VertexId V) {
+  CtxArray<double> Dep(Ctx, N);
+  parallelFor(0, N, [&](size_t I) { Dep[I] = 0.0; });
+  for (uint32_t L = NumLevels; L-- > 1;) {
+    const VertexId *Prev = Queue.data() + Offsets[L - 1];
+    size_t PrevSize = size_t(Offsets[L] - Offsets[L - 1]);
+    parallelFor(0, PrevSize, [&](size_t I) {
+      VertexId V = Prev[I];
       double PathsV = NumPaths[V].load(std::memory_order_relaxed);
       double Acc = 0.0;
       G.iterNeighborsCond(V, [&](VertexId W) {
-        if (Level[W] == uint32_t(L)) {
+        if (Level[W] == L) {
           double PathsW = NumPaths[W].load(std::memory_order_relaxed);
           Acc += PathsV / PathsW * (1.0 + Dep[W]);
         }
@@ -110,7 +135,14 @@ std::vector<double> bc(const GView &G, VertexId Src,
     });
   }
   Dep[Src] = 0.0;
-  return Dep;
+  return tabulate(size_t(N), [&](size_t I) { return Dep[I]; });
+}
+
+template <class GView>
+std::vector<double> bc(const GView &G, VertexId Src,
+                       EdgeMapOptions Options = {}) {
+  AlgoContext Ctx;
+  return bc(G, Src, Ctx, Options);
 }
 
 } // namespace aspen

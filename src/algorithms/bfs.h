@@ -4,14 +4,21 @@
 // CAS-claimed parents, direction optimization by default. Works over any
 // graph view (tree snapshot, flat snapshot, or CSR baseline).
 //
+// The parent array and every frontier draw from the AlgoContext
+// workspace; the context-less overloads run against a transient local
+// context (still allocation-free at steady state via the per-worker
+// scratch caches).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ALGORITHMS_BFS_H
 #define ASPEN_ALGORITHMS_BFS_H
 
 #include "ligra/edge_map.h"
+#include "memory/algo_context.h"
 
 #include <atomic>
+#include <new>
 #include <vector>
 
 namespace aspen {
@@ -40,43 +47,61 @@ struct BfsF {
   }
 };
 
+/// Workspace parent array, initialized to NoVertex with Src as its own
+/// parent; shared by bfs and bfsDistances.
+class BfsParents {
+public:
+  BfsParents(AlgoContext &Ctx, VertexId N, VertexId Src) : Mem(Ctx, N) {
+    std::atomic<VertexId> *P = Mem.data();
+    parallelFor(0, N, [&](size_t I) {
+      new (&P[I]) std::atomic<VertexId>(NoVertex);
+    });
+    P[Src].store(Src, std::memory_order_relaxed);
+  }
+
+  std::atomic<VertexId> *data() { return Mem.data(); }
+
+private:
+  CtxArray<std::atomic<VertexId>> Mem;
+};
+
 } // namespace detail
 
-/// BFS from \p Src. Returns the parent array: Parents[Src] == Src,
-/// NoVertex for unreachable vertices.
+/// BFS from \p Src using workspace \p Ctx. Returns the parent array:
+/// Parents[Src] == Src, NoVertex for unreachable vertices.
 template <class GView>
-std::vector<VertexId> bfs(const GView &G, VertexId Src,
+std::vector<VertexId> bfs(const GView &G, VertexId Src, AlgoContext &Ctx,
                           EdgeMapOptions Options = {}) {
   VertexId N = G.numVertices();
-  std::vector<std::atomic<VertexId>> Parents(N);
-  parallelFor(0, N, [&](size_t I) {
-    Parents[I].store(NoVertex, std::memory_order_relaxed);
-  });
-  Parents[Src].store(Src, std::memory_order_relaxed);
+  detail::BfsParents Parents(Ctx, N, Src);
 
-  VertexSubset Frontier(N, Src);
+  VertexSubset Frontier(N, Src, &Ctx);
   while (!Frontier.empty())
     Frontier = edgeMap(G, Frontier, detail::BfsF{Parents.data()}, Options);
 
   return tabulate(N, [&](size_t I) {
-    return Parents[I].load(std::memory_order_relaxed);
+    return Parents.data()[I].load(std::memory_order_relaxed);
   });
+}
+
+template <class GView>
+std::vector<VertexId> bfs(const GView &G, VertexId Src,
+                          EdgeMapOptions Options = {}) {
+  AlgoContext Ctx;
+  return bfs(G, Src, Ctx, Options);
 }
 
 /// BFS distances (hop counts; NoVertex/unreachable mapped to ~0u).
 template <class GView>
 std::vector<uint32_t> bfsDistances(const GView &G, VertexId Src,
+                                   AlgoContext &Ctx,
                                    EdgeMapOptions Options = {}) {
   VertexId N = G.numVertices();
-  std::vector<std::atomic<VertexId>> Parents(N);
-  parallelFor(0, N, [&](size_t I) {
-    Parents[I].store(NoVertex, std::memory_order_relaxed);
-  });
-  Parents[Src].store(Src, std::memory_order_relaxed);
+  detail::BfsParents Parents(Ctx, N, Src);
   std::vector<uint32_t> Dist(N, ~0u);
   Dist[Src] = 0;
 
-  VertexSubset Frontier(N, Src);
+  VertexSubset Frontier(N, Src, &Ctx);
   uint32_t Level = 0;
   while (!Frontier.empty()) {
     ++Level;
@@ -84,6 +109,13 @@ std::vector<uint32_t> bfsDistances(const GView &G, VertexId Src,
     Frontier.forEach([&](VertexId V) { Dist[V] = Level; });
   }
   return Dist;
+}
+
+template <class GView>
+std::vector<uint32_t> bfsDistances(const GView &G, VertexId Src,
+                                   EdgeMapOptions Options = {}) {
+  AlgoContext Ctx;
+  return bfsDistances(G, Src, Ctx, Options);
 }
 
 } // namespace aspen

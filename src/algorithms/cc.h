@@ -10,8 +10,10 @@
 #define ASPEN_ALGORITHMS_CC_H
 
 #include "ligra/edge_map.h"
+#include "memory/algo_context.h"
 
 #include <atomic>
+#include <new>
 #include <vector>
 
 namespace aspen {
@@ -41,24 +43,39 @@ struct CCF {
 
 } // namespace detail
 
-/// Connected-component labels (min vertex id per component).
+/// Connected-component labels (min vertex id per component) using
+/// workspace \p Ctx.
 template <class GView>
-std::vector<VertexId> connectedComponents(const GView &G,
+std::vector<VertexId> connectedComponents(const GView &G, AlgoContext &Ctx,
                                           EdgeMapOptions Options = {}) {
   VertexId N = G.numVertices();
-  std::vector<std::atomic<VertexId>> Labels(N);
+  CtxArray<std::atomic<VertexId>> Labels(Ctx, N);
   parallelFor(0, N, [&](size_t I) {
-    Labels[I].store(VertexId(I), std::memory_order_relaxed);
+    new (&Labels[I]) std::atomic<VertexId>(VertexId(I));
   });
 
-  VertexSubset Frontier(
-      N, tabulate(size_t(N), [](size_t I) { return VertexId(I); }));
+  // Initial frontier: every vertex, built straight into a workspace id
+  // buffer.
+  size_t AllCap;
+  auto *All = static_cast<VertexId *>(
+      Ctx.acquire(size_t(N) * sizeof(VertexId), AllCap));
+  parallelFor(0, N, [&](size_t I) { All[I] = VertexId(I); });
+  VertexSubset Frontier =
+      VertexSubset::adoptSparse(&Ctx, N, All, size_t(N), AllCap);
+
   while (!Frontier.empty())
     Frontier = edgeMap(G, Frontier, detail::CCF{Labels.data()}, Options);
 
   return tabulate(size_t(N), [&](size_t I) {
     return Labels[I].load(std::memory_order_relaxed);
   });
+}
+
+template <class GView>
+std::vector<VertexId> connectedComponents(const GView &G,
+                                          EdgeMapOptions Options = {}) {
+  AlgoContext Ctx;
+  return connectedComponents(G, Ctx, Options);
 }
 
 } // namespace aspen

@@ -11,62 +11,73 @@
 #define ASPEN_ALGORITHMS_KCORE_H
 
 #include "ligra/vertex_subset.h"
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 
 #include <atomic>
+#include <new>
 #include <vector>
 
 namespace aspen {
 
-/// Coreness of every vertex (max k such that v is in the k-core).
-template <class GView> std::vector<uint32_t> kCore(const GView &G) {
+/// Coreness of every vertex (max k such that v is in the k-core), using
+/// workspace \p Ctx.
+template <class GView>
+std::vector<uint32_t> kCore(const GView &G, AlgoContext &Ctx) {
   VertexId N = G.numVertices();
-  std::vector<std::atomic<int64_t>> Degree(N);
+  CtxArray<std::atomic<int64_t>> Degree(Ctx, N);
+  CtxArray<uint8_t> Alive(Ctx, N);
   parallelFor(0, N, [&](size_t V) {
-    Degree[V].store(int64_t(G.degree(VertexId(V))),
-                    std::memory_order_relaxed);
+    new (&Degree[V]) std::atomic<int64_t>(int64_t(G.degree(VertexId(V))));
+    Alive[V] = 1;
   });
   std::vector<uint32_t> Core(N, 0);
-  std::vector<uint8_t> Alive(N, 1);
+
+  // Peel sets pack into a reused workspace buffer.
+  CtxArray<VertexId> Peel(Ctx, N);
+  auto CollectPeel = [&](uint32_t K) {
+    return filterIndexInto(
+        size_t(N), [&](size_t V) { return VertexId(V); },
+        [&](size_t V) {
+          return Alive[V] &&
+                 Degree[V].load(std::memory_order_relaxed) <= int64_t(K);
+        },
+        Peel.data());
+  };
 
   size_t Remaining = N;
   uint32_t K = 0;
   while (Remaining > 0) {
     // Collect the peel set at the current k.
-    auto Peel = filterIndex(
-        size_t(N), [&](size_t V) { return VertexId(V); },
-        [&](size_t V) {
-          return Alive[V] &&
-                 Degree[V].load(std::memory_order_relaxed) <= int64_t(K);
-        });
-    if (Peel.empty()) {
+    size_t PeelSize = CollectPeel(K);
+    if (PeelSize == 0) {
       ++K;
       continue;
     }
     // Peel rounds at fixed k until no vertex qualifies.
-    while (!Peel.empty()) {
-      parallelFor(0, Peel.size(), [&](size_t I) {
+    while (PeelSize > 0) {
+      parallelFor(0, PeelSize, [&](size_t I) {
         VertexId V = Peel[I];
         Alive[V] = 0;
         Core[V] = K;
       });
-      Remaining -= Peel.size();
-      parallelFor(0, Peel.size(), [&](size_t I) {
+      Remaining -= PeelSize;
+      parallelFor(0, PeelSize, [&](size_t I) {
         G.iterNeighborsCond(Peel[I], [&](VertexId U) {
           if (Alive[U])
             Degree[U].fetch_sub(1, std::memory_order_relaxed);
           return true;
         });
       }, 16);
-      Peel = filterIndex(
-          size_t(N), [&](size_t V) { return VertexId(V); },
-          [&](size_t V) {
-            return Alive[V] &&
-                   Degree[V].load(std::memory_order_relaxed) <= int64_t(K);
-          });
+      PeelSize = CollectPeel(K);
     }
   }
   return Core;
+}
+
+template <class GView> std::vector<uint32_t> kCore(const GView &G) {
+  AlgoContext Ctx;
+  return kCore(G, Ctx);
 }
 
 } // namespace aspen

@@ -8,17 +8,22 @@
 // normalized mass. Entirely sequential per query, so thousands of queries
 // can run concurrently on snapshots.
 //
+// The sweep-cut phase (ordering buffer, membership table, sweep prefix)
+// draws from the AlgoContext workspace; the walk itself keeps sparse
+// hash maps, whose size is the walk support, not O(n).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ALGORITHMS_LOCAL_CLUSTER_H
 #define ASPEN_ALGORITHMS_LOCAL_CLUSTER_H
 
+#include "memory/algo_context.h"
+#include "util/hash.h"
 #include "util/types.h"
 
 #include <algorithm>
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace aspen {
@@ -30,10 +35,60 @@ struct LocalClusterResult {
   size_t SupportSize = 0;        ///< Vertices touched by the walk.
 };
 
-/// Nibble-style local clustering from \p Seed.
+namespace detail {
+
+/// Minimal linear-probe membership set over workspace memory (the sweep
+/// needs "is U already swept?" for a support-sized universe).
+class SweepSet {
+public:
+  SweepSet(AlgoContext &Ctx, size_t Support)
+      : TabSize(roundPow2(4 * Support + 4)), Table(Ctx, TabSize) {
+    for (size_t I = 0; I < TabSize; ++I)
+      Table[I] = NoVertex;
+  }
+
+  void insert(VertexId V) {
+    size_t I = slot(V);
+    while (Table[I] != NoVertex) {
+      if (Table[I] == V)
+        return;
+      I = (I + 1) & (TabSize - 1);
+    }
+    Table[I] = V;
+  }
+
+  bool contains(VertexId V) const {
+    size_t I = slot(V);
+    while (Table[I] != NoVertex) {
+      if (Table[I] == V)
+        return true;
+      I = (I + 1) & (TabSize - 1);
+    }
+    return false;
+  }
+
+private:
+  static size_t roundPow2(size_t X) {
+    size_t P = 8;
+    while (P < X)
+      P <<= 1;
+    return P;
+  }
+  size_t slot(VertexId V) const {
+    return size_t(hashAt(0x5eed, V)) & (TabSize - 1);
+  }
+
+  size_t TabSize;
+  CtxArray<VertexId> Table;
+};
+
+} // namespace detail
+
+/// Nibble-style local clustering from \p Seed using workspace \p Ctx.
 template <class GView>
 LocalClusterResult localCluster(const GView &G, VertexId Seed,
-                                double Eps = 1e-6, int T = 10) {
+                                AlgoContext &Ctx, double Eps = 1e-6,
+                                int T = 10) {
   std::unordered_map<VertexId, double> Mass;
   Mass[Seed] = 1.0;
 
@@ -68,31 +123,28 @@ LocalClusterResult localCluster(const GView &G, VertexId Seed,
 
   // Sweep cut: order support by mass/degree, take the prefix minimizing
   // conductance = cut(S) / min(vol(S), 2m - vol(S)).
-  std::vector<std::pair<double, VertexId>> Order;
-  Order.reserve(Mass.size());
+  CtxArray<std::pair<double, VertexId>> Order(Ctx, Mass.size());
+  size_t OrderN = 0;
   for (const auto &[V, Q] : Mass) {
     uint64_t Deg = G.degree(V);
-    Order.push_back({Deg ? Q / double(Deg) : 0.0, V});
+    Order[OrderN++] = {Deg ? Q / double(Deg) : 0.0, V};
   }
-  std::sort(Order.begin(), Order.end(), [](const auto &A, const auto &B) {
-    return A.first > B.first;
-  });
+  std::sort(Order.begin(), Order.begin() + OrderN,
+            [](const auto &A, const auto &B) { return A.first > B.first; });
 
-  std::unordered_set<VertexId> InSet;
+  detail::SweepSet InSet(Ctx, OrderN);
   double TwoM = double(G.numEdges());
   double Vol = 0.0, Cut = 0.0;
   double BestCond = 1.0;
   size_t BestPrefix = 1;
-  std::vector<VertexId> Sweep;
-  for (size_t I = 0; I < Order.size(); ++I) {
+  for (size_t I = 0; I < OrderN; ++I) {
     VertexId V = Order[I].second;
-    Sweep.push_back(V);
     uint64_t Deg = G.degree(V);
     Vol += double(Deg);
     // Edges to vertices already in the set flip from cut to internal.
     double Internal = 0.0;
     G.iterNeighborsCond(V, [&](VertexId U) {
-      if (InSet.count(U))
+      if (InSet.contains(U))
         Internal += 1.0;
       return true;
     });
@@ -107,9 +159,18 @@ LocalClusterResult localCluster(const GView &G, VertexId Seed,
       }
     }
   }
-  Result.Cluster.assign(Sweep.begin(), Sweep.begin() + BestPrefix);
+  Result.Cluster.reserve(BestPrefix);
+  for (size_t I = 0; I < BestPrefix; ++I)
+    Result.Cluster.push_back(Order[I].second);
   Result.Conductance = BestCond;
   return Result;
+}
+
+template <class GView>
+LocalClusterResult localCluster(const GView &G, VertexId Seed,
+                                double Eps = 1e-6, int T = 10) {
+  AlgoContext Ctx;
+  return localCluster(G, Seed, Ctx, Eps, T);
 }
 
 } // namespace aspen

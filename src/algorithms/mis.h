@@ -12,6 +12,7 @@
 #define ASPEN_ALGORITHMS_MIS_H
 
 #include "ligra/vertex_subset.h"
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/hash.h"
 
@@ -21,20 +22,27 @@ namespace aspen {
 
 enum class MisState : uint8_t { Undecided, In, Out };
 
-/// Compute a maximal independent set; returns per-vertex membership flags.
+/// Compute a maximal independent set using workspace \p Ctx; returns
+/// per-vertex membership flags.
 template <class GView>
-std::vector<uint8_t> mis(const GView &G, uint64_t Seed = 0x9e3779b9) {
+std::vector<uint8_t> mis(const GView &G, AlgoContext &Ctx,
+                         uint64_t Seed = 0x9e3779b9) {
   VertexId N = G.numVertices();
-  std::vector<MisState> State(N, MisState::Undecided);
+  CtxArray<MisState> State(Ctx, N);
+  parallelFor(0, N, [&](size_t I) { State[I] = MisState::Undecided; });
   auto Priority = [&](VertexId V) { return hashAt(Seed, V); };
 
-  // Active list of still-undecided vertices.
-  auto Active = tabulate(size_t(N), [](size_t I) { return VertexId(I); });
+  // Active list of still-undecided vertices; double-buffered because the
+  // shrink pass cannot pack in place while other blocks still read it.
+  CtxArray<VertexId> ActiveA(Ctx, N), ActiveB(Ctx, N);
+  CtxArray<uint8_t> Winner(Ctx, N);
+  VertexId *Active = ActiveA.data(), *NextActive = ActiveB.data();
+  parallelFor(0, N, [&](size_t I) { Active[I] = VertexId(I); });
+  size_t ActiveSize = N;
 
-  while (!Active.empty()) {
+  while (ActiveSize > 0) {
     // Phase 1: decide winners (read-only on State).
-    std::vector<uint8_t> Winner(Active.size(), 0);
-    parallelFor(0, Active.size(), [&](size_t I) {
+    parallelFor(0, ActiveSize, [&](size_t I) {
       VertexId V = Active[I];
       uint64_t PV = Priority(V);
       bool IsMax = true;
@@ -51,12 +59,12 @@ std::vector<uint8_t> mis(const GView &G, uint64_t Seed = 0x9e3779b9) {
       Winner[I] = IsMax ? 1 : 0;
     }, 16);
     // Phase 2: commit winners.
-    parallelFor(0, Active.size(), [&](size_t I) {
+    parallelFor(0, ActiveSize, [&](size_t I) {
       if (Winner[I])
         State[Active[I]] = MisState::In;
     });
     // Phase 3: remove neighbors of winners.
-    parallelFor(0, Active.size(), [&](size_t I) {
+    parallelFor(0, ActiveSize, [&](size_t I) {
       if (!Winner[I])
         return;
       G.iterNeighborsCond(Active[I], [&](VertexId U) {
@@ -65,15 +73,23 @@ std::vector<uint8_t> mis(const GView &G, uint64_t Seed = 0x9e3779b9) {
         return true;
       });
     }, 16);
-    // Phase 4: shrink the active set.
-    Active = filterIndex(
-        Active.size(), [&](size_t I) { return Active[I]; },
-        [&](size_t I) { return State[Active[I]] == MisState::Undecided; });
+    // Phase 4: shrink the active set into the other buffer.
+    ActiveSize = filterIndexInto(
+        ActiveSize, [&](size_t I) { return Active[I]; },
+        [&](size_t I) { return State[Active[I]] == MisState::Undecided; },
+        NextActive);
+    std::swap(Active, NextActive);
   }
 
   return tabulate(size_t(N), [&](size_t I) {
     return uint8_t(State[I] == MisState::In ? 1 : 0);
   });
+}
+
+template <class GView>
+std::vector<uint8_t> mis(const GView &G, uint64_t Seed = 0x9e3779b9) {
+  AlgoContext Ctx;
+  return mis(G, Ctx, Seed);
 }
 
 } // namespace aspen

@@ -4,30 +4,41 @@
 // d * sum_{u in N(v)} p[u]/deg(u) over symmetric graphs, iterated a fixed
 // number of rounds or until the L1 delta drops below a tolerance.
 //
+// The score, next-score, and contribution arrays draw from the
+// AlgoContext workspace, so steady-state re-runs on evolving snapshots
+// allocate nothing but the returned result vector.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ALGORITHMS_PAGERANK_H
 #define ASPEN_ALGORITHMS_PAGERANK_H
 
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 namespace aspen {
 
-/// PageRank scores (sum ~1 up to dangling mass).
+/// PageRank scores (sum ~1 up to dangling mass) using workspace \p Ctx.
 template <class GView>
-std::vector<double> pageRank(const GView &G, int MaxIters = 20,
-                             double Damping = 0.85, double Tol = 1e-9) {
+std::vector<double> pageRank(const GView &G, AlgoContext &Ctx,
+                             int MaxIters = 20, double Damping = 0.85,
+                             double Tol = 1e-9) {
   VertexId N = G.numVertices();
   if (N == 0)
     return {};
-  std::vector<double> P(N, 1.0 / double(N)), Next(N, 0.0);
-  // Precompute degree reciprocal contributions per round.
-  std::vector<double> Contrib(N, 0.0);
+  CtxArray<double> PA(Ctx, N), NextA(Ctx, N), Contrib(Ctx, N);
+  double *P = PA.data(), *Next = NextA.data();
+  parallelFor(0, N, [&](size_t V) {
+    P[V] = 1.0 / double(N);
+    Next[V] = 0.0;
+  });
   for (int Iter = 0; Iter < MaxIters; ++Iter) {
+    // Precompute degree reciprocal contributions per round.
     parallelFor(0, N, [&](size_t V) {
       uint64_t D = G.degree(VertexId(V));
       Contrib[V] = D ? P[V] / double(D) : 0.0;
@@ -47,7 +58,14 @@ std::vector<double> pageRank(const GView &G, int MaxIters = 20,
     if (Delta < Tol)
       break;
   }
-  return P;
+  return tabulate(size_t(N), [&](size_t V) { return P[V]; });
+}
+
+template <class GView>
+std::vector<double> pageRank(const GView &G, int MaxIters = 20,
+                             double Damping = 0.85, double Tol = 1e-9) {
+  AlgoContext Ctx;
+  return pageRank(G, Ctx, MaxIters, Damping, Tol);
 }
 
 } // namespace aspen

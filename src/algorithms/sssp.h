@@ -10,11 +10,13 @@
 #ifndef ASPEN_ALGORITHMS_SSSP_H
 #define ASPEN_ALGORITHMS_SSSP_H
 
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
 
 #include <atomic>
 #include <limits>
+#include <new>
 #include <vector>
 
 namespace aspen {
@@ -27,9 +29,11 @@ template <class W> struct SsspResult {
 };
 
 /// Shortest-path distances from \p Src over a weighted view providing
-/// `iterNeighborsW(v, Fn(u, w))` and `vertexUniverse()`.
+/// `iterNeighborsW(v, Fn(u, w))` and `vertexUniverse()`, using workspace
+/// \p Ctx. The distance targets, improved flags, and frontier buffer are
+/// all drawn from the workspace and hoisted out of the round loop.
 template <class WGraph, class W = double>
-SsspResult<W> sssp(const WGraph &G, VertexId Src) {
+SsspResult<W> sssp(const WGraph &G, VertexId Src, AlgoContext &Ctx) {
   VertexId N = G.vertexUniverse();
   SsspResult<W> R;
   R.Dist.assign(N, SsspResult<W>::infinity());
@@ -37,25 +41,28 @@ SsspResult<W> sssp(const WGraph &G, VertexId Src) {
     return R;
 
   // Atomic min-relaxation targets.
-  std::vector<std::atomic<W>> Dist(N);
+  CtxArray<std::atomic<W>> Dist(Ctx, N);
+  CtxArray<std::atomic<uint8_t>> Improved(Ctx, N);
   parallelFor(0, N, [&](size_t I) {
-    Dist[I].store(SsspResult<W>::infinity(), std::memory_order_relaxed);
+    new (&Dist[I]) std::atomic<W>(SsspResult<W>::infinity());
+    new (&Improved[I]) std::atomic<uint8_t>(0);
   });
   Dist[Src].store(W(), std::memory_order_relaxed);
 
-  std::vector<VertexId> Frontier = {Src};
+  CtxArray<VertexId> Frontier(Ctx, N);
+  Frontier[0] = Src;
+  size_t FrontierSize = 1;
   size_t Round = 0;
-  while (!Frontier.empty()) {
+  while (FrontierSize > 0) {
     if (Round++ > size_t(N)) {
       R.NegativeCycle = true;
       break;
     }
     // Relax all out-edges of the frontier; collect improved vertices.
-    std::vector<std::atomic<uint8_t>> Improved(N);
     parallelFor(0, N, [&](size_t I) {
       Improved[I].store(0, std::memory_order_relaxed);
     });
-    parallelFor(0, Frontier.size(), [&](size_t I) {
+    parallelFor(0, FrontierSize, [&](size_t I) {
       VertexId V = Frontier[I];
       W DV = Dist[V].load(std::memory_order_relaxed);
       if (DV == SsspResult<W>::infinity())
@@ -73,17 +80,26 @@ SsspResult<W> sssp(const WGraph &G, VertexId Src) {
         return true;
       });
     }, 8);
-    Frontier = filterIndex(
+    // The relax pass is complete, so the frontier buffer can be repacked
+    // in place from the improved flags.
+    FrontierSize = filterIndexInto(
         size_t(N), [&](size_t I) { return VertexId(I); },
         [&](size_t I) {
           return Improved[I].load(std::memory_order_relaxed) != 0;
-        });
+        },
+        Frontier.data());
   }
 
   parallelFor(0, N, [&](size_t I) {
     R.Dist[I] = Dist[I].load(std::memory_order_relaxed);
   });
   return R;
+}
+
+template <class WGraph, class W = double>
+SsspResult<W> sssp(const WGraph &G, VertexId Src) {
+  AlgoContext Ctx;
+  return sssp<WGraph, W>(G, Src, Ctx);
 }
 
 } // namespace aspen

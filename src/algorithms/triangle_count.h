@@ -6,15 +6,22 @@
 // ordered edge-set iteration (the C-tree's sorted order makes the merge
 // intersection natural).
 //
+// Per-vertex adjacency staging happens inside parallel workers, so it
+// borrows from the per-worker scratch caches (ScratchArray) rather than a
+// single AlgoContext, which is owned by the calling thread; the
+// AlgoContext overload exists for signature uniformity across the
+// algorithm suite.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ALGORITHMS_TRIANGLE_COUNT_H
 #define ASPEN_ALGORITHMS_TRIANGLE_COUNT_H
 
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
 
-#include <vector>
+#include <functional>
 
 namespace aspen {
 
@@ -25,26 +32,25 @@ template <class GView> uint64_t triangleCount(const GView &G) {
       size_t(N),
       [&](size_t UI) -> uint64_t {
         VertexId U = VertexId(UI);
-        // Higher-id neighbors of U, in order.
-        std::vector<VertexId> Au;
+        // Higher-id neighbors of U, in order, staged in worker scratch.
+        ScratchArray<VertexId> Au(G.degree(U));
+        size_t AuN = 0;
         G.iterNeighborsCond(U, [&](VertexId X) {
           if (X > U)
-            Au.push_back(X);
+            Au[AuN++] = X;
           return true;
         });
         uint64_t Local = 0;
-        for (VertexId V : Au) {
+        for (size_t VI = 0; VI < AuN; ++VI) {
+          VertexId V = Au[VI];
           // Merge-intersect Au (suffix > V) with N(V) (> V).
-          size_t I = 0;
-          while (I < Au.size() && Au[I] <= V)
-            ++I;
-          size_t Pos = I;
+          size_t Pos = VI + 1;
           G.iterNeighborsCond(V, [&](VertexId Wv) {
             if (Wv <= V)
               return true;
-            while (Pos < Au.size() && Au[Pos] < Wv)
+            while (Pos < AuN && Au[Pos] < Wv)
               ++Pos;
-            if (Pos == Au.size())
+            if (Pos == AuN)
               return false;
             if (Au[Pos] == Wv) {
               ++Local;
@@ -56,6 +62,13 @@ template <class GView> uint64_t triangleCount(const GView &G) {
         return Local;
       },
       uint64_t(0), std::plus<uint64_t>());
+}
+
+/// Signature-uniform overload (the workspace is unused; staging is
+/// worker-local by construction).
+template <class GView>
+uint64_t triangleCount(const GView &G, AlgoContext &) {
+  return triangleCount(G);
 }
 
 } // namespace aspen

@@ -2,14 +2,15 @@
 //
 // The paper's local 2-hop query (Section 7): the set of vertices within
 // two hops of a source. Local queries avoid O(n) scratch so that many can
-// run concurrently: candidates are gathered and deduplicated by sorting.
+// run concurrently: candidates are gathered into a workspace buffer sized
+// by the 2-hop degree sum and deduplicated by sorting.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_ALGORITHMS_TWO_HOP_H
 #define ASPEN_ALGORITHMS_TWO_HOP_H
 
-#include "parallel/primitives.h"
+#include "memory/algo_context.h"
 #include "util/types.h"
 
 #include <algorithm>
@@ -17,22 +18,75 @@
 
 namespace aspen {
 
-/// Vertices at distance <= 2 from \p Src (including Src), sorted.
+namespace detail {
+
+/// Workspace-backed id buffer that falls back to transient heap storage
+/// for outlier sizes: workspace blocks are retained for reuse, so a hub
+/// query whose neighborhood approaches m must not pin an m-sized block
+/// in the context (or the per-worker caches) for the process lifetime.
+class BoundedCtxBuffer {
+public:
+  static constexpr uint64_t MaxWorkspaceElts = uint64_t(1) << 20;
+
+  BoundedCtxBuffer(AlgoContext &Ctx, uint64_t N) : Ctx(&Ctx) {
+    if (N <= MaxWorkspaceElts)
+      Mem = static_cast<VertexId *>(
+          ctxAcquire(&Ctx, size_t(N) * sizeof(VertexId), Cap));
+    else {
+      Heap.resize(size_t(N));
+      Mem = Heap.data();
+    }
+  }
+  BoundedCtxBuffer(const BoundedCtxBuffer &) = delete;
+  BoundedCtxBuffer &operator=(const BoundedCtxBuffer &) = delete;
+  ~BoundedCtxBuffer() {
+    if (Cap)
+      ctxRelease(Ctx, Mem, Cap);
+  }
+
+  VertexId *data() { return Mem; }
+  VertexId &operator[](size_t I) { return Mem[I]; }
+
+private:
+  AlgoContext *Ctx;
+  VertexId *Mem = nullptr;
+  size_t Cap = 0;
+  std::vector<VertexId> Heap;
+};
+
+} // namespace detail
+
+/// Vertices at distance <= 2 from \p Src (including Src), sorted; the
+/// hop-1 and candidate buffers draw from workspace \p Ctx (heap for
+/// hub-sized outliers).
+template <class GView>
+std::vector<VertexId> twoHop(const GView &G, VertexId Src,
+                             AlgoContext &Ctx) {
+  uint64_t Deg = G.degree(Src);
+  detail::BoundedCtxBuffer Hop1(Ctx, Deg);
+  size_t Hop1N = 0;
+  uint64_t Total = 1 + Deg;
+  G.mapNeighbors(Src, [&](VertexId U) { Hop1[Hop1N++] = U; });
+  for (size_t I = 0; I < Hop1N; ++I)
+    Total += G.degree(Hop1[I]);
+
+  detail::BoundedCtxBuffer Cand(Ctx, Total);
+  size_t CandN = 0;
+  Cand[CandN++] = Src;
+  for (size_t I = 0; I < Hop1N; ++I)
+    Cand[CandN++] = Hop1[I];
+  for (size_t I = 0; I < Hop1N; ++I)
+    G.mapNeighbors(Hop1[I], [&](VertexId W) { Cand[CandN++] = W; });
+
+  std::sort(Cand.data(), Cand.data() + CandN);
+  VertexId *End = std::unique(Cand.data(), Cand.data() + CandN);
+  return std::vector<VertexId>(Cand.data(), End);
+}
+
 template <class GView>
 std::vector<VertexId> twoHop(const GView &G, VertexId Src) {
-  std::vector<VertexId> Hop1;
-  Hop1.reserve(G.degree(Src));
-  G.mapNeighbors(Src, [&](VertexId U) { Hop1.push_back(U); });
-
-  std::vector<VertexId> Out;
-  Out.push_back(Src);
-  Out.insert(Out.end(), Hop1.begin(), Hop1.end());
-  for (VertexId U : Hop1)
-    G.mapNeighbors(U, [&](VertexId W) { Out.push_back(W); });
-
-  std::sort(Out.begin(), Out.end());
-  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
-  return Out;
+  AlgoContext Ctx;
+  return twoHop(G, Src, Ctx);
 }
 
 /// |twoHop(G, Src)| without materializing (same cost; test convenience).

@@ -23,6 +23,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace aspen {
 
@@ -90,11 +91,25 @@ public:
     return V;
   }
 
-  /// Skip \p N varints without decoding their values (scans continue
-  /// bits only).
+  /// Skip \p N varints without decoding their values. Word-at-a-time:
+  /// every varint ends at a byte with a clear continue bit, so the number
+  /// of varints ending inside an 8-byte word is 8 minus the popcount of
+  /// its MSBs. The N varints still to be skipped occupy at least N bytes,
+  /// so the 8-byte loads stay in bounds while N >= 8; a word containing
+  /// the Nth terminator (or more) finishes byte-at-a-time so the cursor
+  /// lands exactly past the Nth terminator.
   void skip(size_t N) {
     assert(N <= Left && "skip() past the end");
     Left -= N;
+    while (N >= 8) {
+      uint64_t Word;
+      std::memcpy(&Word, In, 8);
+      size_t Ends = countTerminators(Word);
+      if (Ends >= N)
+        break;
+      In += 8;
+      N -= Ends;
+    }
     while (N > 0) {
       while (*In & 0x80)
         ++In;
@@ -104,6 +119,15 @@ public:
   }
 
 private:
+  /// Number of varints ending inside \p Word: bytes whose MSB (the
+  /// continue bit) is clear. Isolate the inverted continue bits and
+  /// byte-sum them with a SWAR multiply — the popcount of a per-byte
+  /// 0/1 mask — so the baseline ISA needs no POPCNT support.
+  static size_t countTerminators(uint64_t Word) {
+    uint64_t T = (~Word & 0x8080808080808080ull) >> 7;
+    return size_t((T * 0x0101010101010101ull) >> 56);
+  }
+
   const uint8_t *In = nullptr;
   size_t Left = 0;
 };

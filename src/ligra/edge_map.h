@@ -10,6 +10,11 @@
 // Symmetric graphs are assumed (the paper symmetrizes all inputs), so
 // out-neighbors serve as in-neighbors.
 //
+// All round-local arrays (the sparse Out targets, per-source offsets, the
+// dense next-flags, and sparse<->dense conversion buffers) are drawn from
+// the input frontier's AlgoContext workspace, so steady-state rounds
+// perform no heap allocation.
+//
 // The functor F provides:
 //   bool update(u, v)        - non-atomic (dense traversal; one writer per v)
 //   bool updateAtomic(u, v)  - atomic (sparse traversal; concurrent writers)
@@ -21,10 +26,11 @@
 #define ASPEN_LIGRA_EDGE_MAP_H
 
 #include "ligra/vertex_subset.h"
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
 
-#include <vector>
+#include <cstring>
 
 namespace aspen {
 
@@ -39,29 +45,38 @@ struct EdgeMapOptions {
 namespace detail {
 
 template <class GView, class F>
-VertexSubset edgeMapSparse(const GView &G, const std::vector<VertexId> &U,
-                           const std::vector<uint64_t> &Offsets,
-                           uint64_t Total, F &Fn) {
-  std::vector<VertexId> Out(Total, NoVertex);
-  parallelFor(0, U.size(), [&](size_t I) {
+VertexSubset edgeMapSparse(const GView &G, AlgoContext *Ctx,
+                           const VertexId *U, size_t USize,
+                           const uint64_t *Offsets, uint64_t Total, F &Fn) {
+  CtxArray<VertexId> Out(Ctx, Total);
+  VertexId *OutP = Out.data();
+  parallelFor(0, Total, [&](size_t I) { OutP[I] = NoVertex; });
+  parallelFor(0, USize, [&](size_t I) {
     VertexId Src = U[I];
     uint64_t Base = Offsets[I];
     G.mapNeighborsIndexed(Src, [&](size_t J, VertexId Dst) {
       if (Fn.cond(Dst) && Fn.updateAtomic(Src, Dst))
-        Out[Base + J] = Dst;
+        OutP[Base + J] = Dst;
     });
   }, 8);
-  auto Next = filterIndex(
-      Out.size(), [&](size_t I) { return Out[I]; },
-      [&](size_t I) { return Out[I] != NoVertex; });
-  return VertexSubset(G.numVertices(), std::move(Next));
+  size_t NextCap;
+  auto *Next =
+      static_cast<VertexId *>(ctxAcquire(Ctx, Total * sizeof(VertexId),
+                                         NextCap));
+  size_t NextSize = filterIndexInto(
+      Total, [&](size_t I) { return OutP[I]; },
+      [&](size_t I) { return OutP[I] != NoVertex; }, Next);
+  return VertexSubset::adoptSparse(Ctx, G.numVertices(), Next, NextSize,
+                                   NextCap);
 }
 
 template <class GView, class F>
-VertexSubset edgeMapDense(const GView &G, const std::vector<uint8_t> &UFlags,
-                          F &Fn) {
+VertexSubset edgeMapDense(const GView &G, AlgoContext *Ctx,
+                          const uint8_t *UFlags, F &Fn) {
   VertexId N = G.numVertices();
-  std::vector<uint8_t> NextFlags(N, 0);
+  size_t NextCap;
+  auto *NextFlags = static_cast<uint8_t *>(ctxAcquire(Ctx, N, NextCap));
+  std::memset(NextFlags, 0, N);
   size_t Grain = std::max<size_t>(
       128, size_t(N) / (32 * size_t(numWorkers())));
   parallelFor(0, N, [&](size_t VI) {
@@ -76,32 +91,36 @@ VertexSubset edgeMapDense(const GView &G, const std::vector<uint8_t> &UFlags,
       return Fn.cond(V);
     });
   }, Grain);
-  return VertexSubset(N, std::move(NextFlags));
+  size_t Count = reduceSum(
+      size_t(N), [&](size_t I) { return size_t(NextFlags[I] ? 1 : 0); });
+  return VertexSubset::adoptDense(Ctx, N, NextFlags, NextCap, Count);
 }
 
 } // namespace detail
 
-/// Map F over edges out of \p U; returns the target frontier. \p U may be
-/// converted between sparse and dense forms in place. The traversal mode
-/// is re-selected every round from |U| plus its out-degree sum (so shrunken
-/// dense frontiers fall back to the sparse traversal, as in Ligra).
+/// Map F over edges out of \p U; returns the target frontier, which shares
+/// \p U's AlgoContext. \p U may be converted between sparse and dense
+/// forms in place. The traversal mode is re-selected every round from |U|
+/// plus its out-degree sum (so shrunken dense frontiers fall back to the
+/// sparse traversal, as in Ligra).
 template <class GView, class F>
 VertexSubset edgeMap(const GView &G, VertexSubset &U, F Fn,
                      EdgeMapOptions Options = {}) {
   VertexId N = G.numVertices();
+  AlgoContext *Ctx = U.context();
   if (U.empty())
-    return VertexSubset(N);
+    return VertexSubset(N, Ctx);
 
   // Out-degree sum of the frontier.
   uint64_t DegreeSum;
   if (U.isDense()) {
-    const auto &Flags = U.denseFlags();
+    const uint8_t *Flags = U.denseFlags();
     DegreeSum = reduceSum(size_t(N), [&](size_t V) {
       return Flags[V] ? G.degree(VertexId(V)) : uint64_t(0);
     });
   } else {
-    const auto &Ids = U.sparseIds();
-    DegreeSum = reduceSum(Ids.size(), [&](size_t I) {
+    const VertexId *Ids = U.sparseIds();
+    DegreeSum = reduceSum(U.size(), [&](size_t I) {
       return G.degree(Ids[I]);
     });
   }
@@ -112,15 +131,17 @@ VertexSubset edgeMap(const GView &G, VertexSubset &U, F Fn,
 
   if (GoDense) {
     U.toDense();
-    return detail::edgeMapDense(G, U.denseFlags(), Fn);
+    return detail::edgeMapDense(G, Ctx, U.denseFlags(), Fn);
   }
   U.toSparse();
-  const auto &Ids = U.sparseIds();
-  std::vector<uint64_t> Offsets(Ids.size());
-  parallelFor(0, Ids.size(),
-              [&](size_t I) { Offsets[I] = G.degree(Ids[I]); });
-  uint64_t Total = scanExclusive(Offsets);
-  return detail::edgeMapSparse(G, Ids, Offsets, Total, Fn);
+  const VertexId *Ids = U.sparseIds();
+  size_t USize = U.size();
+  CtxArray<uint64_t> Offsets(Ctx, USize);
+  uint64_t *OffsetsP = Offsets.data();
+  parallelFor(0, USize,
+              [&](size_t I) { OffsetsP[I] = G.degree(Ids[I]); });
+  uint64_t Total = scanExclusive(OffsetsP, USize);
+  return detail::edgeMapSparse(G, Ctx, Ids, USize, OffsetsP, Total, Fn);
 }
 
 /// Map Fn(u, v) over all edges out of frontier \p U (no output frontier).
@@ -131,16 +152,29 @@ void edgeMapNoOutput(const GView &G, const VertexSubset &U, const F &Fn) {
   });
 }
 
-/// vertexMap: new subset of members of \p U satisfying Fn(v).
+/// vertexMap: new subset of members of \p U satisfying Fn(v); shares
+/// \p U's AlgoContext. Sparse inputs filter their id buffer directly
+/// (no copy or densify round-trip).
 template <class F>
 VertexSubset vertexFilter(const VertexSubset &U, const F &Fn) {
-  VertexSubset Copy = U;
-  Copy.toSparse();
-  const auto &Ids = Copy.sparseIds();
-  auto Kept = filterIndex(
-      Ids.size(), [&](size_t I) { return Ids[I]; },
-      [&](size_t I) { return Fn(Ids[I]); });
-  return VertexSubset(U.universe(), std::move(Kept));
+  AlgoContext *Ctx = U.context();
+  size_t KeptCap;
+  auto *Kept = static_cast<VertexId *>(
+      ctxAcquire(Ctx, U.size() * sizeof(VertexId), KeptCap));
+  size_t KeptSize;
+  if (U.isDense()) {
+    const uint8_t *Flags = U.denseFlags();
+    KeptSize = filterIndexInto(
+        size_t(U.universe()), [&](size_t I) { return VertexId(I); },
+        [&](size_t I) { return Flags[I] != 0 && Fn(VertexId(I)); }, Kept);
+  } else {
+    const VertexId *Ids = U.sparseIds();
+    KeptSize = filterIndexInto(
+        U.size(), [&](size_t I) { return Ids[I]; },
+        [&](size_t I) { return Fn(Ids[I]); }, Kept);
+  }
+  return VertexSubset::adoptSparse(Ctx, U.universe(), Kept, KeptSize,
+                                   KeptCap);
 }
 
 } // namespace aspen

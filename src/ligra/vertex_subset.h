@@ -4,15 +4,24 @@
 // sparse (id list) or dense (flag array) form, converted lazily by
 // edgeMap's direction optimization.
 //
+// Storage is drawn from an AlgoContext workspace (or, with no context,
+// from the per-worker scratch cache) instead of owned std::vectors, so a
+// frontier's buffers are recycled across edgeMap rounds and algorithm
+// runs: at steady state frontier churn performs no heap allocation.
+// A subset must not outlive the context it was created against.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_LIGRA_VERTEX_SUBSET_H
 #define ASPEN_LIGRA_VERTEX_SUBSET_H
 
+#include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
 
 #include <cassert>
+#include <cstring>
+#include <utility>
 #include <vector>
 
 namespace aspen {
@@ -23,27 +32,104 @@ public:
   VertexSubset() = default;
 
   /// Empty subset over universe \p N.
-  explicit VertexSubset(VertexId N) : N(N), IsDense(false) {}
+  explicit VertexSubset(VertexId N, AlgoContext *Ctx = nullptr)
+      : N(N), Ctx(Ctx), IsDense(false) {}
 
   /// Singleton subset.
-  VertexSubset(VertexId N, VertexId V) : N(N), IsDense(false) {
-    Sparse.push_back(V);
+  VertexSubset(VertexId N, VertexId V, AlgoContext *Ctx = nullptr)
+      : N(N), Ctx(Ctx), IsDense(false) {
+    reserveSparse(1);
+    SparseP[0] = V;
+    SparseN = 1;
   }
 
   /// Sparse subset from an id list (may be unsorted; no duplicates).
-  VertexSubset(VertexId N, std::vector<VertexId> Ids)
-      : N(N), IsDense(false), Sparse(std::move(Ids)) {}
+  VertexSubset(VertexId N, const std::vector<VertexId> &Ids,
+               AlgoContext *Ctx = nullptr)
+      : N(N), Ctx(Ctx), IsDense(false) {
+    if (!Ids.empty()) {
+      reserveSparse(Ids.size());
+      std::memcpy(SparseP, Ids.data(), Ids.size() * sizeof(VertexId));
+      SparseN = Ids.size();
+    }
+  }
 
   /// Dense subset from flags (Flags.size() == N).
-  VertexSubset(VertexId N, std::vector<uint8_t> Flags)
-      : N(N), IsDense(true), Dense(std::move(Flags)) {
-    assert(Dense.size() == N);
-    Count = reduceSum(Dense.size(),
-                      [&](size_t I) { return size_t(Dense[I] ? 1 : 0); });
+  VertexSubset(VertexId N, const std::vector<uint8_t> &Flags,
+               AlgoContext *Ctx = nullptr)
+      : N(N), Ctx(Ctx), IsDense(true) {
+    assert(Flags.size() == N);
+    reserveDense();
+    std::memcpy(DenseP, Flags.data(), N);
+    Count = reduceSum(size_t(N),
+                      [&](size_t I) { return size_t(DenseP[I] ? 1 : 0); });
     HasCount = true;
   }
 
+  /// Adopt a sparse id buffer previously acquired from \p Ctx (null for
+  /// the per-worker scratch cache); \p CapBytes is the acquired capacity.
+  static VertexSubset adoptSparse(AlgoContext *Ctx, VertexId N,
+                                  VertexId *Ids, size_t Size,
+                                  size_t CapBytes) {
+    VertexSubset S(N, Ctx);
+    S.SparseP = Ids;
+    S.SparseN = Size;
+    S.SparseCap = CapBytes;
+    return S;
+  }
+
+  /// Adopt a dense flag buffer (length >= N) with a precomputed member
+  /// count.
+  static VertexSubset adoptDense(AlgoContext *Ctx, VertexId N,
+                                 uint8_t *Flags, size_t CapBytes,
+                                 size_t Count) {
+    VertexSubset S(N, Ctx);
+    S.IsDense = true;
+    S.DenseP = Flags;
+    S.DenseCap = CapBytes;
+    S.Count = Count;
+    S.HasCount = true;
+    return S;
+  }
+
+  VertexSubset(const VertexSubset &O)
+      : N(O.N), Ctx(O.Ctx), IsDense(O.IsDense), HasCount(O.HasCount),
+        Count(O.Count) {
+    if (O.SparseP && O.SparseN) {
+      reserveSparse(O.SparseN);
+      std::memcpy(SparseP, O.SparseP, O.SparseN * sizeof(VertexId));
+      SparseN = O.SparseN;
+    }
+    if (O.DenseP) {
+      reserveDense();
+      std::memcpy(DenseP, O.DenseP, N);
+    }
+  }
+
+  VertexSubset(VertexSubset &&O) noexcept { swap(O); }
+
+  VertexSubset &operator=(VertexSubset O) noexcept {
+    swap(O);
+    return *this;
+  }
+
+  ~VertexSubset() { releaseBuffers(); }
+
+  void swap(VertexSubset &O) noexcept {
+    std::swap(N, O.N);
+    std::swap(Ctx, O.Ctx);
+    std::swap(IsDense, O.IsDense);
+    std::swap(HasCount, O.HasCount);
+    std::swap(Count, O.Count);
+    std::swap(SparseP, O.SparseP);
+    std::swap(SparseN, O.SparseN);
+    std::swap(SparseCap, O.SparseCap);
+    std::swap(DenseP, O.DenseP);
+    std::swap(DenseCap, O.DenseCap);
+  }
+
   VertexId universe() const { return N; }
+  AlgoContext *context() const { return Ctx; }
 
   /// Number of member vertices.
   size_t size() const {
@@ -51,7 +137,7 @@ public:
       assert(HasCount);
       return Count;
     }
-    return Sparse.size();
+    return SparseN;
   }
 
   bool empty() const { return size() == 0; }
@@ -60,33 +146,35 @@ public:
   /// Membership test (requires dense form for O(1); sparse form scans).
   bool contains(VertexId V) const {
     if (IsDense)
-      return Dense[V] != 0;
-    for (VertexId U : Sparse)
-      if (U == V)
+      return DenseP[V] != 0;
+    for (size_t I = 0; I < SparseN; ++I)
+      if (SparseP[I] == V)
         return true;
     return false;
   }
 
-  const std::vector<VertexId> &sparseIds() const {
+  const VertexId *sparseIds() const {
     assert(!IsDense && "call toSparse() first");
-    return Sparse;
+    return SparseP;
   }
 
-  const std::vector<uint8_t> &denseFlags() const {
+  const uint8_t *denseFlags() const {
     assert(IsDense && "call toDense() first");
-    return Dense;
+    return DenseP;
   }
 
   /// Convert to dense form in place.
   void toDense() {
     if (IsDense)
       return;
-    std::vector<uint8_t> Flags(N, 0);
-    parallelFor(0, Sparse.size(), [&](size_t I) { Flags[Sparse[I]] = 1; });
-    Count = Sparse.size();
+    reserveDense();
+    uint8_t *Flags = DenseP;
+    std::memset(Flags, 0, N);
+    const VertexId *Ids = SparseP;
+    parallelFor(0, SparseN, [&](size_t I) { Flags[Ids[I]] = 1; });
+    Count = SparseN;
     HasCount = true;
-    Dense = std::move(Flags);
-    Sparse.clear();
+    releaseSparse();
     IsDense = true;
   }
 
@@ -94,41 +182,90 @@ public:
   void toSparse() {
     if (!IsDense)
       return;
-    Sparse = filterIndex(
-        N, [&](size_t I) { return VertexId(I); },
-        [&](size_t I) { return Dense[I] != 0; });
-    Dense.clear();
+    reserveSparse(Count);
+    const uint8_t *Flags = DenseP;
+    SparseN = filterIndexInto(
+        size_t(N), [&](size_t I) { return VertexId(I); },
+        [&](size_t I) { return Flags[I] != 0; }, SparseP);
+    assert(SparseN == Count && "dense count disagrees with flags");
+    releaseDense();
     IsDense = false;
   }
 
   /// Apply Fn(v) to each member, in parallel.
   template <class F> void forEach(const F &Fn) const {
     if (IsDense) {
+      const uint8_t *Flags = DenseP;
       parallelFor(0, N, [&](size_t V) {
-        if (Dense[V])
+        if (Flags[V])
           Fn(VertexId(V));
       });
       return;
     }
-    parallelFor(0, Sparse.size(), [&](size_t I) { Fn(Sparse[I]); });
+    const VertexId *Ids = SparseP;
+    parallelFor(0, SparseN, [&](size_t I) { Fn(Ids[I]); });
   }
 
-  /// Members as a sorted vector (for tests).
+  /// Members as a sorted vector (for tests). A sparse subset copies its id
+  /// buffer straight out (no densify round-trip); a dense subset packs the
+  /// flags, which already yields increasing order.
   std::vector<VertexId> toVector() const {
-    VertexSubset Copy = *this;
-    Copy.toSparse();
-    std::vector<VertexId> Out = Copy.Sparse;
-    parallelSort(Out);
-    return Out;
+    if (!IsDense) {
+      std::vector<VertexId> Out(SparseP, SparseP + SparseN);
+      parallelSort(Out);
+      return Out;
+    }
+    const uint8_t *Flags = DenseP;
+    return filterIndex(
+        size_t(N), [&](size_t I) { return VertexId(I); },
+        [&](size_t I) { return Flags[I] != 0; });
   }
 
 private:
+  void reserveSparse(size_t MinElts) {
+    size_t Need = MinElts * sizeof(VertexId);
+    if (SparseP && SparseCap >= Need)
+      return;
+    releaseSparse();
+    if (Need == 0)
+      return;
+    SparseP = static_cast<VertexId *>(ctxAcquire(Ctx, Need, SparseCap));
+  }
+
+  void reserveDense() {
+    if (DenseP)
+      return;
+    DenseP = static_cast<uint8_t *>(ctxAcquire(Ctx, N, DenseCap));
+  }
+
+  void releaseSparse() {
+    ctxRelease(Ctx, SparseP, SparseCap);
+    SparseP = nullptr;
+    SparseN = 0;
+    SparseCap = 0;
+  }
+
+  void releaseDense() {
+    ctxRelease(Ctx, DenseP, DenseCap);
+    DenseP = nullptr;
+    DenseCap = 0;
+  }
+
+  void releaseBuffers() {
+    releaseSparse();
+    releaseDense();
+  }
+
   VertexId N = 0;
+  AlgoContext *Ctx = nullptr;
   bool IsDense = false;
   bool HasCount = false;
   size_t Count = 0;
-  std::vector<VertexId> Sparse;
-  std::vector<uint8_t> Dense;
+  VertexId *SparseP = nullptr;
+  size_t SparseN = 0;
+  size_t SparseCap = 0; ///< bytes
+  uint8_t *DenseP = nullptr;
+  size_t DenseCap = 0; ///< bytes
 };
 
 } // namespace aspen

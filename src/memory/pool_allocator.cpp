@@ -110,15 +110,13 @@ std::vector<ByteCounter> &byteCounters() {
 
 /// Per-context cache of scratch blocks, all power-of-two sized.
 struct alignas(64) ScratchLocal {
-  static constexpr int MaxCached = 8;
-  void *Blocks[MaxCached];
-  size_t Caps[MaxCached];
-  int N = 0;
+  aspen::detail::BlockCache<8> Cache;
   uint64_t Misses = 0;
 
   ~ScratchLocal() {
-    for (int I = 0; I < N; ++I)
-      std::free(Blocks[I]);
+    size_t Cap;
+    while (void *P = Cache.pop(Cap))
+      std::free(P);
   }
 };
 
@@ -180,19 +178,8 @@ uint64_t aspen::countedAllocEvents() {
 
 void *aspen::scratchAcquire(size_t MinBytes, size_t &CapOut) {
   ScratchLocal &L = scratchLocals()[static_cast<size_t>(workerId())];
-  // Smallest cached block that fits.
-  int Best = -1;
-  for (int I = 0; I < L.N; ++I)
-    if (L.Caps[I] >= MinBytes && (Best < 0 || L.Caps[I] < L.Caps[Best]))
-      Best = I;
-  if (Best >= 0) {
-    void *P = L.Blocks[Best];
-    CapOut = L.Caps[Best];
-    --L.N;
-    L.Blocks[Best] = L.Blocks[L.N];
-    L.Caps[Best] = L.Caps[L.N];
+  if (void *P = L.Cache.tryAcquire(MinBytes, CapOut))
     return P;
-  }
   ++L.Misses;
   CapOut = scratchRound(MinBytes);
   void *P = std::malloc(CapOut);
@@ -204,25 +191,9 @@ void aspen::scratchRelease(void *P, size_t Cap) {
   if (!P)
     return;
   ScratchLocal &L = scratchLocals()[static_cast<size_t>(workerId())];
-  if (L.N < ScratchLocal::MaxCached) {
-    L.Blocks[L.N] = P;
-    L.Caps[L.N] = Cap;
-    ++L.N;
-    return;
-  }
-  // Cache full: evict the smallest block (keep the big ones, they serve
-  // the widest range of requests).
-  int Smallest = 0;
-  for (int I = 1; I < L.N; ++I)
-    if (L.Caps[I] < L.Caps[Smallest])
-      Smallest = I;
-  if (L.Caps[Smallest] < Cap) {
-    std::free(L.Blocks[Smallest]);
-    L.Blocks[Smallest] = P;
-    L.Caps[Smallest] = Cap;
-  } else {
-    std::free(P);
-  }
+  size_t LoserCap;
+  if (void *Loser = L.Cache.insert(P, Cap, LoserCap))
+    std::free(Loser);
 }
 
 uint64_t aspen::scratchAllocEvents() {

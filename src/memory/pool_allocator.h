@@ -123,6 +123,78 @@ uint64_t countedAllocEvents();
 // balances exactly.
 //===----------------------------------------------------------------------===
 
+namespace detail {
+
+/// Fixed-slot cache of sized memory blocks: the one policy shared by the
+/// per-worker scratch caches and the AlgoContext workspace. Acquire hands
+/// out the smallest cached block that fits; insert on a full cache keeps
+/// the largest blocks (they serve the widest range of requests) and
+/// reports the loser for the caller to dispose of (free, or spill to a
+/// lower-level cache).
+template <int MaxSlots> class BlockCache {
+public:
+  /// Smallest cached block with capacity >= \p MinBytes, or nullptr.
+  void *tryAcquire(size_t MinBytes, size_t &CapOut) {
+    int Best = -1;
+    for (int I = 0; I < N; ++I)
+      if (Caps[I] >= MinBytes && (Best < 0 || Caps[I] < Caps[Best]))
+        Best = I;
+    if (Best < 0)
+      return nullptr;
+    void *P = Blocks[Best];
+    CapOut = Caps[Best];
+    --N;
+    Blocks[Best] = Blocks[N];
+    Caps[Best] = Caps[N];
+    return P;
+  }
+
+  /// Cache (\p P, \p Cap). Returns the block the cache could not keep:
+  /// nullptr when there was room, the evicted smallest block when P
+  /// displaced it, or P itself when P is no larger than every cached
+  /// block. \p LoserCap receives the returned block's capacity.
+  void *insert(void *P, size_t Cap, size_t &LoserCap) {
+    if (N < MaxSlots) {
+      Blocks[N] = P;
+      Caps[N] = Cap;
+      ++N;
+      return nullptr;
+    }
+    int Smallest = 0;
+    for (int I = 1; I < N; ++I)
+      if (Caps[I] < Caps[Smallest])
+        Smallest = I;
+    if (Caps[Smallest] < Cap) {
+      void *Evicted = Blocks[Smallest];
+      LoserCap = Caps[Smallest];
+      Blocks[Smallest] = P;
+      Caps[Smallest] = Cap;
+      return Evicted;
+    }
+    LoserCap = Cap;
+    return P;
+  }
+
+  int size() const { return N; }
+
+  /// Remove and return any cached block (teardown drain); nullptr when
+  /// empty.
+  void *pop(size_t &CapOut) {
+    if (N == 0)
+      return nullptr;
+    --N;
+    CapOut = Caps[N];
+    return Blocks[N];
+  }
+
+private:
+  void *Blocks[MaxSlots];
+  size_t Caps[MaxSlots];
+  int N = 0;
+};
+
+} // namespace detail
+
 /// Borrow a block of at least \p MinBytes; \p CapOut receives the actual
 /// capacity, which must be passed back to scratchRelease.
 void *scratchAcquire(size_t MinBytes, size_t &CapOut);

@@ -11,6 +11,7 @@
 #ifndef ASPEN_PARALLEL_PRIMITIVES_H
 #define ASPEN_PARALLEL_PRIMITIVES_H
 
+#include "memory/pool_allocator.h"
 #include "parallel/scheduler.h"
 #include "util/hash.h"
 
@@ -95,7 +96,9 @@ template <class T> T scanExclusive(T *Data, size_t N) {
     }
     return Acc;
   }
-  std::vector<T> Sums(NumBlocks);
+  // Block sums live in borrowed scratch so hot loops (edgeMap offsets run
+  // every round) stay heap-allocation-free.
+  ScratchArray<T> Sums(NumBlocks);
   parallelFor(
       0, NumBlocks,
       [&](size_t B) {
@@ -132,17 +135,19 @@ template <class T> T scanExclusive(std::vector<T> &Data) {
   return scanExclusive(Data.data(), Data.size());
 }
 
-/// Parallel filter: collect `Get(I)` for all I in [0, N) with `Keep(I)`,
-/// preserving order. O(n) work, O(log n) depth.
-template <class Get, class Keep>
-auto filterIndex(size_t N, const Get &GetFn, const Keep &KeepFn) {
-  using T = decltype(GetFn(size_t(0)));
-  if (N == 0)
-    return std::vector<T>();
+namespace detail {
+
+/// Shared core of filterIndex/filterIndexInto: blocked count pass, scan
+/// of the per-block counts (held in borrowed scratch), then an ordered
+/// scatter into the destination obtained from `MakeDest(Total)` after
+/// the total is known. Returns the number of kept elements.
+template <class Get, class Keep, class MakeDest>
+size_t blockedFilter(size_t N, const Get &GetFn, const Keep &KeepFn,
+                     const MakeDest &MakeDestFn) {
   size_t P = static_cast<size_t>(numWorkers());
   size_t BlockSize = std::max<size_t>(2048, (N + 4 * P - 1) / (4 * P));
   size_t NumBlocks = (N + BlockSize - 1) / BlockSize;
-  std::vector<size_t> Counts(NumBlocks);
+  ScratchArray<size_t> Counts(NumBlocks);
   parallelFor(
       0, NumBlocks,
       [&](size_t B) {
@@ -154,7 +159,7 @@ auto filterIndex(size_t N, const Get &GetFn, const Keep &KeepFn) {
       },
       1);
   size_t Total = scanExclusive(Counts.data(), NumBlocks);
-  std::vector<T> Out(Total);
+  auto *Out = MakeDestFn(Total);
   parallelFor(
       0, NumBlocks,
       [&](size_t B) {
@@ -165,6 +170,41 @@ auto filterIndex(size_t N, const Get &GetFn, const Keep &KeepFn) {
             Out[Pos++] = GetFn(I);
       },
       1);
+  return Total;
+}
+
+} // namespace detail
+
+/// Parallel filter into a caller-provided buffer: write `Get(I)` for all I
+/// in [0, N) with `Keep(I)` to \p Out (capacity >= the number kept),
+/// preserving order; returns the number written. O(n) work, O(log n)
+/// depth, no heap allocation (block counts live in borrowed scratch).
+/// \p Out must not alias memory read by Get/Keep.
+template <class Get, class Keep, class T>
+size_t filterIndexInto(size_t N, const Get &GetFn, const Keep &KeepFn,
+                       T *Out) {
+  if (N == 0)
+    return 0;
+  return detail::blockedFilter(N, GetFn, KeepFn,
+                               [&](size_t) { return Out; });
+}
+
+/// Parallel filter: collect `Get(I)` for all I in [0, N) with `Keep(I)`,
+/// preserving order. O(n) work, O(log n) depth. The exactly-sized result
+/// vector is the only heap allocation: one-shot filters over huge inputs
+/// (graph loading) never pin input-sized blocks in the scratch caches —
+/// hot loops that want a zero-allocation filter pass their own buffer to
+/// filterIndexInto.
+template <class Get, class Keep>
+auto filterIndex(size_t N, const Get &GetFn, const Keep &KeepFn) {
+  using T = decltype(GetFn(size_t(0)));
+  std::vector<T> Out;
+  if (N == 0)
+    return Out;
+  detail::blockedFilter(N, GetFn, KeepFn, [&](size_t Total) {
+    Out.resize(Total);
+    return Out.data();
+  });
   return Out;
 }
 

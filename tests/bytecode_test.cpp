@@ -304,6 +304,37 @@ TEST(VarintCursor, NextPeekSkip) {
   }
 }
 
+TEST(VarintCursor, WordAtATimeSkipBoundaries) {
+  // Adversarial inputs for the 8-byte-load + popcount skip: runs of
+  // 1-byte codes (8 terminators per word), runs of maximum-length codes
+  // (0 terminators per word), and skips that land exactly at the end of
+  // an exactly-sized buffer (no slack bytes to over-read; ASan checks).
+  auto Check = [](const std::vector<uint64_t> &Vals) {
+    size_t Total = 0;
+    for (uint64_t V : Vals)
+      Total += varintSize(V);
+    std::vector<uint8_t> Buf(Total);
+    uint8_t *Out = Buf.data();
+    for (uint64_t V : Vals)
+      Out = encodeVarint(V, Out);
+    for (size_t N = 0; N <= Vals.size(); ++N) {
+      VarintCursor A(Buf.data(), Vals.size());
+      A.skip(N);
+      ASSERT_EQ(A.remaining(), Vals.size() - N);
+      if (N < Vals.size())
+        ASSERT_EQ(A.peek(), Vals[N]) << "skip " << N;
+      else
+        ASSERT_EQ(A.pos(), Buf.data() + Buf.size());
+    }
+  };
+  Check(std::vector<uint64_t>(41, 7));                 // all 1-byte
+  Check(std::vector<uint64_t>(17, ~0ull));             // all 10-byte
+  std::vector<uint64_t> Mixed;
+  for (size_t I = 0; I < 100; ++I)
+    Mixed.push_back(hash64(I) >> (I % 64));            // 1..10 bytes
+  Check(Mixed);
+}
+
 TEST(VarintWriter, BoundedAppendMatchesFreeEncode) {
   std::vector<uint64_t> Vals = {0, 1, 127, 128, 1ull << 40, ~0ull};
   size_t Cap = 0;

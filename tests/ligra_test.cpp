@@ -82,6 +82,32 @@ TEST(VertexFilterTest, KeepsSatisfying) {
   EXPECT_EQ(Even.toVector(), (std::vector<VertexId>{2, 4, 6}));
 }
 
+TEST(VertexFilterTest, DenseInputFiltersWithoutSparseCopy) {
+  VertexSubset S(100, std::vector<VertexId>{10, 20, 30, 41});
+  S.toDense();
+  VertexSubset Even = vertexFilter(S, [](VertexId V) { return V % 2 == 0; });
+  EXPECT_EQ(Even.toVector(), (std::vector<VertexId>{10, 20, 30}));
+}
+
+TEST(VertexSubsetTest, ContextBackedRoundTrip) {
+  AlgoContext Ctx;
+  {
+    VertexSubset S(1000, std::vector<VertexId>{5, 17, 900}, &Ctx);
+    EXPECT_EQ(S.context(), &Ctx);
+    S.toDense();
+    EXPECT_TRUE(S.contains(17));
+    S.toSparse();
+    EXPECT_EQ(S.toVector(), (std::vector<VertexId>{5, 17, 900}));
+    VertexSubset Copy = S;
+    EXPECT_EQ(Copy.toVector(), S.toVector());
+  } // destruction returns the buffers to the context
+  EXPECT_GT(Ctx.cachedBlocks(), 0);
+  uint64_t Miss0 = Ctx.missCount();
+  VertexSubset T(1000, std::vector<VertexId>{1, 2, 3}, &Ctx);
+  T.toDense();
+  EXPECT_EQ(Ctx.missCount(), Miss0) << "buffers should be reused";
+}
+
 class EdgeMapTest : public ::testing::Test {
 protected:
   void SetUp() override {
@@ -140,6 +166,24 @@ TEST_F(EdgeMapTest, FlatSnapshotAgreesWithTreeView) {
   std::vector<VertexId> Frontier = {0, 7, 12, 100, 200};
   EdgeMapOptions Opt;
   EXPECT_EQ(oneRound(FV, Frontier, Opt), oneRound(TV, Frontier, Opt));
+}
+
+TEST_F(EdgeMapTest, ContextPropagatesAndMatchesContextFree) {
+  TreeGraphView View(G);
+  AlgoContext Ctx;
+  std::vector<VertexId> Frontier = {1, 2, 3, 7};
+  std::vector<std::atomic<uint8_t>> Seen(N);
+
+  auto RunWith = [&](AlgoContext *C) {
+    parallelFor(0, N, [&](size_t I) { Seen[I].store(0); });
+    for (VertexId V : Frontier)
+      Seen[V].store(1);
+    VertexSubset U(N, Frontier, C);
+    VertexSubset Next = edgeMap(View, U, MarkF{Seen.data()});
+    EXPECT_EQ(Next.context(), C);
+    return Next.toVector();
+  };
+  EXPECT_EQ(RunWith(&Ctx), RunWith(nullptr));
 }
 
 TEST_F(EdgeMapTest, EmptyFrontier) {
