@@ -1,30 +1,50 @@
 //===- bench/bench_chunk_ops.cpp - Chunk-operation microbenchmark ---------===//
 //
-// Measures the zero-materialization cursor rewrite of the chunk set
-// operations (union / minus / intersect / split / contains) against naive
-// decode-to-vector reference implementations equivalent to the seed code,
-// reporting throughput and allocations per operation.
+// Measures the chunk-layer hot paths:
+//
+//  * Set operations (union / minus / split / contains) against naive
+//    decode-to-vector reference implementations equivalent to the seed
+//    code, reporting throughput and allocations per operation.
+//  * Sequential decode throughput: the scalar element-at-a-time Cursor
+//    (one varint decode per next()) vs the block-decoded bulk iterate
+//    (SSSE3 shuffle-table / SWAR tiers, encoding/varint_block.h), across
+//    gap regimes from 1-byte codes (dense chunks) to 2-4 byte codes
+//    (large-graph adjacency), over a streaming working set of many
+//    chunks.
+//  * Run-copy merges: byte-copy union/minus/intersect (the defaults) vs
+//    the element-at-a-time streaming merges, across run-length patterns
+//    from fully interleaved (run 1, the byte-copy worst case) to long
+//    runs and disjoint ranges (where drains skip decode + re-encode
+//    entirely).
 //
 // Allocation accounting: a global operator new/delete override counts
 // heap allocation *events* (this is what the std::vector temporaries of
 // the naive path hit), countedAllocEvents() counts chunk payload
 // allocations, and scratchAllocEvents() counts scratch-cache misses.
 //
-//   -count <n>   elements per chunk (default 128, the paper's b)
-//   -pairs <n>   number of chunk pairs (default 1024)
-//   -rounds <r>  timing repetitions (default 3)
+//   -count <n>     elements per chunk (default 128, the paper's b)
+//   -pairs <n>     number of chunk pairs (default 1024)
+//   -rounds <r>    timing repetitions (default 3)
+//   -json <path>   write every reported metric to <path> as flat JSON
+//                  (one "metric": value per line) for cross-PR tracking
+//   -compare <path> load a previous -json file and print before/after
+//                  ratios next to each metric
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench_common.h"
 #include "ctree/chunk.h"
 #include "encoding/byte_code.h"
+#include "encoding/varint_block.h"
 #include "util/hash.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <new>
+#include <string>
 #include <vector>
 
 static std::atomic<uint64_t> GHeapAllocs{0};
@@ -46,6 +66,55 @@ using namespace aspen;
 namespace {
 
 using P32 = ChunkPayload<uint32_t>;
+
+//===----------------------------------------------------------------------===
+// Metric collection (-json / -compare).
+//===----------------------------------------------------------------------===
+
+std::vector<std::pair<std::string, double>> GMetrics;
+std::map<std::string, double> GBaseline;
+
+void recordMetric(const std::string &Key, double Value) {
+  GMetrics.emplace_back(Key, Value);
+}
+
+std::string compareSuffix(const std::string &Key, double Value) {
+  auto It = GBaseline.find(Key);
+  if (It == GBaseline.end() || It->second <= 0.0)
+    return "";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "  [%.2fx]", Value / It->second);
+  return Buf;
+}
+
+bool loadBaseline(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Line[512];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    char Key[256];
+    double Value;
+    if (std::sscanf(Line, " \"%255[^\"]\" : %lf", Key, &Value) == 2)
+      GBaseline[Key] = Value;
+  }
+  std::fclose(F);
+  return true;
+}
+
+bool writeJson(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"_tier\": \"%s\",\n", blockDecodeTierName());
+  for (size_t I = 0; I < GMetrics.size(); ++I)
+    std::fprintf(F, "  \"%s\": %.6g%s\n", GMetrics[I].first.c_str(),
+                 GMetrics[I].second, I + 1 < GMetrics.size() ? "," : "");
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+  return true;
+}
 
 //===----------------------------------------------------------------------===
 // Naive reference implementations (the seed's decode-to-vector shape).
@@ -130,21 +199,38 @@ template <class F> OpReport measure(int Rounds, uint64_t Ops, const F &Fn) {
           TotalOps};
 }
 
-void printRow(const char *Op, const char *Impl, const OpReport &R,
-              uint64_t OpsPerRound) {
-  std::printf("  %-10s %-8s %10s   %7.2f allocs/op (heap %6.2f, "
-              "payload %6.2f, scratch %g)\n",
-              Op, Impl, fmtRate(double(OpsPerRound) / R.Seconds).c_str(),
+void printRow(const std::string &Scope, const char *Op, const char *Impl,
+              const OpReport &R, uint64_t OpsPerRound) {
+  double Rate = double(OpsPerRound) / R.Seconds;
+  std::string Key = Scope + "/" + Op + "/" + Impl + "_ops_s";
+  recordMetric(Key, Rate);
+  recordMetric(Scope + "/" + Op + "/" + Impl + "_allocs_op",
+               double(R.Delta.Heap + R.Delta.Counted + R.Delta.Scratch) /
+                   double(OpsPerRound));
+  std::printf("  %-10s %-9s %10s   %7.2f allocs/op (heap %6.2f, "
+              "payload %6.2f, scratch %g)%s\n",
+              Op, Impl, fmtRate(Rate).c_str(),
               double(R.Delta.Heap + R.Delta.Counted + R.Delta.Scratch) /
                   double(OpsPerRound),
               double(R.Delta.Heap) / double(OpsPerRound),
               double(R.Delta.Counted) / double(OpsPerRound),
-              double(R.Delta.Scratch) / double(OpsPerRound));
+              double(R.Delta.Scratch) / double(OpsPerRound),
+              compareSuffix(Key, Rate).c_str());
+}
+
+void printRateRow(const std::string &Scope, const char *Op,
+                  const char *Impl, double Rate, const char *Unit) {
+  std::string Key = Scope + "/" + Op + "/" + std::string(Impl) + "_" + Unit;
+  recordMetric(Key, Rate);
+  std::printf("  %-10s %-9s %10s %s%s\n", Op, Impl, fmtRate(Rate).c_str(),
+              Unit, compareSuffix(Key, Rate).c_str());
 }
 
 template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
   std::printf("\ncodec %s, %zu elements/chunk, %zu pairs:\n", Codec::Name,
               Count, Pairs);
+  std::string Scope =
+      std::string(Codec::Name) + std::to_string(Count);
 
   // Overlapping sorted-unique element sets per pair.
   std::vector<P32 *> As(Pairs), Bs(Pairs);
@@ -172,25 +258,25 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
     for (size_t P = 0; P < Pairs; ++P)
       releaseChunk(naiveUnion<Codec>(As[P], Bs[P]));
   });
-  printRow("union", "naive", R, Pairs);
+  printRow(Scope, "union", "naive", R, Pairs);
   R = Run([&] {
     for (size_t P = 0; P < Pairs; ++P)
       releaseChunk(unionChunks<Codec>(As[P], Bs[P]));
   });
-  printRow("union", "cursor", R, Pairs);
+  printRow(Scope, "union", "runcopy", R, Pairs);
 
   R = Run([&] {
     for (size_t P = 0; P < Pairs; ++P)
       releaseChunk(
           naiveMinus<Codec>(As[P], Spans[P].data(), Spans[P].size()));
   });
-  printRow("minus", "naive", R, Pairs);
+  printRow(Scope, "minus", "naive", R, Pairs);
   R = Run([&] {
     for (size_t P = 0; P < Pairs; ++P)
       releaseChunk(
           chunkMinus<Codec>(As[P], Spans[P].data(), Spans[P].size()));
   });
-  printRow("minus", "cursor", R, Pairs);
+  printRow(Scope, "minus", "runcopy", R, Pairs);
 
   auto SplitKey = [&](size_t P) {
     return As[P]->First + uint32_t(hashAt(7, P) % (As[P]->Last -
@@ -203,7 +289,7 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
       releaseChunk(static_cast<P32 *>(S.Right));
     }
   });
-  printRow("split", "naive", R, Pairs);
+  printRow(Scope, "split", "naive", R, Pairs);
   R = Run([&] {
     for (size_t P = 0; P < Pairs; ++P) {
       ChunkSplit S = splitChunk<Codec>(As[P], SplitKey(P));
@@ -211,7 +297,7 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
       releaseChunk(static_cast<P32 *>(S.Right));
     }
   });
-  printRow("split", "cursor", R, Pairs);
+  printRow(Scope, "split", "cursor", R, Pairs);
 
   // Contains: no allocation either way; throughput only.
   uint64_t Probes = Pairs * 64;
@@ -224,7 +310,7 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
                                                      (Count * 8)));
     Sink += Hits;
   });
-  printRow("contains", "cursor", R, Probes);
+  printRow(Scope, "contains", "cursor", R, Probes);
 
   for (size_t P = 0; P < Pairs; ++P) {
     releaseChunk(As[P]);
@@ -233,10 +319,181 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
 }
 
 //===----------------------------------------------------------------------===
+// Sequential decode throughput: scalar Cursor vs block-decoded iterate,
+// across gap regimes, over a streaming working set of many chunks (graph
+// traversals stream every chunk once; nothing stays cache-hot).
+//===----------------------------------------------------------------------===
+
+void runDecode(size_t Count, size_t Chunks, int Rounds) {
+  struct Regime {
+    const char *Name;
+    uint64_t GapScale; ///< avg gap ~ GapScale -> code width regime
+  };
+  const Regime Regimes[] = {
+      {"gap8", 8},         // 1-byte codes (dense neighborhoods)
+      {"gap300", 300},     // 1-2 byte mix (mid-size graphs)
+      {"gap40k", 40000},   // 2-3 byte mix (large graphs)
+  };
+  std::printf("\nsequential decode, %zu elements/chunk, %zu chunks "
+              "(tier %s):\n",
+              Count, Chunks, blockDecodeTierName());
+  for (const Regime &Rg : Regimes) {
+    std::vector<P32 *> Cs;
+    size_t TotalElems = 0;
+    for (size_t C = 0; C < Chunks; ++C) {
+      std::vector<uint32_t> E(Count);
+      for (size_t I = 0; I < Count; ++I)
+        E[I] = uint32_t(hashAt(C * 31 + 7, I) % (Count * Rg.GapScale));
+      std::sort(E.begin(), E.end());
+      E.erase(std::unique(E.begin(), E.end()), E.end());
+      TotalElems += E.size();
+      Cs.push_back(makeChunk<DeltaByteCodec>(E.data(), E.size()));
+    }
+    std::atomic<uint64_t> Sink{0};
+    OpReport R = measure(Rounds, TotalElems, [&] {
+      uint64_t Acc = 0;
+      for (P32 *C : Cs)
+        for (DeltaByteCodec::Cursor<uint32_t> Cu(C); !Cu.done();
+             Cu.advance())
+          Acc += Cu.value();
+      Sink += Acc;
+    });
+    double ScalarRate = double(TotalElems) / R.Seconds;
+    printRateRow("decode", Rg.Name, "scalar", ScalarRate, "elems_s");
+    R = measure(Rounds, TotalElems, [&] {
+      uint64_t Acc = 0;
+      for (P32 *C : Cs)
+        DeltaByteCodec::iterate<uint32_t>(C, [&](uint32_t V) {
+          Acc += V;
+          return true;
+        });
+      Sink += Acc;
+    });
+    double BlockRate = double(TotalElems) / R.Seconds;
+    printRateRow("decode", Rg.Name, "block", BlockRate, "elems_s");
+    std::printf("  %-10s ratio  %20.2fx block/scalar\n", Rg.Name,
+                BlockRate / ScalarRate);
+    recordMetric(std::string("decode/") + Rg.Name + "/ratio",
+                 BlockRate / ScalarRate);
+    for (P32 *C : Cs)
+      releaseChunk(C);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Run-copy merges vs streaming merges across run-length patterns. Run
+// length R: elements alternate between the two inputs in value-contiguous
+// blocks of R, so the encoded runs the byte-copy merge can move grow with
+// R ("disjoint" = one switch point; the byte-concat fast path).
+//===----------------------------------------------------------------------===
+
+void expectSame(const P32 *X, const P32 *Y, const char *What) {
+  bool Same = (!X && !Y) ||
+              (X && Y && X->Count == Y->Count && X->Bytes == Y->Bytes &&
+               X->First == Y->First && X->Last == Y->Last &&
+               std::memcmp(X->data(), Y->data(), X->Bytes) == 0);
+  if (!Same) {
+    std::fprintf(stderr, "FATAL: %s: run-copy and streaming merges "
+                         "disagree\n",
+                 What);
+    std::exit(1);
+  }
+}
+
+void runMergePatterns(size_t Count, size_t Pairs, int Rounds) {
+  std::printf("\nrun-copy merges vs streaming, %zu elements/side, %zu "
+              "pairs:\n",
+              Count, Pairs);
+  const size_t RunLens[] = {1, 16, 64};
+  for (size_t RL : RunLens) {
+    std::string Scope = "merge-run" + std::to_string(RL);
+    std::vector<P32 *> As(Pairs), Bs(Pairs);
+    for (size_t P = 0; P < Pairs; ++P) {
+      std::vector<uint32_t> EA, EB;
+      uint32_t V = uint32_t(P * 7);
+      for (size_t I = 0; EA.size() < Count || EB.size() < Count; ++I) {
+        bool ToA = (I / RL) % 2 == 0;
+        V += 1 + uint32_t(hashAt(P, I) % 600); // mixed 1-2 byte gaps
+        if (ToA && EA.size() < Count)
+          EA.push_back(V);
+        else if (!ToA && EB.size() < Count)
+          EB.push_back(V);
+      }
+      As[P] = makeChunk<DeltaByteCodec>(EA.data(), EA.size());
+      Bs[P] = makeChunk<DeltaByteCodec>(EB.data(), EB.size());
+    }
+    // Safety: byte-identical output on this pattern.
+    {
+      P32 *X = unionChunks<DeltaByteCodec>(As[0], Bs[0]);
+      P32 *Y = unionChunksStreaming<DeltaByteCodec>(As[0], Bs[0]);
+      expectSame(X, Y, Scope.c_str());
+      releaseChunk(X);
+      releaseChunk(Y);
+    }
+    OpReport R = measure(Rounds, Pairs, [&] {
+      for (size_t P = 0; P < Pairs; ++P)
+        releaseChunk(unionChunksStreaming<DeltaByteCodec>(As[P], Bs[P]));
+    });
+    printRow(Scope, "union", "streaming", R, Pairs);
+    double StreamRate = double(Pairs) / R.Seconds;
+    R = measure(Rounds, Pairs, [&] {
+      for (size_t P = 0; P < Pairs; ++P)
+        releaseChunk(unionChunks<DeltaByteCodec>(As[P], Bs[P]));
+    });
+    printRow(Scope, "union", "runcopy", R, Pairs);
+    double CopyRate = double(Pairs) / R.Seconds;
+    std::printf("  %-10s ratio  %20.2fx runcopy/streaming\n", "union",
+                CopyRate / StreamRate);
+    recordMetric(Scope + "/union/ratio", CopyRate / StreamRate);
+    for (size_t P = 0; P < Pairs; ++P) {
+      releaseChunk(As[P]);
+      releaseChunk(Bs[P]);
+    }
+  }
+
+  // Sparse subtrahend: every 32nd element removed - long kept stretches
+  // byte-copy; and a disjoint union (single bridge gap, byte concat).
+  {
+    std::vector<P32 *> As(Pairs);
+    std::vector<std::vector<uint32_t>> Subs(Pairs);
+    for (size_t P = 0; P < Pairs; ++P) {
+      std::vector<uint32_t> E(Count);
+      uint32_t V = uint32_t(P);
+      for (size_t I = 0; I < Count; ++I) {
+        V += 1 + uint32_t(hashAt(P, I) % 600); // mixed 1-2 byte gaps
+        E[I] = V;
+      }
+      As[P] = makeChunk<DeltaByteCodec>(E.data(), E.size());
+      for (size_t I = 0; I < Count; I += 32)
+        Subs[P].push_back(E[I]);
+    }
+    OpReport R = measure(Rounds, Pairs, [&] {
+      for (size_t P = 0; P < Pairs; ++P)
+        releaseChunk(chunkMinusStreaming<DeltaByteCodec>(
+            As[P], Subs[P].data(), Subs[P].size()));
+    });
+    printRow("merge-sparse", "minus", "streaming", R, Pairs);
+    double StreamRate = double(Pairs) / R.Seconds;
+    R = measure(Rounds, Pairs, [&] {
+      for (size_t P = 0; P < Pairs; ++P)
+        releaseChunk(chunkMinus<DeltaByteCodec>(As[P], Subs[P].data(),
+                                                Subs[P].size()));
+    });
+    printRow("merge-sparse", "minus", "runcopy", R, Pairs);
+    double CopyRate = double(Pairs) / R.Seconds;
+    std::printf("  %-10s ratio  %20.2fx runcopy/streaming\n", "minus",
+                CopyRate / StreamRate);
+    recordMetric("merge-sparse/minus/ratio", CopyRate / StreamRate);
+    for (size_t P = 0; P < Pairs; ++P)
+      releaseChunk(As[P]);
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Varint skip: scalar byte loop (the pre-word-at-a-time implementation)
-// vs VarintCursor::skip's 8-byte-load + popcount continuation-bit count.
-// Skips land mid-stream (seekLowerBound's raw-offset pattern), mixing
-// 1..5-byte encodings.
+// vs VarintCursor::skip's 8-byte-load + SWAR continuation-bit count; and
+// raw block decode: scalar decodeVarint loop vs the dispatched
+// decodeVarintBlock kernel.
 //===----------------------------------------------------------------------===
 
 const uint8_t *scalarSkip(const uint8_t *In, size_t N) {
@@ -249,9 +506,10 @@ const uint8_t *scalarSkip(const uint8_t *In, size_t N) {
   return In;
 }
 
-void runVarintSkip(size_t Count, size_t Streams, int Rounds) {
-  std::printf("\nvarint skip, %zu varints/stream, %zu streams:\n", Count,
-              Streams);
+void runVarintKernels(size_t Count, size_t Streams, int Rounds) {
+  std::printf("\nvarint kernels, %zu varints/stream, %zu streams (tier "
+              "%s):\n",
+              Count, Streams, blockDecodeTierName());
   // Per-stream encodings with hash-spread values (1..5 byte codes).
   std::vector<std::vector<uint8_t>> Bufs(Streams);
   for (size_t S = 0; S < Streams; ++S) {
@@ -276,7 +534,8 @@ void runVarintSkip(size_t Count, size_t Streams, int Rounds) {
     }
     Sink += Acc;
   });
-  printRow("skip", "scalar", R, Streams);
+  printRateRow("varint", "skip", "scalar",
+               double(Streams) / R.Seconds, "ops_s");
 
   R = measure(Rounds, Streams, [&] {
     uint64_t Acc = 0;
@@ -287,7 +546,44 @@ void runVarintSkip(size_t Count, size_t Streams, int Rounds) {
     }
     Sink += Acc;
   });
-  printRow("skip", "word", R, Streams);
+  printRateRow("varint", "skip", "word",
+               double(Streams) / R.Seconds, "ops_s");
+
+  uint64_t TotalVals = Count * Streams;
+  R = measure(Rounds, TotalVals, [&] {
+    uint64_t Acc = 0;
+    for (size_t S = 0; S < Streams; ++S) {
+      const uint8_t *P = Bufs[S].data();
+      for (size_t I = 0; I < Count; ++I) {
+        uint64_t V;
+        P = decodeVarint(P, V);
+        Acc += V;
+      }
+    }
+    Sink += Acc;
+  });
+  printRateRow("varint", "decode", "scalar",
+               double(TotalVals) / R.Seconds, "vals_s");
+
+  R = measure(Rounds, TotalVals, [&] {
+    uint64_t Acc = 0;
+    uint64_t Vals[64 + VarintBlockSlack];
+    uint32_t EndOff[64 + VarintBlockSlack];
+    for (size_t S = 0; S < Streams; ++S) {
+      const uint8_t *P = Bufs[S].data();
+      size_t Left = Count;
+      while (Left) {
+        size_t Want = Left < 64 ? Left : 64;
+        size_t Got = decodeVarintBlock(P, Left, Want, Vals, EndOff, 0);
+        for (size_t I = 0; I < Got; ++I)
+          Acc += Vals[I];
+        Left -= Got;
+      }
+    }
+    Sink += Acc;
+  });
+  printRateRow("varint", "decode", "block",
+               double(TotalVals) / R.Seconds, "vals_s");
 }
 
 } // namespace
@@ -297,12 +593,27 @@ int main(int Argc, char **Argv) {
   size_t Count = size_t(CL.getInt("count", 128));
   size_t Pairs = size_t(CL.getInt("pairs", 1024));
   int Rounds = int(CL.getInt("rounds", 3));
+  std::string JsonPath = CL.getString("json");
+  std::string ComparePath = CL.getString("compare");
+  if (!ComparePath.empty() && !loadBaseline(ComparePath))
+    std::fprintf(stderr, "warning: cannot read -compare file %s\n",
+                 ComparePath.c_str());
 
   printHeader("chunk set-operation microbenchmark");
   printEnvironment();
+  std::printf("block-decode tier: %s\n", blockDecodeTierName());
   runCodec<DeltaByteCodec>(Count, Pairs, Rounds);
   runCodec<RawCodec>(Count, Pairs, Rounds);
   runCodec<DeltaByteCodec>(Count * 16, Pairs / 8 + 1, Rounds);
-  runVarintSkip(Count * 16, Pairs, Rounds);
+  runDecode(512, Pairs, Rounds);
+  runMergePatterns(Count * 8, Pairs / 4 + 1, Rounds);
+  runVarintKernels(Count * 16, Pairs, Rounds);
+
+  if (!JsonPath.empty()) {
+    if (writeJson(JsonPath))
+      std::printf("\nmetrics written to %s\n", JsonPath.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+  }
   return 0;
 }

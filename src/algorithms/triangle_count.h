@@ -7,7 +7,7 @@
 // intersection natural).
 //
 // Per-vertex adjacency staging happens inside parallel workers, so it
-// borrows from the per-worker scratch caches (ScratchArray) rather than a
+// borrows from the per-worker scratch caches (context-less CtxArray) rather than a
 // single AlgoContext, which is owned by the calling thread; the
 // AlgoContext overload exists for signature uniformity across the
 // algorithm suite.
@@ -33,7 +33,7 @@ template <class GView> uint64_t triangleCount(const GView &G) {
       [&](size_t UI) -> uint64_t {
         VertexId U = VertexId(UI);
         // Higher-id neighbors of U, in order, staged in worker scratch.
-        ScratchArray<VertexId> Au(G.degree(U));
+        CtxArray<VertexId> Au(G.degree(U));
         size_t AuN = 0;
         G.iterNeighborsCond(U, [&](VertexId X) {
           if (X > U)

@@ -10,16 +10,39 @@
 //    ("Aspen (DE)" in Table 2).
 //  * RawCodec       - plain element array ("Aspen (No DE)").
 //
-// Every codec exposes a streaming Cursor (done/value/advance, plus
-// lower-bound seeking with byte-offset tracking), and all set operations
-// below are one-pass cursor merges: elements stream from the input
-// cursors through a bounded single-pass encoder into per-thread scratch
-// (capacity known from the input counts), then one memcpy lands them in
-// the exactly-sized payload. No operation materializes a decoded element
-// array; the only allocation on any hot path is the output payload
-// itself. Split goes further and byte-slices the encoded stream: a
-// chunk's encoding after element i is independent of elements before i,
-// so both halves are header fix-ups plus a memcpy.
+// Every codec exposes two streaming readers over one chunk's elements:
+//
+//  * Cursor - scalar, one element per advance(), byte offsets tracked
+//    from the varint position. Early-exit scans (chunkContains,
+//    splitChunk's seekLowerBound) and the one-pass set merges use it:
+//    those access patterns decode exactly the elements they inspect.
+//  * BlockCursor - block-decoded: a refill decodes up to
+//    BlockVarintCursor::BlockElts gaps through the SSSE3/SWAR tiers of
+//    encoding/varint_block.h and prefix-sums them into absolute
+//    elements, and iterate() walks the resulting arrays with tight
+//    inner loops. Bulk traversal (forEachSeq/forEachIndexed/iterCond,
+//    hence the whole edge-map surface) runs on this path, where whole
+//    chunks stream and wide decoding wins.
+//
+// All set operations below are one-pass cursor merges: elements stream
+// from the input cursors through a bounded single-pass encoder into
+// per-thread scratch (capacity known from the input counts), then one
+// memcpy lands them in the exactly-sized payload. No operation
+// materializes a decoded element array; the only allocation on any hot
+// path is the output payload itself.
+//
+// Two operations go further and move encoded bytes instead of re-encoding
+// elements, exploiting that a chunk's encoding after element i is
+// independent of elements before i:
+//  * Split byte-slices the encoded stream - both halves are header
+//    fix-ups plus a memcpy.
+//  * The set merges (union / minus / intersect) detect maximal runs of
+//    consecutive output elements drawn from one input whose encodings are
+//    contiguous, and memcpy those runs between switch points; only the
+//    first gap after each switch is re-encoded. The produced encodings
+//    are byte-identical to the element-at-a-time merges (the *Streaming
+//    reference implementations below), which the differential tests
+//    assert.
 //
 // Chunks are immutable after construction, so sharing them between tree
 // versions is a reference-count bump; all "modifications" build new chunks.
@@ -30,11 +53,14 @@
 #define ASPEN_CTREE_CHUNK_H
 
 #include "encoding/byte_code.h"
+#include "encoding/varint_block.h"
+#include "memory/algo_context.h"
 #include "memory/pool_allocator.h"
 
 #include <atomic>
 #include <cassert>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 namespace aspen {
@@ -52,6 +78,25 @@ template <class K> struct ChunkPayload {
     return reinterpret_cast<const uint8_t *>(this + 1);
   }
 };
+
+namespace detail {
+
+/// Shared bulk-iteration body: walk a block cursor's decoded windows
+/// with a tight inner loop over the plain value array. Fn returns false
+/// to stop early; returns false iff stopped early.
+template <class K, class BC, class F>
+bool iterateBlocks(BC Cu, const F &Fn) {
+  do {
+    const auto *V = Cu.blockValues();
+    uint32_t L = Cu.blockLen();
+    for (uint32_t I = Cu.blockPos(); I < L; ++I)
+      if (!Fn(static_cast<K>(V[I])))
+        return false;
+  } while (Cu.nextBlock());
+  return true;
+}
+
+} // namespace detail
 
 /// Difference coding with byte codes: element i>0 is stored as the varint
 /// of E[i] - E[i-1] (strictly increasing, so deltas >= 1).
@@ -92,7 +137,13 @@ struct DeltaByteCodec {
       W.append(static_cast<uint64_t>(E[I]) - static_cast<uint64_t>(E[I - 1]));
   }
 
-  /// Streaming reader over one chunk's elements.
+  /// Streaming scalar reader over one chunk's elements: one gap decoded
+  /// per advance(), byte offsets tracked for free from the varint
+  /// cursor's position. This is the seek/merge cursor: early-exit scans
+  /// (chunkContains, splitChunk) and the one-pass set merges decode
+  /// exactly the elements they look at, which measures faster than
+  /// decode-ahead blocks for those access patterns. Bulk sequential
+  /// traversal goes through BlockCursor below instead.
   template <class K> class Cursor {
   public:
     Cursor() = default;
@@ -148,14 +199,118 @@ struct DeltaByteCodec {
     uint32_t Left = 0;
   };
 
+  /// Block-decoded reader over one chunk's elements. A refill
+  /// block-decodes up to BlockVarintCursor::BlockElts gaps at once
+  /// (SSSE3 shuffle table or SWAR words, see encoding/varint_block.h)
+  /// and prefix-sums them into a buffer of *absolute* elements, so
+  /// value() is a load and advance() an increment. This is the bulk
+  /// traversal cursor (iterate / forEachSeq / the edge-map surface),
+  /// where whole chunks stream and wide decoding wins; it also tracks
+  /// per-element end offsets, so it satisfies the same byte-offset
+  /// contract as Cursor.
+  template <class K> class BlockCursor {
+  public:
+    static constexpr uint32_t BlockElts = BlockVarintCursor::BlockElts;
+
+    /// Decoded-element buffer type: 32-bit keys decode through the
+    /// narrow-kernel variant (gaps and absolute elements both fit 32
+    /// bits), halving buffer and store traffic.
+    using BufT = std::conditional_t<(sizeof(K) > 4), uint64_t, uint32_t>;
+
+    BlockCursor() = default;
+    explicit BlockCursor(const ChunkPayload<K> *C) {
+      if (!C)
+        return;
+      In = C->data();
+      Gaps = C->Count - 1;
+      Buf[0] = C->First;
+      EndOff[0] = 0;
+      Len = 1;
+    }
+
+    bool done() const { return Pos == Len; }
+    uint32_t remaining() const { return (Len - Pos) + uint32_t(Gaps); }
+    K value() const {
+      assert(!done() && "value() on exhausted cursor");
+      return static_cast<K>(Buf[Pos]);
+    }
+
+    void advance() {
+      assert(!done() && "advance() on exhausted cursor");
+      ++Pos;
+      if (Pos == Len && Gaps)
+        refill();
+    }
+
+    /// Bytes of encoded elements consumed so far: the encodings of
+    /// elements [1 .. index] (element 0 lives in the header). Only valid
+    /// while !done(). (Seeking stays on the scalar Cursor; this cursor
+    /// tracks offsets so bulk consumers can still slice runs.)
+    size_t byteOffset() const { return EndOff[Pos]; }
+
+    /// Block-bulk access for sequential consumers: the decoded elements
+    /// of the current block are blockValues()[blockPos() .. blockLen()),
+    /// a plain array the compiler keeps register-resident loops over.
+    /// nextBlock() consumes the whole window and decodes the next one
+    /// (false when the chunk is exhausted).
+    const BufT *blockValues() const { return Buf; }
+    uint32_t blockPos() const { return Pos; }
+    uint32_t blockLen() const { return Len; }
+    bool nextBlock() {
+      Pos = Len;
+      if (!Gaps)
+        return false;
+      refill();
+      return true;
+    }
+
+  private:
+    /// Cold path: kept out of line so the consumer loop (value/advance)
+    /// compiles tight. Invariant: called only with Gaps > 0; afterwards
+    /// Pos < Len.
+    void refill() {
+      BufT Base = Buf[Len - 1];
+      uint32_t Off = EndOff[Len - 1];
+      // The first refill is small, so short seeks (contains, split near
+      // the front) decode little ahead; later refills use full blocks.
+      size_t Want = Gaps < NextWant ? Gaps : size_t(NextWant);
+      NextWant = BlockElts;
+      size_t Got = decodeVarintBlock(In, Gaps, Want, Buf, EndOff, Off);
+      Gaps -= Got;
+      for (size_t I = 0; I < Got; ++I) {
+        Base += Buf[I];
+        Buf[I] = Base;
+      }
+      Len = uint32_t(Got);
+      Pos = 0;
+    }
+
+    BufT Buf[BlockElts + VarintBlockSlack];
+    uint32_t EndOff[BlockElts + VarintBlockSlack];
+    const uint8_t *In = nullptr;
+    size_t Gaps = 0;
+    uint32_t Pos = 0;
+    uint32_t Len = 0;
+    uint32_t NextWant = 8;
+  };
+
   /// Invoke Fn on each element in order; Fn returns false to stop early.
-  /// Returns false iff stopped early.
+  /// Returns false iff stopped early. When the SSSE3 decode tier is
+  /// live, consumes whole decoded blocks through BlockCursor's bulk
+  /// interface (the inner loop runs over a plain array); on the portable
+  /// SWAR-only tier the scalar cursor measures faster, so it is used
+  /// instead - the tier check is one predictable branch per chunk.
   template <class K, class F>
   static bool iterate(const ChunkPayload<K> *C, const F &Fn) {
-    for (Cursor<K> Cu(C); !Cu.done(); Cu.advance())
-      if (!Fn(Cu.value()))
-        return false;
-    return true;
+    if (!C)
+      return true;
+    if (!blockDecodeUsesSSSE3()) {
+      for (Cursor<K> Cu(C); !Cu.done(); Cu.advance())
+        if (!Fn(Cu.value()))
+          return false;
+      return true;
+    }
+    return detail::iterateBlocks<K>(BlockCursor<K>(C), Fn);
   }
 };
 
@@ -185,74 +340,114 @@ struct RawCodec {
       std::memcpy(Out, E + 1, (N - 1) * sizeof(K));
   }
 
+  /// Raw payloads ARE element arrays (after the header-held first
+  /// element), so the cursor's block interface is zero-copy: block 0 is
+  /// the header element, block 1 the payload itself.
   template <class K> class Cursor {
   public:
+    using BufT = K;
+
     Cursor() = default;
     explicit Cursor(const ChunkPayload<K> *C) {
       if (!C)
         return;
-      First = C->First;
-      Data = C->data();
+      FirstBuf = C->First;
+      Data = reinterpret_cast<const AliasK *>(C->data());
       Count = C->Count;
+      L = 1;
     }
 
-    bool done() const { return Idx == Count; }
-    uint32_t remaining() const { return Count - Idx; }
+    bool done() const { return I == L; }
+    uint32_t remaining() const { return remainingFrom(I); }
     K value() const {
-      assert(Idx < Count && "value() on exhausted cursor");
-      return elem(Idx);
+      assert(!done() && "value() on exhausted cursor");
+      return blockValues()[I];
     }
     void advance() {
-      assert(Idx < Count && "advance() on exhausted cursor");
-      ++Idx;
+      assert(!done() && "advance() on exhausted cursor");
+      ++I;
+      if (I == L)
+        nextBlock();
     }
 
-    size_t byteOffset() const { return size_t(Idx) * sizeof(K); }
+    size_t byteOffset() const { return byteOffsetAt(I); }
 
     /// O(log count): raw chunks support true binary search.
     void seekLowerBound(K Key) {
       if (done() || value() >= Key)
         return;
-      // Invariant: elem(Lo) < Key <= elem(Hi) (Hi == Count as sentinel).
-      uint32_t Lo = Idx, Hi = Count;
-      while (Hi - Lo > 1) {
-        uint32_t Mid = Lo + (Hi - Lo) / 2;
-        if (elem(Mid) < Key)
-          Lo = Mid;
-        else
-          Hi = Mid;
+      for (;;) {
+        // Invariant: BV[I] < Key; find the in-block lower bound.
+        const BufT *BV = blockValues();
+        uint32_t Lo = I, Hi = L;
+        while (Hi - Lo > 1) {
+          uint32_t Mid = Lo + (Hi - Lo) / 2;
+          if (BV[Mid] < Key)
+            Lo = Mid;
+          else
+            Hi = Mid;
+        }
+        Prev = BV[Lo];
+        PrevOff = byteOffsetAt(Lo);
+        I = Hi;
+        if (I < L)
+          return;
+        if (!nextBlock() || value() >= Key)
+          return;
       }
-      Prev = elem(Lo);
-      PrevOff = size_t(Lo) * sizeof(K);
-      Idx = Hi;
     }
 
     K prevValue() const { return Prev; }
     size_t prevByteOffset() const { return PrevOff; }
 
-  private:
-    K elem(uint32_t I) const {
-      if (I == 0)
-        return First;
-      K V;
-      std::memcpy(&V, Data + size_t(I - 1) * sizeof(K), sizeof(K));
-      return V;
+    /// Block-bulk interface (see DeltaByteCodec::Cursor): elements
+    /// blockValues()[blockPos() .. blockLen()), nextBlock() to continue.
+    /// The pointer is computed, never cached, so cursors stay safely
+    /// copyable (block 0 lives in the cursor object itself).
+    const BufT *blockValues() const { return Tail ? Data : &FirstBuf; }
+    uint32_t blockPos() const { return I; }
+    uint32_t blockLen() const { return L; }
+    bool nextBlock() {
+      if (Tail || Count <= 1) {
+        I = L;
+        return false;
+      }
+      Tail = true;
+      I = 0;
+      L = Count - 1;
+      return true;
+    }
+    size_t byteOffsetAt(uint32_t J) const {
+      return Tail ? size_t(J + 1) * sizeof(K) : 0;
+    }
+    size_t remainingFrom(uint32_t J) const {
+      return (L - J) + (Tail || Count <= 1 ? 0 : size_t(Count) - 1);
     }
 
-    K First{};
+  private:
+    // The payload bytes were written as raw element images; allow the
+    // typed view to alias them.
+    using AliasK = K __attribute__((may_alias));
+
+    K FirstBuf{};
     K Prev{};
-    const uint8_t *Data = nullptr;
+    const AliasK *Data = nullptr;
     size_t PrevOff = 0;
-    uint32_t Idx = 0;
+    uint32_t I = 0;
+    uint32_t L = 0;
     uint32_t Count = 0;
+    bool Tail = false;
   };
+
+  /// Raw cursors serve both roles (O(1) element access, zero-copy
+  /// blocks), so the bulk-cursor name is an alias.
+  template <class K> using BlockCursor = Cursor<K>;
 
   template <class K, class F>
   static bool iterate(const ChunkPayload<K> *C, const F &Fn) {
-    for (Cursor<K> Cu(C); !Cu.done(); Cu.advance())
-      if (!Fn(Cu.value()))
-        return false;
-    return true;
+    if (!C)
+      return true;
+    return detail::iterateBlocks<K>(Cursor<K>(C), Fn);
   }
 };
 
@@ -379,6 +574,126 @@ ChunkPayload<K> *sliceChunk(K First, K Last, uint32_t Count,
   return C;
 }
 
+//===----------------------------------------------------------------------===
+// Run-level byte-copy merging. A chunk's encoding of element i (i >= 1)
+// depends only on element i-1, so whenever a merge emits a stretch of
+// consecutive same-input elements, their original encoded bytes are
+// already exactly what the output needs: only the first gap after a
+// switch between inputs must be re-encoded. The emitter below writes the
+// merge output into scratch either gap-by-gap (emit) or as memcpy'd runs
+// (copyRun); the switch-point detection lives in the individual merge
+// bodies, which find run boundaries by comparing against the other
+// input's next element.
+//===----------------------------------------------------------------------===
+
+/// Byte-level output builder shared by the run-copy merges. Tracks the
+/// header fields (first/last/count) while the payload bytes accumulate in
+/// caller-provided scratch.
+template <class Codec, class K> class RunEmitter {
+public:
+  explicit RunEmitter(uint8_t *Out) : Out(Out) {}
+
+  /// Append one element, re-encoding its gap from the previous output.
+  void emit(K V) {
+    if (Count)
+      Out = Codec::template encodeGap<K>(Prev, V, Out);
+    else
+      First = V;
+    Prev = V;
+    ++Count;
+  }
+
+  /// Append \p Bytes of original encoding holding \p Extra elements that
+  /// directly follow the previously emitted element in their source
+  /// chunk; \p LastV is the last of them.
+  void copyRun(const uint8_t *Src, size_t Bytes, uint32_t Extra, K LastV) {
+    // Interleaved merges produce many short runs; a bounded byte loop
+    // beats a memcpy call for those.
+    if (Bytes <= 8) {
+      for (size_t B = 0; B < Bytes; ++B)
+        Out[B] = Src[B];
+    } else {
+      std::memcpy(Out, Src, Bytes);
+    }
+    Out += Bytes;
+    Count += Extra;
+    Prev = LastV;
+  }
+
+  uint8_t *out() const { return Out; }
+  uint32_t count() const { return Count; }
+  K first() const { return First; }
+  K last() const { return Prev; }
+
+private:
+  uint8_t *Out;
+  K First{};
+  K Prev{};
+  uint32_t Count = 0;
+};
+
+/// Emit cursor \p S's current element (one re-encoded gap), then
+/// byte-copy the maximal following run of \p S elements strictly below
+/// \p Bound. Leaves S past the run.
+template <class Codec, class K, class Cur>
+__attribute__((always_inline)) inline void
+copyRunBelow(RunEmitter<Codec, K> &Em, Cur &S, const ChunkPayload<K> *SP,
+             K Bound) {
+  K V0 = S.value();
+  Em.emit(V0);
+  size_t Start = S.byteOffset();
+  size_t End = Start;
+  K LastV = V0;
+  uint32_t Extra = 0;
+  S.advance();
+  while (!S.done() && S.value() < Bound) {
+    LastV = S.value();
+    End = S.byteOffset();
+    ++Extra;
+    S.advance();
+  }
+  if (Extra)
+    Em.copyRun(SP->data() + Start, End - Start, Extra, LastV);
+}
+
+/// Emit cursor \p S's current element, then byte-copy everything that
+/// remains of its chunk in one memcpy (no further decoding - the big win
+/// when merges drain a long disjoint tail).
+template <class Codec, class K, class Cur>
+__attribute__((always_inline)) inline void
+drainRun(RunEmitter<Codec, K> &Em, Cur &S, const ChunkPayload<K> *SP) {
+  K V0 = S.value();
+  Em.emit(V0);
+  uint32_t Extra = uint32_t(S.remaining()) - 1;
+  if (Extra) {
+    size_t Start = S.byteOffset();
+    Em.copyRun(SP->data() + Start, SP->Bytes - Start, Extra, SP->Last);
+  }
+}
+
+/// Land the emitter's output in an exactly-sized payload (nullptr when
+/// nothing was emitted). Takes the emitter's fields by value so the
+/// emitter object itself never escapes the merge loop's frame (keeping
+/// it register-resident).
+template <class K>
+ChunkPayload<K> *finishRunCopy(const uint8_t *Buf, const uint8_t *Out,
+                               uint32_t Count, K First, K Last) {
+  if (!Count)
+    return nullptr;
+  size_t Bytes = static_cast<size_t>(Out - Buf);
+  ChunkPayload<K> *C = allocChunk(First, Last, Count, Bytes);
+  std::memcpy(C->data(), Buf, Bytes);
+  return C;
+}
+
+/// Convenience overload reading the fields out of the emitter inline.
+template <class Codec, class K>
+__attribute__((always_inline)) inline ChunkPayload<K> *
+finishRunCopy(const RunEmitter<Codec, K> &Em, const uint8_t *Buf) {
+  return finishRunCopy<K>(Buf, Em.out(), Em.count(), Em.first(),
+                          Em.last());
+}
+
 } // namespace detail
 
 /// Build a chunk from \p N sorted, duplicate-free elements (nullptr if
@@ -408,8 +723,8 @@ ChunkPayload<K> *buildChunkStreaming(size_t MaxCount, const Gen &G) {
   if (MaxCount == 0)
     return nullptr;
   size_t CapBytes = MaxCount * Codec::template maxGapBytes<K>();
-  size_t Cap;
-  auto *Buf = static_cast<uint8_t *>(scratchAcquire(CapBytes, Cap));
+  CtxArray<uint8_t> Scratch(CapBytes);
+  uint8_t *Buf = Scratch.data();
   uint8_t *Out = Buf;
   uint32_t N = 0;
   K First{}, Prev{};
@@ -430,7 +745,6 @@ ChunkPayload<K> *buildChunkStreaming(size_t MaxCount, const Gen &G) {
     C = detail::allocChunk(First, Prev, N, Bytes);
     std::memcpy(C->data(), Buf, Bytes);
   }
-  scratchRelease(Buf, Cap);
   return C;
 }
 
@@ -479,9 +793,92 @@ bool chunkContains(const ChunkPayload<K> *C, K X) {
   return !Cu.done() && Cu.value() == X;
 }
 
+//===----------------------------------------------------------------------===
+// Streaming reference merges: the element-at-a-time cursor merges (every
+// gap re-encoded). The run-copy implementations below produce
+// byte-identical payloads; these remain as the differential-test oracle
+// and the bench baseline.
+//===----------------------------------------------------------------------===
+
+/// unionChunks, element at a time (no byte concatenation or run copy).
+template <class Codec, class K>
+ChunkPayload<K> *unionChunksStreaming(const ChunkPayload<K> *A,
+                                      const ChunkPayload<K> *B) {
+  if (!A || !B) {
+    auto *R = const_cast<ChunkPayload<K> *>(A ? A : B);
+    retainChunk(R);
+    return R;
+  }
+  return buildChunkStreaming<Codec, K>(
+      size_t(A->Count) + B->Count, [&](auto &&Sink) {
+        detail::mergeUnion(typename Codec::template Cursor<K>(A),
+                           typename Codec::template Cursor<K>(B), Sink);
+      });
+}
+
+/// unionChunkSpan, element at a time.
+template <class Codec, class K>
+ChunkPayload<K> *unionChunkSpanStreaming(const ChunkPayload<K> *A,
+                                         const K *B, size_t NB) {
+  if (NB == 0) {
+    auto *R = const_cast<ChunkPayload<K> *>(A);
+    retainChunk(R);
+    return R;
+  }
+  if (!A)
+    return makeChunk<Codec>(B, NB);
+  return buildChunkStreaming<Codec, K>(A->Count + NB, [&](auto &&Sink) {
+    detail::mergeUnion(typename Codec::template Cursor<K>(A),
+                       SpanCursor<K>(B, NB), Sink);
+  });
+}
+
+/// chunkMinus (span subtrahend), element at a time.
+template <class Codec, class K>
+ChunkPayload<K> *chunkMinusStreaming(const ChunkPayload<K> *A,
+                                     const K *Sub, size_t NSub) {
+  if (!A)
+    return nullptr;
+  return buildChunkStreaming<Codec, K>(A->Count, [&](auto &&Sink) {
+    detail::mergeMinus(typename Codec::template Cursor<K>(A),
+                       SpanCursor<K>(Sub, NSub), Sink);
+  });
+}
+
+/// chunkMinusChunk, element at a time.
+template <class Codec, class K>
+ChunkPayload<K> *chunkMinusChunkStreaming(const ChunkPayload<K> *A,
+                                          const ChunkPayload<K> *Sub) {
+  if (!A)
+    return nullptr;
+  return buildChunkStreaming<Codec, K>(A->Count, [&](auto &&Sink) {
+    detail::mergeMinus(typename Codec::template Cursor<K>(A),
+                       typename Codec::template Cursor<K>(Sub), Sink);
+  });
+}
+
+/// chunkIntersect (span), element at a time.
+template <class Codec, class K>
+ChunkPayload<K> *chunkIntersectStreaming(const ChunkPayload<K> *A,
+                                         const K *Keep, size_t NKeep) {
+  if (!A || NKeep == 0)
+    return nullptr;
+  return buildChunkStreaming<Codec, K>(
+      A->Count < NKeep ? A->Count : uint32_t(NKeep), [&](auto &&Sink) {
+        detail::mergeIntersect(typename Codec::template Cursor<K>(A),
+                               SpanCursor<K>(Keep, NKeep), Sink);
+      });
+}
+
+//===----------------------------------------------------------------------===
+// Run-copy set operations (the defaults).
+//===----------------------------------------------------------------------===
+
 /// Merge two sorted chunks, removing duplicates. One pass per side; no
 /// decoded intermediates. Disjoint ordered ranges (the common case when a
-/// tail meets the next subtree's prefix) degrade to byte concatenation.
+/// tail meets the next subtree's prefix) degrade to byte concatenation;
+/// overlapping ranges copy maximal non-interleaved encoded runs between
+/// switch points and re-encode only the first gap after each switch.
 template <class Codec, class K>
 ChunkPayload<K> *unionChunks(const ChunkPayload<K> *A,
                              const ChunkPayload<K> *B) {
@@ -513,14 +910,61 @@ ChunkPayload<K> *unionChunks(const ChunkPayload<K> *A,
     std::memcpy(Out, B->data(), B->Bytes);
     return C;
   }
-  return buildChunkStreaming<Codec, K>(
-      size_t(A->Count) + B->Count, [&](auto &&Sink) {
-        detail::mergeUnion(typename Codec::template Cursor<K>(A),
-                           typename Codec::template Cursor<K>(B), Sink);
-      });
+  using Cur = typename Codec::template Cursor<K>;
+  size_t MaxCount = size_t(A->Count) + B->Count;
+  CtxArray<uint8_t> Buf(MaxCount * Codec::template maxGapBytes<K>());
+  detail::RunEmitter<Codec, K> Em(Buf.data());
+  Cur CA(A), CB(B);
+  // Adaptive run tracking: if the first stretch of output shows the
+  // inputs are element-interleaved (average run barely above 1), the
+  // per-run bookkeeping cannot pay for itself - finish the overlap with
+  // a plain streaming merge. Long drains below still move bytes.
+  uint32_t RunStarts = 0;
+  bool Probing = true;
+  while (!CA.done() && !CB.done()) {
+    if (Probing && Em.count() >= 64) {
+      Probing = false;
+      if (uint64_t(RunStarts) * 2 > uint64_t(Em.count())) {
+        while (!CA.done() && !CB.done()) {
+          K VA = CA.value(), VB = CB.value();
+          if (VA < VB) {
+            Em.emit(VA);
+            CA.advance();
+          } else if (VB < VA) {
+            Em.emit(VB);
+            CB.advance();
+          } else {
+            Em.emit(VA);
+            CA.advance();
+            CB.advance();
+          }
+        }
+        break;
+      }
+    }
+    K VA = CA.value(), VB = CB.value();
+    if (VA == VB) {
+      Em.emit(VA);
+      CA.advance();
+      CB.advance();
+    } else if (VA < VB) {
+      ++RunStarts;
+      detail::copyRunBelow(Em, CA, A, VB);
+    } else {
+      ++RunStarts;
+      detail::copyRunBelow(Em, CB, B, VA);
+    }
+  }
+  if (!CA.done())
+    detail::drainRun(Em, CA, A);
+  if (!CB.done())
+    detail::drainRun(Em, CB, B);
+  return detail::finishRunCopy(Em, Buf.data());
 }
 
-/// Union of chunk \p A with the sorted, duplicate-free span \p B.
+/// Union of chunk \p A with the sorted, duplicate-free span \p B. Runs of
+/// consecutive A elements are byte-copied; span elements (no encoding to
+/// reuse) are encoded as they interleave.
 template <class Codec, class K>
 ChunkPayload<K> *unionChunkSpan(const ChunkPayload<K> *A, const K *B,
                                 size_t NB) {
@@ -531,13 +975,175 @@ ChunkPayload<K> *unionChunkSpan(const ChunkPayload<K> *A, const K *B,
   }
   if (!A)
     return makeChunk<Codec>(B, NB);
-  return buildChunkStreaming<Codec, K>(A->Count + NB, [&](auto &&Sink) {
-    detail::mergeUnion(typename Codec::template Cursor<K>(A),
-                       SpanCursor<K>(B, NB), Sink);
-  });
+  using Cur = typename Codec::template Cursor<K>;
+  CtxArray<uint8_t> Buf((A->Count + NB) * Codec::template maxGapBytes<K>());
+  detail::RunEmitter<Codec, K> Em(Buf.data());
+  Cur CA(A);
+  SpanCursor<K> CB(B, NB);
+  // Same adaptive probe as unionChunks: when batch elements interleave
+  // the chunk element-wise, run tracking cannot pay for itself.
+  uint32_t RunStarts = 0;
+  bool Probing = true;
+  while (!CA.done() && !CB.done()) {
+    if (Probing && Em.count() >= 64) {
+      Probing = false;
+      if (uint64_t(RunStarts) * 2 > uint64_t(Em.count())) {
+        while (!CA.done() && !CB.done()) {
+          K VA = CA.value(), VB = CB.value();
+          if (VA < VB) {
+            Em.emit(VA);
+            CA.advance();
+          } else if (VB < VA) {
+            Em.emit(VB);
+            CB.advance();
+          } else {
+            Em.emit(VA);
+            CA.advance();
+            CB.advance();
+          }
+        }
+        break;
+      }
+    }
+    K VA = CA.value(), VB = CB.value();
+    if (VA == VB) {
+      Em.emit(VA);
+      CA.advance();
+      CB.advance();
+    } else if (VA < VB) {
+      ++RunStarts;
+      detail::copyRunBelow(Em, CA, A, VB);
+    } else {
+      Em.emit(VB);
+      CB.advance();
+    }
+  }
+  if (!CA.done())
+    detail::drainRun(Em, CA, A);
+  for (; !CB.done(); CB.advance())
+    Em.emit(CB.value());
+  return detail::finishRunCopy(Em, Buf.data());
 }
 
-/// Elements of \p A not in the sorted span \p Sub.
+namespace detail {
+
+/// Shared run-copy body of the two chunkMinus flavors: \p B is any
+/// cursor-concept reader over the subtrahend (span or chunk).
+template <class Codec, class K, class CB>
+ChunkPayload<K> *chunkMinusRunCopy(const ChunkPayload<K> *A, CB B) {
+  using Cur = typename Codec::template Cursor<K>;
+  CtxArray<uint8_t> Buf(size_t(A->Count) *
+                        Codec::template maxGapBytes<K>());
+  RunEmitter<Codec, K> Em(Buf.data());
+  Cur CA(A);
+  // Same adaptive probe as unionChunks: bail to a plain streaming loop
+  // when the kept stretches turn out to be single elements.
+  uint32_t RunStarts = 0;
+  bool Probing = true;
+  while (!CA.done()) {
+    if (B.done()) {
+      drainRun(Em, CA, A);
+      break;
+    }
+    if (Probing && Em.count() >= 64) {
+      Probing = false;
+      if (uint64_t(RunStarts) * 2 > uint64_t(Em.count())) {
+        while (!CA.done() && !B.done()) {
+          K VA = CA.value(), VB = B.value();
+          if (VA > VB) {
+            B.advance();
+          } else if (VA == VB) {
+            CA.advance();
+            B.advance();
+          } else {
+            Em.emit(VA);
+            CA.advance();
+          }
+        }
+        continue; // back to the outer loop for the B-exhausted drain
+      }
+    }
+    K VA = CA.value(), VB = B.value();
+    if (VA > VB) {
+      B.advance();
+    } else if (VA == VB) {
+      CA.advance();
+      B.advance();
+    } else {
+      // The kept stretch below the next subtrahend hit.
+      ++RunStarts;
+      copyRunBelow(Em, CA, A, VB);
+    }
+  }
+  return finishRunCopy(Em, Buf.data());
+}
+
+/// Shared run-copy body of chunkIntersect: consecutive matches are
+/// contiguous in A's encoding, so each match run after its first element
+/// is one memcpy.
+template <class Codec, class K, class CB>
+ChunkPayload<K> *chunkIntersectRunCopy(const ChunkPayload<K> *A, CB B,
+                                       size_t MaxCount) {
+  using Cur = typename Codec::template Cursor<K>;
+  CtxArray<uint8_t> Buf(MaxCount * Codec::template maxGapBytes<K>());
+  RunEmitter<Codec, K> Em(Buf.data());
+  Cur CA(A);
+  // Same adaptive probe as unionChunks: single-element match runs cannot
+  // pay for their bookkeeping.
+  uint32_t RunStarts = 0;
+  bool Probing = true;
+  while (!CA.done() && !B.done()) {
+    if (Probing && Em.count() >= 64) {
+      Probing = false;
+      if (uint64_t(RunStarts) * 2 > uint64_t(Em.count())) {
+        while (!CA.done() && !B.done()) {
+          K VA = CA.value(), VB = B.value();
+          if (VA < VB) {
+            CA.advance();
+          } else if (VB < VA) {
+            B.advance();
+          } else {
+            Em.emit(VA);
+            CA.advance();
+            B.advance();
+          }
+        }
+        break;
+      }
+    }
+    K VA = CA.value(), VB = B.value();
+    if (VA < VB) {
+      CA.advance();
+    } else if (VB < VA) {
+      B.advance();
+    } else {
+      // A match run: consecutive matches are contiguous in A's encoding.
+      ++RunStarts;
+      Em.emit(VA);
+      size_t Start = CA.byteOffset();
+      size_t End = Start;
+      K LastV = VA;
+      uint32_t Extra = 0;
+      CA.advance();
+      B.advance();
+      while (!CA.done() && !B.done() && CA.value() == B.value()) {
+        LastV = CA.value();
+        End = CA.byteOffset();
+        ++Extra;
+        CA.advance();
+        B.advance();
+      }
+      if (Extra)
+        Em.copyRun(A->data() + Start, End - Start, Extra, LastV);
+    }
+  }
+  return finishRunCopy(Em, Buf.data());
+}
+
+} // namespace detail
+
+/// Elements of \p A not in the sorted span \p Sub. Kept stretches between
+/// subtrahend hits are byte-copied.
 template <class Codec, class K>
 ChunkPayload<K> *chunkMinus(const ChunkPayload<K> *A, const K *Sub,
                             size_t NSub) {
@@ -548,10 +1154,7 @@ ChunkPayload<K> *chunkMinus(const ChunkPayload<K> *A, const K *Sub,
     retainChunk(R);
     return R;
   }
-  return buildChunkStreaming<Codec, K>(A->Count, [&](auto &&Sink) {
-    detail::mergeMinus(typename Codec::template Cursor<K>(A),
-                       SpanCursor<K>(Sub, NSub), Sink);
-  });
+  return detail::chunkMinusRunCopy<Codec, K>(A, SpanCursor<K>(Sub, NSub));
 }
 
 template <class Codec, class K>
@@ -571,10 +1174,8 @@ ChunkPayload<K> *chunkMinusChunk(const ChunkPayload<K> *A,
     retainChunk(R);
     return R;
   }
-  return buildChunkStreaming<Codec, K>(A->Count, [&](auto &&Sink) {
-    detail::mergeMinus(typename Codec::template Cursor<K>(A),
-                       typename Codec::template Cursor<K>(Sub), Sink);
-  });
+  return detail::chunkMinusRunCopy<Codec, K>(
+      A, typename Codec::template Cursor<K>(Sub));
 }
 
 /// Elements of \p A also present in the sorted span \p Keep.
@@ -584,11 +1185,9 @@ ChunkPayload<K> *chunkIntersect(const ChunkPayload<K> *A, const K *Keep,
   if (!A || NKeep == 0 || Keep[NKeep - 1] < A->First ||
       Keep[0] > A->Last)
     return nullptr;
-  return buildChunkStreaming<Codec, K>(
-      A->Count < NKeep ? A->Count : uint32_t(NKeep), [&](auto &&Sink) {
-        detail::mergeIntersect(typename Codec::template Cursor<K>(A),
-                               SpanCursor<K>(Keep, NKeep), Sink);
-      });
+  return detail::chunkIntersectRunCopy<Codec, K>(
+      A, SpanCursor<K>(Keep, NKeep),
+      A->Count < NKeep ? A->Count : size_t(NKeep));
 }
 
 template <class Codec, class K>

@@ -252,10 +252,23 @@ public:
 
     Cursor cursor() const { return Cursor(*this); }
 
-    /// Sequential in-order traversal: Fn(element).
+    /// Sequential in-order traversal: Fn(element). Walks chunks through
+    /// the codec's block-bulk iterate (tight array inner loops) rather
+    /// than the element-stepping Cursor.
     template <class F> void forEachSeq(const F &Fn) const {
-      for (Cursor C(*this); !C.done(); C.advance())
-        Fn(C.value());
+      if (Prefix)
+        Codec::template iterate<K>(Prefix, [&](K V) {
+          Fn(V);
+          return true;
+        });
+      T::forEachSeq(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
+        Fn(Key);
+        if (Tail.get())
+          Codec::template iterate<K>(Tail.get(), [&](K V) {
+            Fn(V);
+            return true;
+          });
+      });
     }
 
     /// Parallel traversal (unordered across chunks): Fn(element).
@@ -299,12 +312,18 @@ public:
     }
 
     /// Sequential in-order traversal with early exit: Fn returns false
-    /// to stop. Returns false iff stopped early.
+    /// to stop. Returns false iff stopped early. Chunk contents stream
+    /// through the block-bulk iterate (the dense edgeMap hot path).
     template <class F> bool iterCond(const F &Fn) const {
-      for (Cursor C(*this); !C.done(); C.advance())
-        if (!Fn(C.value()))
+      if (Prefix && !Codec::template iterate<K>(Prefix, Fn))
+        return false;
+      return T::iterCond(Root, [&](const K &Key, const ChunkRef<K> &Tail) {
+        if (!Fn(Key))
           return false;
-      return true;
+        if (!Tail.get())
+          return true;
+        return Codec::template iterate<K>(Tail.get(), Fn);
+      });
     }
 
     /// All elements, in order.
@@ -655,7 +674,7 @@ private:
     // is the one buffer that must be materialized (group boundaries need
     // random access); it lives in per-thread scratch, and each tail merge
     // streams the old tail against its span straight into the new payload.
-    ScratchArray<K> E(PR->Count);
+    CtxArray<K> E(PR->Count);
     size_t NE = decodeChunkTo<Codec>(PR, E.data());
     releaseChunk(PR);
     std::vector<std::pair<K, ChunkRef<K>>> Updates;
@@ -737,7 +756,7 @@ private:
     }
     // Materialize the subtrahend in per-thread scratch for group routing;
     // each group subtraction streams over a span of it.
-    ScratchArray<K> S(Sub->Count);
+    CtxArray<K> S(Sub->Count);
     size_t NS = decodeChunkTo<Codec>(Sub, S.data());
     releaseChunk(Sub);
     K Smallest = T::first(A.T)->Key;

@@ -9,11 +9,17 @@
 // streaming layer the chunk operations are built on:
 //
 //  * VarintCursor - a bounded forward reader (decode-next / peek / skip-N)
-//    over a region holding a known number of varints.
+//    over a region holding a known number of varints. peek() reports the
+//    decoded width so a following advancePeeked() consumes the value
+//    without re-decoding it; the plain next() stays a bare decode with no
+//    cache check on its hot path.
 //  * VarintWriter - a bounded single-pass appender that asserts it never
 //    overruns the destination computed by a sizing pass.
 //
 // Both are trivially copyable so merge loops can keep them in registers.
+// The block-decoding layer on top (BlockVarintCursor, whose buffered head
+// makes peek-then-next a single decode structurally, and the SSSE3/SWAR
+// kernels) lives in encoding/varint_block.h.
 //
 //===----------------------------------------------------------------------===//
 
@@ -83,12 +89,33 @@ public:
     return V;
   }
 
-  /// Decode the next varint without advancing.
-  uint64_t peek() const {
+  /// Decode the next varint without advancing. \p WidthOut receives the
+  /// encoded width, so the caller can consume the peeked value with
+  /// advancePeeked() instead of paying next()'s second decode.
+  uint64_t peek(unsigned &WidthOut) const {
     assert(Left > 0 && "peek() past the end");
     uint64_t V;
-    decodeVarint(In, V);
+    const uint8_t *End = decodeVarint(In, V);
+    WidthOut = static_cast<unsigned>(End - In);
     return V;
+  }
+
+  /// Decode the next varint without advancing.
+  uint64_t peek() const {
+    unsigned Width;
+    return peek(Width);
+  }
+
+  /// Advance past a varint whose width a prior peek() reported. The
+  /// peek-then-advance pair costs exactly one decode.
+  void advancePeeked(unsigned Width) {
+    assert(Left > 0 && "advancePeeked() past the end");
+    assert([&] {
+      uint64_t V;
+      return decodeVarint(In, V) == In + Width;
+    }() && "width does not match the pending varint");
+    In += Width;
+    --Left;
   }
 
   /// Skip \p N varints without decoding their values. Word-at-a-time:

@@ -1,0 +1,468 @@
+//===- encoding/varint_block.h - Block varint decoding --------------------===//
+//
+// Block decoding for the byte codes of encoding/byte_code.h: instead of
+// decoding one varint per call through a data-dependent byte loop, the
+// decoders here fill a small buffer with up to BlockVarintCursor::BlockElts
+// decoded values (and their end byte offsets) per step, so the per-value
+// cost on the chunk-merge / seek / edge-map hot path is a buffered load.
+//
+// Three decode tiers, fastest available selected at runtime:
+//
+//  * SSSE3 shuffle-table decode (x86): a 16-byte load's continuation-bit
+//    movemask indexes a precomputed table of PSHUFB controls that expands
+//    up to eight 1-2 byte codes (the overwhelmingly common case for
+//    difference-encoded neighbor ids) into 16-bit lanes decoded with two
+//    masks and an or. Longer codes at the window front fall back to the
+//    scalar decoder for that one value.
+//  * SWAR word-at-a-time (portable): an 8-byte load's inverted
+//    continuation bits locate every code terminating inside the word via
+//    count-trailing-zeros; each code's 7-bit groups are compacted with
+//    three shift-mask-or steps. Handles codes up to 8 bytes per word,
+//    falling back to the scalar decoder for 9-10 byte codes.
+//  * Scalar (decodeVarint): used for block tails where the remaining
+//    varint count no longer guarantees that a wide load stays in bounds.
+//
+// In-bounds guarantee (same argument as VarintCursor::skip): every one of
+// the R varints remaining in a stream occupies at least one byte, so a
+// W-byte load at the next undecoded position stays inside the encoded
+// region whenever R >= W. The wide paths only run under that condition.
+//
+// The SSSE3 tier is compiled behind ASPEN_ENABLE_SSSE3 (CMake option
+// ASPEN_SIMD_SSSE3, default ON on x86) using a function-level target
+// attribute, so the baseline build needs no -mssse3; the SWAR tier is
+// always available and is what non-x86 and -DASPEN_SIMD_SSSE3=OFF builds
+// run. Dispatch happens once via __builtin_cpu_supports.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_ENCODING_VARINT_BLOCK_H
+#define ASPEN_ENCODING_VARINT_BLOCK_H
+
+#include "encoding/byte_code.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#if defined(ASPEN_ENABLE_SSSE3) && defined(__x86_64__) &&                      \
+    (defined(__GNUC__) || defined(__clang__))
+#define ASPEN_SSSE3_COMPILED 1
+#include <x86intrin.h>
+#else
+#define ASPEN_SSSE3_COMPILED 0
+#endif
+
+namespace aspen {
+
+namespace detail {
+
+/// Compact the 7-bit payload groups of up to eight little-endian code
+/// bytes (continuation bits already cleared by the mask) into one value:
+/// b0 | b1 << 7 | ... | b7 << 49, via three halving shift-mask-or steps.
+inline uint64_t compact7x8(uint64_t X) {
+  X &= 0x7f7f7f7f7f7f7f7full;
+  X = (X & 0x007f007f007f007full) | ((X & 0x7f007f007f007f00ull) >> 1);
+  X = (X & 0x00003fff00003fffull) | ((X & 0x3fff00003fff0000ull) >> 2);
+  X = (X & 0x000000000fffffffull) | ((X & 0x0fffffff00000000ull) >> 4);
+  return X;
+}
+
+} // namespace detail
+
+/// Decode-overshoot headroom: a wide-path step may deliver up to this
+/// many values beyond the requested count (it decodes every code
+/// terminating in its load window rather than splitting the window).
+/// Output buffers passed to the block decoders need Want +
+/// VarintBlockSlack slots.
+inline constexpr size_t VarintBlockSlack = 8;
+
+/// Decode at least \p Want varints starting at \p In into \p Vals (up to
+/// Want + VarintBlockSlack when a wide step overshoots; never more than
+/// \p Avail, the number of varints the stream holds at \p In). EndOff[i]
+/// = BaseOff + encoded bytes consumed through value i. Avail is what
+/// licenses the wide loads (R remaining varints occupy >= R bytes).
+/// Advances \p In past the decoded values and returns the decoded count.
+/// Portable SWAR tier.
+///
+/// \tparam ValT uint64_t for arbitrary varints, or uint32_t when the
+/// caller guarantees every decoded value fits 32 bits (difference-encoded
+/// chunks of 32-bit keys) - the narrow type halves buffer and store
+/// traffic on the dominant graph path.
+template <class ValT>
+inline size_t decodeVarintBlockSWAR(const uint8_t *&In, size_t Avail,
+                                    size_t Want, ValT *Vals,
+                                    uint32_t *EndOff, uint32_t BaseOff) {
+  assert(Want <= Avail && "block decode past the stream's varint count");
+  const uint8_t *P = In;
+  size_t N = 0;
+  while (N < Want && Avail - N >= 8) {
+    uint64_t Word;
+    std::memcpy(&Word, P, 8);
+    uint64_t Term = ~Word & 0x8080808080808080ull;
+    if (!Term) {
+      // The code at P spans more than 8 bytes (a 9-10 byte 64-bit code):
+      // scalar-decode just that value.
+      uint64_t V;
+      const uint8_t *Next = decodeVarint(P, V);
+      BaseOff += uint32_t(Next - P);
+      P = Next;
+      Vals[N] = static_cast<ValT>(V);
+      EndOff[N] = BaseOff;
+      ++N;
+      continue;
+    }
+    // Decode every code terminating in this word (<= 8, so the overshoot
+    // past Want stays within VarintBlockSlack).
+    unsigned Consumed = 0;
+    do {
+      unsigned EndByte = unsigned(__builtin_ctzll(Term)) >> 3;
+      unsigned Len = EndByte + 1 - Consumed;
+      uint64_t Code = Word >> (Consumed * 8);
+      if (Len < 8)
+        Code &= (uint64_t(1) << (Len * 8)) - 1;
+      Vals[N] = static_cast<ValT>(detail::compact7x8(Code));
+      Consumed = EndByte + 1;
+      EndOff[N] = BaseOff + Consumed;
+      ++N;
+      Term &= Term - 1;
+    } while (Term);
+    // Bytes after the last terminator belong to a code continuing past
+    // this word; reload from its start next iteration.
+    P += Consumed;
+    BaseOff += Consumed;
+  }
+  // Tail: too few varints left to license an 8-byte load.
+  while (N < Want) {
+    uint64_t V;
+    const uint8_t *Next = decodeVarint(P, V);
+    BaseOff += uint32_t(Next - P);
+    P = Next;
+    Vals[N] = static_cast<ValT>(V);
+    EndOff[N] = BaseOff;
+    ++N;
+  }
+  In = P;
+  return N;
+}
+
+#if ASPEN_SSSE3_COMPILED
+
+namespace detail {
+
+/// Per-movemask shuffle recipe for decoding the codes that terminate
+/// inside an 8-byte window. Indexed by the low 8 continuation bits of a
+/// 16-byte load's movemask; an 8-bit index keeps the whole table at 16 KB
+/// - L1-resident, unlike a 12-bit variant whose 256 KB thrashes on the
+/// random masks of real delta streams. Each entry carries the better of
+/// two expansions for its mask:
+///  * Wide16 - up to eight 1-2 byte codes into eight 16-bit lanes (the
+///    common shape for small graphs / dense chunks), or
+///  * Wide32 - up to four 1-4 byte codes into four 32-bit lanes (large
+///    graphs, whose gaps run 2-4 bytes).
+/// "Better" = more input bytes consumed per step (ties favor Wide16,
+/// which yields more values for cheaper math).
+struct alignas(64) VarintShuffleEntry {
+  uint8_t Shuf[16];  ///< PSHUFB control: lane j = bytes of code j (0x80 pad)
+  uint16_t Pre[8];   ///< Prefix length sums: window end offset of code j
+  uint8_t Count;     ///< Codes decoded by this recipe (0: front code > 4B)
+  uint8_t Consumed;  ///< Input bytes consumed by the Count codes
+  uint8_t Wide32;    ///< 1: four 32-bit lanes; 0: eight 16-bit lanes
+  uint8_t Pad[29];
+};
+static_assert(sizeof(VarintShuffleEntry) == 64, "table entry packing");
+
+/// The 256-entry recipe table, built once on first use (16 KB).
+inline const VarintShuffleEntry *varintShuffleTable() {
+  static const VarintShuffleEntry *Table = [] {
+    auto *T = new VarintShuffleEntry[256];
+    for (unsigned M = 0; M < 256; ++M) {
+      // Greedy parse of codes up to MaxLen bytes terminating in the
+      // window; returns (count, consumed) and fills ends[].
+      auto Parse = [&](unsigned MaxLen, unsigned MaxCodes,
+                       unsigned *Ends) -> std::pair<unsigned, unsigned> {
+        unsigned Pos = 0, K = 0;
+        while (K < MaxCodes) {
+          unsigned Len = 1;
+          while (Pos + Len - 1 < 8 && (M >> (Pos + Len - 1) & 1))
+            ++Len;
+          if (Pos + Len - 1 >= 8 || Len > MaxLen)
+            break; // code crosses the window or exceeds this lane width
+          Pos += Len;
+          Ends[K++] = Pos;
+        }
+        return {K, Pos};
+      };
+      unsigned Ends16[8], Ends32[4];
+      auto [C16, B16] = Parse(2, 8, Ends16);
+      auto [C32, B32] = Parse(4, 4, Ends32);
+      VarintShuffleEntry &E = T[M];
+      std::memset(E.Shuf, 0x80, sizeof(E.Shuf));
+      std::memset(E.Pre, 0, sizeof(E.Pre));
+      std::memset(E.Pad, 0, sizeof(E.Pad));
+      E.Wide32 = B32 > B16 ? 1 : 0;
+      unsigned Count = E.Wide32 ? C32 : C16;
+      unsigned Consumed = E.Wide32 ? B32 : B16;
+      const unsigned *Ends = E.Wide32 ? Ends32 : Ends16;
+      unsigned LaneBytes = E.Wide32 ? 4 : 2;
+      unsigned Lanes = E.Wide32 ? 4 : 8;
+      unsigned Pos = 0;
+      for (unsigned K = 0; K < Count; ++K) {
+        for (unsigned B = Pos; B < Ends[K]; ++B)
+          E.Shuf[LaneBytes * K + (B - Pos)] = uint8_t(B);
+        E.Pre[K] = uint16_t(Ends[K]);
+        Pos = Ends[K];
+      }
+      E.Count = uint8_t(Count);
+      E.Consumed = uint8_t(Consumed);
+      // Lanes past Count are stored then overwritten; keep their offsets
+      // at the consumed total so garbage stays bounded.
+      for (unsigned J = Count; J < Lanes; ++J)
+        E.Pre[J] = uint16_t(Consumed);
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace detail
+
+namespace detail {
+
+/// Store eight decoded 16-bit lanes as eight ValT values at \p VOut.
+template <class ValT>
+__attribute__((target("ssse3"))) inline void
+storeLanes16(uint8_t *VOut, __m128i V16, __m128i Z) {
+  __m128i V32L = _mm_unpacklo_epi16(V16, Z);
+  __m128i V32H = _mm_unpackhi_epi16(V16, Z);
+  if constexpr (sizeof(ValT) == 8) {
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut),
+                     _mm_unpacklo_epi32(V32L, Z));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut + 16),
+                     _mm_unpackhi_epi32(V32L, Z));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut + 32),
+                     _mm_unpacklo_epi32(V32H, Z));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut + 48),
+                     _mm_unpackhi_epi32(V32H, Z));
+  } else {
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut), V32L);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut + 16), V32H);
+  }
+}
+
+/// Store four decoded 32-bit lanes as four ValT values at \p VOut.
+template <class ValT>
+__attribute__((target("ssse3"))) inline void
+storeLanes32(uint8_t *VOut, __m128i V32, __m128i Z) {
+  if constexpr (sizeof(ValT) == 8) {
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut),
+                     _mm_unpacklo_epi32(V32, Z));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut + 16),
+                     _mm_unpackhi_epi32(V32, Z));
+  } else {
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(VOut), V32);
+  }
+}
+
+} // namespace detail
+
+/// SSSE3 tier of decodeVarintBlock; same contract (including the ValT
+/// narrowing rule) as the SWAR tier.
+template <class ValT>
+__attribute__((target("ssse3"))) inline size_t
+decodeVarintBlockSSSE3(const uint8_t *&In, size_t Avail, size_t Want,
+                       ValT *Vals, uint32_t *EndOff, uint32_t BaseOff) {
+  assert(Want <= Avail && "block decode past the stream's varint count");
+  const detail::VarintShuffleEntry *Table = detail::varintShuffleTable();
+  const __m128i Lo7 = _mm_set1_epi16(0x007f);
+  const __m128i Hi7 = _mm_set1_epi16(0x3f80);
+  const uint8_t *P = In;
+  size_t N = 0;
+  const __m128i Z = _mm_setzero_si128();
+  const __m128i Ramp = _mm_setr_epi32(1, 2, 3, 4);
+  const __m128i Four = _mm_set1_epi32(4);
+  const __m128i M7_1 = _mm_set1_epi32(0x00003f80);
+  const __m128i M7_2 = _mm_set1_epi32(0x001fc000);
+  const __m128i M7_3 = _mm_set1_epi32(0x0fe00000);
+  // Each step writes its lanes unconditionally and keeps Count of them,
+  // so N can overshoot Want by up to 7 (within VarintBlockSlack). The
+  // guard licenses 24 bytes at P: 16 for the current window plus the
+  // speculative load of the next one at P + 8 (a full window consumes
+  // exactly 8 bytes, so the next input is usually ready before this
+  // window's table recipe resolves - the load would otherwise sit on the
+  // loop-carried P chain).
+  if (N < Want && Avail - N >= 24) {
+    __m128i Input = _mm_loadu_si128(reinterpret_cast<const __m128i *>(P));
+    do {
+      __m128i Next8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + 8));
+      unsigned M = unsigned(_mm_movemask_epi8(Input)) & 0xffu;
+      __m128i Base32 = _mm_set1_epi32(int(BaseOff));
+      uint8_t *VOut = reinterpret_cast<uint8_t *>(Vals + N);
+      unsigned Consumed;
+      if (M == 0) {
+        // Fast path - eight 1-byte codes (the dominant shape of
+        // difference-encoded neighbor ids): the bytes are the values.
+        detail::storeLanes16<ValT>(VOut, _mm_unpacklo_epi8(Input, Z), Z);
+        __m128i OffL = _mm_add_epi32(Base32, Ramp);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(EndOff + N), OffL);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(EndOff + N + 4),
+                         _mm_add_epi32(OffL, Four));
+        N += 8;
+        BaseOff += 8;
+        P += 8;
+        Input = Next8;
+        continue;
+      }
+      const detail::VarintShuffleEntry &E = Table[M];
+      if (E.Count == 0) {
+        // A 5+ byte code heads the window: scalar-decode that one value.
+        uint64_t V;
+        const uint8_t *Next = decodeVarint(P, V);
+        BaseOff += uint32_t(Next - P);
+        P = Next;
+        Vals[N] = static_cast<ValT>(V);
+        EndOff[N] = BaseOff;
+        ++N;
+        Input = _mm_loadu_si128(reinterpret_cast<const __m128i *>(P));
+        continue;
+      }
+      __m128i Shuf =
+          _mm_load_si128(reinterpret_cast<const __m128i *>(E.Shuf));
+      __m128i X = _mm_shuffle_epi8(Input, Shuf);
+      __m128i Pre = _mm_load_si128(reinterpret_cast<const __m128i *>(E.Pre));
+      if (!E.Wide32) {
+      // Lane = hi << 8 | lo; value = (lo & 0x7f) | ((hi & 0x7f) << 7).
+      __m128i V16 = _mm_or_si128(_mm_and_si128(X, Lo7),
+                                 _mm_and_si128(_mm_srli_epi16(X, 1), Hi7));
+      detail::storeLanes16<ValT>(VOut, V16, Z);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i *>(EndOff + N),
+          _mm_add_epi32(_mm_unpacklo_epi16(Pre, Z), Base32));
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i *>(EndOff + N + 4),
+          _mm_add_epi32(_mm_unpackhi_epi16(Pre, Z), Base32));
+    } else {
+      // Four 32-bit lanes of 1-4 code bytes each: gather the four 7-bit
+      // groups with shift-and-mask.
+      __m128i V32 = _mm_and_si128(X, _mm_set1_epi32(0x7f));
+      V32 = _mm_or_si128(V32, _mm_and_si128(_mm_srli_epi32(X, 1), M7_1));
+      V32 = _mm_or_si128(V32, _mm_and_si128(_mm_srli_epi32(X, 2), M7_2));
+      V32 = _mm_or_si128(V32, _mm_and_si128(_mm_srli_epi32(X, 3), M7_3));
+      detail::storeLanes32<ValT>(VOut, V32, Z);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i *>(EndOff + N),
+          _mm_add_epi32(_mm_unpacklo_epi16(Pre, Z), Base32));
+      }
+      N += E.Count;
+      Consumed = E.Consumed;
+      BaseOff += Consumed;
+      P += Consumed;
+      // Reuse the speculative load when the window consumed fully (the
+      // common case); the reload branch is rarely taken and predicted.
+      Input = Consumed == 8
+                  ? Next8
+                  : _mm_loadu_si128(reinterpret_cast<const __m128i *>(P));
+    } while (N < Want && Avail - N >= 24);
+  }
+  In = P;
+  if (N >= Want)
+    return N;
+  return N + decodeVarintBlockSWAR(In, Avail - N, Want - N, Vals + N,
+                                   EndOff + N, BaseOff);
+}
+
+#endif // ASPEN_SSSE3_COMPILED
+
+/// True when the dispatched decodeVarintBlock runs the SSSE3 tier.
+inline bool blockDecodeUsesSSSE3() {
+#if ASPEN_SSSE3_COMPILED
+  static const bool Use = __builtin_cpu_supports("ssse3");
+  return Use;
+#else
+  return false;
+#endif
+}
+
+/// Name of the active decode tier ("ssse3" or "swar"), for bench output.
+inline const char *blockDecodeTierName() {
+  return blockDecodeUsesSSSE3() ? "ssse3" : "swar";
+}
+
+/// Decode at least \p Want varints (see decodeVarintBlockSWAR for the
+/// full contract, including the ValT narrowing rule), through the
+/// fastest tier this build + CPU supports.
+template <class ValT>
+inline size_t decodeVarintBlock(const uint8_t *&In, size_t Avail,
+                                size_t Want, ValT *Vals,
+                                uint32_t *EndOff, uint32_t BaseOff) {
+#if ASPEN_SSSE3_COMPILED
+  if (blockDecodeUsesSSSE3())
+    return decodeVarintBlockSSSE3(In, Avail, Want, Vals, EndOff, BaseOff);
+#endif
+  return decodeVarintBlockSWAR(In, Avail, Want, Vals, EndOff, BaseOff);
+}
+
+/// Bounded forward reader over a region containing exactly \p Count
+/// varints, decoding up to BlockElts values per refill through
+/// decodeVarintBlock. The drop-in block-decoded upgrade of VarintCursor's
+/// next/peek: the buffered head makes peek-then-next cost one decode, and
+/// per-value end offsets keep byte-offset tracking (chunk slicing,
+/// run-copy merges) exact.
+class BlockVarintCursor {
+public:
+  static constexpr uint32_t BlockElts = 32;
+
+  BlockVarintCursor() = default;
+  BlockVarintCursor(const uint8_t *In, size_t Count)
+      : In(In), Undecoded(Count) {}
+
+  bool done() const { return Pos == Len && Undecoded == 0; }
+  size_t remaining() const { return size_t(Len - Pos) + Undecoded; }
+
+  /// Decode the next varint and advance past it.
+  uint64_t next() {
+    assert(!done() && "next() past the end");
+    if (Pos == Len)
+      refill();
+    return Vals[Pos++];
+  }
+
+  /// Next varint without advancing (buffered; no re-decode on next()).
+  uint64_t peek() {
+    assert(!done() && "peek() past the end");
+    if (Pos == Len)
+      refill();
+    return Vals[Pos];
+  }
+
+  /// Total encoded bytes of the varints next() has returned so far.
+  size_t consumedBytes() const {
+    return Pos == 0 ? Base : EndOff[Pos - 1];
+  }
+
+private:
+  __attribute__((noinline)) void refill() {
+    assert(Undecoded > 0 && "refill() with nothing left to decode");
+    if (Len)
+      Base = EndOff[Len - 1];
+    size_t Want = Undecoded < BlockElts ? Undecoded : size_t(BlockElts);
+    size_t Got = decodeVarintBlock(In, Undecoded, Want, Vals, EndOff, Base);
+    Undecoded -= Got;
+    Len = uint32_t(Got);
+    Pos = 0;
+  }
+
+  uint64_t Vals[BlockElts + VarintBlockSlack];
+  uint32_t EndOff[BlockElts + VarintBlockSlack];
+  const uint8_t *In = nullptr;
+  size_t Undecoded = 0;
+  uint32_t Pos = 0;
+  uint32_t Len = 0;
+  uint32_t Base = 0;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_ENCODING_VARINT_BLOCK_H

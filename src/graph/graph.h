@@ -136,10 +136,20 @@ public:
 
   /// Borrowed (non-owning, no refcount traffic) view of \p V's edge set;
   /// valid while this snapshot is alive. The uniform entry point for
-  /// cursor-based neighbor iteration.
+  /// cursor-based neighbor iteration: its sequential traversals stream
+  /// chunk contents through the codec's block-decoded bulk iterate
+  /// (encoding/varint_block.h), so edge scans decode many neighbors per
+  /// step instead of one varint at a time.
   typename EdgeSet::View edgesView(VertexId V) const {
     const Node *N = VT::findNode(Root, V);
     return N ? N->Val.view() : typename EdgeSet::View{};
+  }
+
+  /// Streaming cursor over \p V's neighbors (empty for absent vertices);
+  /// this snapshot must outlive it. Mirrors the graph views' cursor
+  /// surface so snapshot holders need not build a view for one vertex.
+  typename EdgeSet::View::Cursor neighborCursor(VertexId V) const {
+    return edgesView(V).cursor();
   }
 
   /// Degree of \p V; O(log n) lookup then O(1).

@@ -302,6 +302,12 @@ public:
     return WeightedGraphT(NewRoot);
   }
 
+  /// Parallel traversal over (vertex, edge set) entries, mirroring the
+  /// unweighted snapshot's surface.
+  template <class F> void forEachVertex(const F &Fn) const {
+    VT::forEachPar(Root, Fn);
+  }
+
   size_t memoryBytes() const { return memoryRec(Root); }
 
 private:

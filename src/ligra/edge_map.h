@@ -10,6 +10,13 @@
 // Symmetric graphs are assumed (the paper symmetrizes all inputs), so
 // out-neighbors serve as in-neighbors.
 //
+// Neighbor scans in both directions run on the block-decoded iteration
+// surface (iterNeighborsCond / mapNeighborsIndexed -> codec bulk
+// iterate): compressed chunks decode up to 32 neighbors per refill
+// through the SSSE3/SWAR tiers of encoding/varint_block.h, so the
+// per-edge decode constant the traversal pays is a buffered array read.
+// The dense form's early exit still only over-decodes within one block.
+//
 // All round-local arrays (the sparse Out targets, per-source offsets, the
 // dense next-flags, and sparse<->dense conversion buffers) are drawn from
 // the input frontier's AlgoContext workspace, so steady-state rounds

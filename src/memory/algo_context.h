@@ -102,16 +102,22 @@ inline void ctxRelease(AlgoContext *Ctx, void *P, size_t Cap) {
     scratchRelease(P, Cap);
 }
 
-/// Borrowed typed workspace array (RAII). Elements are uninitialized raw
-/// storage; callers placement-new or store into them (only trivially
-/// destructible T makes sense here). With a null context the array borrows
-/// from the per-worker scratch cache instead.
+/// Borrowed typed workspace array (RAII) - the single context-aware
+/// acquire path for every temporary in the system. Elements are
+/// uninitialized raw storage; callers placement-new or store into them
+/// (only trivially destructible T makes sense here). With a null context
+/// (or the size-only constructor) the array borrows from the per-worker
+/// scratch cache instead - this subsumes the former ScratchArray, so the
+/// codec/chunk scratch, the parallel primitives' temporaries, and the
+/// algorithm workspaces all share one type and one release discipline.
 template <class T> class CtxArray {
 public:
   CtxArray(AlgoContext *Ctx, size_t N)
       : Ctx(Ctx), Mem(static_cast<T *>(ctxAcquire(Ctx, N * sizeof(T), Cap))),
         Sz(N) {}
   CtxArray(AlgoContext &Ctx, size_t N) : CtxArray(&Ctx, N) {}
+  /// Context-less borrow straight from the per-worker scratch cache.
+  explicit CtxArray(size_t N) : CtxArray(nullptr, N) {}
   CtxArray(const CtxArray &) = delete;
   CtxArray &operator=(const CtxArray &) = delete;
   ~CtxArray() { ctxRelease(Ctx, Mem, Cap); }

@@ -204,29 +204,9 @@ void scratchRelease(void *P, size_t Cap);
 /// misses); flat once the per-context caches are warm.
 uint64_t scratchAllocEvents();
 
-/// Borrowed typed scratch array (RAII). Elements are uninitialized; only
-/// trivially-copyable T makes sense here.
-template <class T> class ScratchArray {
-public:
-  explicit ScratchArray(size_t N)
-      : Mem(static_cast<T *>(scratchAcquire(N * sizeof(T), Cap))), N(N) {}
-  ScratchArray(const ScratchArray &) = delete;
-  ScratchArray &operator=(const ScratchArray &) = delete;
-  ~ScratchArray() { scratchRelease(Mem, Cap); }
-
-  T *data() { return Mem; }
-  const T *data() const { return Mem; }
-  size_t size() const { return N; }
-  T &operator[](size_t I) { return Mem[I]; }
-  const T &operator[](size_t I) const { return Mem[I]; }
-  T *begin() { return Mem; }
-  T *end() { return Mem + N; }
-
-private:
-  T *Mem;
-  size_t Cap;
-  size_t N;
-};
+// Typed RAII borrowing lives in memory/algo_context.h: CtxArray<T> is the
+// single context-aware array over this scratch layer (its size-only
+// constructor is the former ScratchArray's per-worker-cache path).
 
 } // namespace aspen
 

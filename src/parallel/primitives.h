@@ -11,7 +11,7 @@
 #ifndef ASPEN_PARALLEL_PRIMITIVES_H
 #define ASPEN_PARALLEL_PRIMITIVES_H
 
-#include "memory/pool_allocator.h"
+#include "memory/algo_context.h"
 #include "parallel/scheduler.h"
 #include "util/hash.h"
 
@@ -98,7 +98,7 @@ template <class T> T scanExclusive(T *Data, size_t N) {
   }
   // Block sums live in borrowed scratch so hot loops (edgeMap offsets run
   // every round) stay heap-allocation-free.
-  ScratchArray<T> Sums(NumBlocks);
+  CtxArray<T> Sums(NumBlocks);
   parallelFor(
       0, NumBlocks,
       [&](size_t B) {
@@ -147,7 +147,7 @@ size_t blockedFilter(size_t N, const Get &GetFn, const Keep &KeepFn,
   size_t P = static_cast<size_t>(numWorkers());
   size_t BlockSize = std::max<size_t>(2048, (N + 4 * P - 1) / (4 * P));
   size_t NumBlocks = (N + BlockSize - 1) / BlockSize;
-  ScratchArray<size_t> Counts(NumBlocks);
+  CtxArray<size_t> Counts(NumBlocks);
   parallelFor(
       0, NumBlocks,
       [&](size_t B) {

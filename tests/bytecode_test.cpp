@@ -393,3 +393,193 @@ TYPED_TEST(ChunkCodecTest, BuildChunkStreamingMatchesMakeChunk) {
   EXPECT_EQ((buildChunkStreaming<Codec, uint32_t>(16, [](auto &&) {})),
             nullptr);
 }
+
+//===----------------------------------------------------------------------===
+// Block decoding (encoding/varint_block.h): the SSSE3/SWAR kernels, the
+// BlockVarintCursor, and the codec BlockCursors must agree exactly with
+// the scalar decoder on values, end offsets, and stream positions.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Encode \p Vals and return (buffer, per-value end offsets).
+std::pair<std::vector<uint8_t>, std::vector<uint32_t>>
+encodeAll(const std::vector<uint64_t> &Vals) {
+  std::vector<uint8_t> Buf;
+  std::vector<uint32_t> Ends;
+  size_t Total = 0;
+  for (uint64_t V : Vals)
+    Total += varintSize(V);
+  Buf.resize(Total);
+  uint8_t *Out = Buf.data();
+  for (uint64_t V : Vals) {
+    Out = encodeVarint(V, Out);
+    Ends.push_back(uint32_t(Out - Buf.data()));
+  }
+  return {std::move(Buf), std::move(Ends)};
+}
+
+std::vector<uint64_t> blockTestStream(int Mode, size_t N) {
+  std::vector<uint64_t> Vals;
+  for (size_t I = 0; I < N; ++I) {
+    switch (Mode) {
+    case 0: // all 1-byte
+      Vals.push_back(hash64(I) % 128);
+      break;
+    case 1: // all 2-byte
+      Vals.push_back(128 + hash64(I) % ((1u << 14) - 128));
+      break;
+    case 2: // mixed 1..5 byte
+      Vals.push_back(hash64(I) >> (34 + I % 30));
+      break;
+    case 3: // mixed widths incl. 9-10 byte codes
+      Vals.push_back(hash64(I) >> (I % 64));
+      break;
+    default: // word-boundary adversarial: 8 one-byte then one wide
+      Vals.push_back(I % 9 == 8 ? (uint64_t(1) << 60) : I % 100);
+      break;
+    }
+  }
+  return Vals;
+}
+
+} // namespace
+
+TEST(VarintBlockDecode, KernelsMatchScalarDecoder) {
+  for (int Mode = 0; Mode <= 4; ++Mode) {
+    for (size_t N : {1u, 7u, 8u, 9u, 31u, 32u, 33u, 400u}) {
+      auto Vals = blockTestStream(Mode, N);
+      auto [Buf, WantEnds] = encodeAll(Vals);
+      for (size_t Want : {size_t(1), size_t(5), N}) {
+        if (Want > N)
+          continue;
+        // Dispatched tier.
+        {
+          std::vector<uint64_t> Got(Want + VarintBlockSlack);
+          std::vector<uint32_t> Ends(Want + VarintBlockSlack);
+          const uint8_t *In = Buf.data();
+          size_t GotN = decodeVarintBlock(In, N, Want, Got.data(),
+                                          Ends.data(), 0);
+          ASSERT_GE(GotN, Want);
+          ASSERT_LE(GotN, Want + VarintBlockSlack);
+          ASSERT_LE(GotN, N);
+          for (size_t I = 0; I < GotN; ++I) {
+            ASSERT_EQ(Got[I], Vals[I]) << "mode " << Mode << " i " << I;
+            ASSERT_EQ(Ends[I], WantEnds[I]) << "mode " << Mode;
+          }
+          ASSERT_EQ(In, Buf.data() + WantEnds[GotN - 1]);
+        }
+        // Portable SWAR tier explicitly (differential vs dispatch).
+        {
+          std::vector<uint64_t> Got(Want + VarintBlockSlack);
+          std::vector<uint32_t> Ends(Want + VarintBlockSlack);
+          const uint8_t *In = Buf.data();
+          size_t GotN = decodeVarintBlockSWAR(In, N, Want, Got.data(),
+                                              Ends.data(), 0);
+          ASSERT_GE(GotN, Want);
+          for (size_t I = 0; I < GotN; ++I) {
+            ASSERT_EQ(Got[I], Vals[I]);
+            ASSERT_EQ(Ends[I], WantEnds[I]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(VarintBlockDecode, Narrow32OutputMatches) {
+  // The uint32_t-output kernel variant (used by 32-bit-key chunks) must
+  // agree with the wide variant when every value fits 32 bits.
+  std::vector<uint64_t> Vals;
+  for (size_t I = 0; I < 300; ++I)
+    Vals.push_back(hash64(I) >> (32 + I % 32));
+  auto [Buf, WantEnds] = encodeAll(Vals);
+  const uint8_t *In = Buf.data();
+  std::vector<uint32_t> Got(Vals.size() + VarintBlockSlack);
+  std::vector<uint32_t> Ends(Vals.size() + VarintBlockSlack);
+  size_t N = 0;
+  uint32_t Base = 0;
+  while (N < Vals.size()) {
+    size_t Want = std::min<size_t>(32, Vals.size() - N);
+    size_t GotN = decodeVarintBlock(In, Vals.size() - N, Want,
+                                    Got.data() + N, Ends.data() + N, Base);
+    N += GotN;
+    Base = Ends[N - 1];
+  }
+  ASSERT_EQ(N, Vals.size());
+  for (size_t I = 0; I < Vals.size(); ++I) {
+    ASSERT_EQ(Got[I], uint32_t(Vals[I]));
+    ASSERT_EQ(Ends[I], WantEnds[I]);
+  }
+}
+
+TEST(BlockVarintCursor, MatchesVarintCursor) {
+  for (int Mode = 0; Mode <= 4; ++Mode) {
+    auto Vals = blockTestStream(Mode, 500);
+    auto [Buf, WantEnds] = encodeAll(Vals);
+    BlockVarintCursor B(Buf.data(), Vals.size());
+    VarintCursor S(Buf.data(), Vals.size());
+    for (size_t I = 0; I < Vals.size(); ++I) {
+      ASSERT_FALSE(B.done());
+      ASSERT_EQ(B.remaining(), Vals.size() - I);
+      // Buffered head: peek-then-next is one decode and agrees with the
+      // scalar cursor.
+      ASSERT_EQ(B.peek(), S.peek());
+      ASSERT_EQ(B.next(), S.next());
+      ASSERT_EQ(B.consumedBytes(), WantEnds[I]);
+    }
+    ASSERT_TRUE(B.done());
+  }
+}
+
+TEST(VarintCursor, AdvancePeekedCostsOneDecode) {
+  auto Vals = blockTestStream(3, 200);
+  auto [Buf, Ends] = encodeAll(Vals);
+  VarintCursor Cu(Buf.data(), Vals.size());
+  for (size_t I = 0; I < Vals.size(); ++I) {
+    unsigned Width = 0;
+    ASSERT_EQ(Cu.peek(Width), Vals[I]);
+    ASSERT_EQ(Width, varintSize(Vals[I]));
+    Cu.advancePeeked(Width);
+    ASSERT_EQ(Cu.pos(), Buf.data() + Ends[I]);
+  }
+  ASSERT_TRUE(Cu.done());
+}
+
+TYPED_TEST(ChunkCodecTest, BlockCursorMatchesCursor) {
+  using Codec = TypeParam;
+  for (uint64_t Range : {300u, 40000u, ~0u}) {
+    std::vector<uint32_t> E;
+    for (size_t I = 0; I < 700; ++I)
+      E.push_back(uint32_t(hashAt(Range, I) % Range));
+    std::sort(E.begin(), E.end());
+    E.erase(std::unique(E.begin(), E.end()), E.end());
+    auto *C = makeChunk<Codec>(E.data(), E.size());
+    // Element-at-a-time equality, including byte offsets.
+    typename Codec::template Cursor<uint32_t> Sc(C);
+    typename Codec::template BlockCursor<uint32_t> Bc(C);
+    for (size_t I = 0; I < E.size(); ++I) {
+      ASSERT_FALSE(Bc.done());
+      ASSERT_EQ(Bc.value(), Sc.value());
+      ASSERT_EQ(Bc.remaining(), Sc.remaining());
+      ASSERT_EQ(Bc.byteOffset(), Sc.byteOffset());
+      Bc.advance();
+      Sc.advance();
+    }
+    ASSERT_TRUE(Bc.done());
+    // Bulk iterate sees the same sequence.
+    std::vector<uint32_t> Got;
+    Codec::template iterate<uint32_t>(C, [&](uint32_t V) {
+      Got.push_back(V);
+      return true;
+    });
+    EXPECT_EQ(Got, E);
+    // Early exit stops exactly where asked.
+    size_t Seen = 0;
+    Codec::template iterate<uint32_t>(C, [&](uint32_t) {
+      return ++Seen < 10;
+    });
+    EXPECT_EQ(Seen, std::min<size_t>(10, E.size()));
+    releaseChunk(C);
+  }
+}

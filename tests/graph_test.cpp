@@ -319,6 +319,11 @@ TYPED_TEST(GraphRepTest, NeighborCursorMatchesTraversal) {
     for (auto Cu = TV.neighborCursor(V); !Cu.done(); Cu.advance())
       Got.push_back(Cu.value());
     ASSERT_EQ(Got, Want) << "vertex " << V;
+    // The snapshot-level cursor shortcut agrees with the view's.
+    std::vector<VertexId> Direct;
+    for (auto Cu = G.neighborCursor(V); !Cu.done(); Cu.advance())
+      Direct.push_back(Cu.value());
+    ASSERT_EQ(Direct, Want) << "vertex " << V;
     const auto &Ref = M.count(V) ? M[V] : std::set<VertexId>{};
     ASSERT_EQ(Got, std::vector<VertexId>(Ref.begin(), Ref.end()));
   }

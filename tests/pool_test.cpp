@@ -1,6 +1,7 @@
 //===- tests/pool_test.cpp - Pool allocator tests -------------------------===//
 
 #include "memory/pool_allocator.h"
+#include "memory/algo_context.h"
 #include "parallel/scheduler.h"
 
 #include <gtest/gtest.h>
@@ -169,7 +170,9 @@ TEST(Scratch, NestedBorrowsGetDistinctBlocks) {
 }
 
 TEST(Scratch, TypedArrayRoundTrip) {
-  ScratchArray<uint32_t> A(333);
+  // The size-only CtxArray constructor is the former ScratchArray path:
+  // a context-less borrow from the per-worker scratch cache.
+  CtxArray<uint32_t> A(333);
   ASSERT_EQ(A.size(), 333u);
   for (size_t I = 0; I < A.size(); ++I)
     A[I] = uint32_t(I * 3);
