@@ -67,54 +67,9 @@ namespace {
 
 using P32 = ChunkPayload<uint32_t>;
 
-//===----------------------------------------------------------------------===
-// Metric collection (-json / -compare).
-//===----------------------------------------------------------------------===
-
-std::vector<std::pair<std::string, double>> GMetrics;
-std::map<std::string, double> GBaseline;
-
-void recordMetric(const std::string &Key, double Value) {
-  GMetrics.emplace_back(Key, Value);
-}
-
-std::string compareSuffix(const std::string &Key, double Value) {
-  auto It = GBaseline.find(Key);
-  if (It == GBaseline.end() || It->second <= 0.0)
-    return "";
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "  [%.2fx]", Value / It->second);
-  return Buf;
-}
-
-bool loadBaseline(const std::string &Path) {
-  FILE *F = std::fopen(Path.c_str(), "r");
-  if (!F)
-    return false;
-  char Line[512];
-  while (std::fgets(Line, sizeof(Line), F)) {
-    char Key[256];
-    double Value;
-    if (std::sscanf(Line, " \"%255[^\"]\" : %lf", Key, &Value) == 2)
-      GBaseline[Key] = Value;
-  }
-  std::fclose(F);
-  return true;
-}
-
-bool writeJson(const std::string &Path) {
-  FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return false;
-  std::fprintf(F, "{\n");
-  std::fprintf(F, "  \"_tier\": \"%s\",\n", blockDecodeTierName());
-  for (size_t I = 0; I < GMetrics.size(); ++I)
-    std::fprintf(F, "  \"%s\": %.6g%s\n", GMetrics[I].first.c_str(),
-                 GMetrics[I].second, I + 1 < GMetrics.size() ? "," : "");
-  std::fprintf(F, "}\n");
-  std::fclose(F);
-  return true;
-}
+// Metric collection (-json / -compare) lives in bench_common.h
+// (recordMetric / compareSuffix / loadBenchBaseline / writeBenchJson),
+// shared with bench_concurrent.
 
 //===----------------------------------------------------------------------===
 // Naive reference implementations (the seed's decode-to-vector shape).
@@ -593,9 +548,8 @@ int main(int Argc, char **Argv) {
   size_t Count = size_t(CL.getInt("count", 128));
   size_t Pairs = size_t(CL.getInt("pairs", 1024));
   int Rounds = int(CL.getInt("rounds", 3));
-  std::string JsonPath = CL.getString("json");
   std::string ComparePath = CL.getString("compare");
-  if (!ComparePath.empty() && !loadBaseline(ComparePath))
+  if (!ComparePath.empty() && !loadBenchBaseline(ComparePath))
     std::fprintf(stderr, "warning: cannot read -compare file %s\n",
                  ComparePath.c_str());
 
@@ -609,11 +563,6 @@ int main(int Argc, char **Argv) {
   runMergePatterns(Count * 8, Pairs / 4 + 1, Rounds);
   runVarintKernels(Count * 16, Pairs, Rounds);
 
-  if (!JsonPath.empty()) {
-    if (writeJson(JsonPath))
-      std::printf("\nmetrics written to %s\n", JsonPath.c_str());
-    else
-      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
-  }
+  finishMetricTrail(CL, {{"_tier", blockDecodeTierName()}});
   return 0;
 }

@@ -22,7 +22,9 @@
 #include "util/timer.h"
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace aspen {
@@ -147,6 +149,90 @@ inline std::string fmtRate(double PerSec) {
   else
     std::snprintf(Buf, sizeof(Buf), "%.3g/s", PerSec);
   return Buf;
+}
+
+//===----------------------------------------------------------------------===
+// Metric trail (-json / -compare), shared by the table benchmarks: every
+// reported metric is recorded under a stable "scope/op/metric" key; -json
+// writes them as flat JSON (committed as BENCH_<name>.json and uploaded by
+// CI), -compare loads a previous file and annotates printed rows with the
+// before/after ratio.
+//===----------------------------------------------------------------------===
+
+inline std::vector<std::pair<std::string, double>> &benchMetrics() {
+  static std::vector<std::pair<std::string, double>> M;
+  return M;
+}
+
+inline std::map<std::string, double> &benchBaseline() {
+  static std::map<std::string, double> B;
+  return B;
+}
+
+inline void recordMetric(const std::string &Key, double Value) {
+  benchMetrics().emplace_back(Key, Value);
+}
+
+/// "  [1.23x]" when -compare has a baseline for \p Key, else "".
+inline std::string compareSuffix(const std::string &Key, double Value) {
+  auto It = benchBaseline().find(Key);
+  if (It == benchBaseline().end() || It->second <= 0.0)
+    return "";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "  [%.2fx]", Value / It->second);
+  return Buf;
+}
+
+inline bool loadBenchBaseline(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  char Line[512];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    char Key[256];
+    double Value;
+    if (std::sscanf(Line, " \"%255[^\"]\" : %lf", Key, &Value) == 2)
+      benchBaseline()[Key] = Value;
+  }
+  std::fclose(F);
+  return true;
+}
+
+/// Write every recorded metric to \p Path as flat JSON; \p StringMeta
+/// entries (e.g. the decode tier) are emitted first as string values.
+inline bool writeBenchJson(
+    const std::string &Path,
+    const std::vector<std::pair<std::string, std::string>> &StringMeta = {}) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\n");
+  auto &M = benchMetrics();
+  for (const auto &S : StringMeta)
+    std::fprintf(F, "  \"%s\": \"%s\"%s\n", S.first.c_str(),
+                 S.second.c_str(),
+                 (!M.empty() || &S != &StringMeta.back()) ? "," : "");
+  for (size_t I = 0; I < M.size(); ++I)
+    std::fprintf(F, "  \"%s\": %.6g%s\n", M[I].first.c_str(), M[I].second,
+                 I + 1 < M.size() ? "," : "");
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+  return true;
+}
+
+/// Standard tail of a metric-trail benchmark: honor -compare (load before
+/// printing is the caller's job via loadBenchBaseline) and -json.
+inline void finishMetricTrail(
+    const CommandLine &CL,
+    const std::vector<std::pair<std::string, std::string>> &StringMeta = {}) {
+  std::string JsonPath = CL.getString("json");
+  if (!JsonPath.empty()) {
+    if (writeBenchJson(JsonPath, StringMeta))
+      std::printf("\nmetrics written to %s\n", JsonPath.c_str());
+    else
+      std::fprintf(stderr, "warning: cannot write -json file %s\n",
+                   JsonPath.c_str());
+  }
 }
 
 } // namespace aspen

@@ -1,18 +1,27 @@
-//===- bench/bench_concurrent.cpp - Table 7 --------------------------------===//
+//===- bench/bench_concurrent.cpp - Table 7 + sharded ingest --------------===//
 //
-// Reproduces Table 7: one writer thread applies single edge updates
-// (each an undirected edge = two directed updates in one batch) while a
-// query thread runs BFS from random sources on acquired snapshots.
-// Reports update throughput (directed edges/sec), the average latency to
-// make an edge visible, and the average BFS latency when running
+// Section A reproduces Table 7: one writer thread applies single edge
+// updates (each an undirected edge = two directed updates in one batch)
+// while a query thread runs BFS from random sources on acquired
+// snapshots. Reports update throughput (directed edges/sec), the average
+// latency to make an edge visible, and the average BFS latency running
 // concurrently with updates (C) versus in isolation (I).
 //
-// The update stream follows Section 7.3: edges sampled from the input
-// graph, 90% reinserted after an upfront deletion, 10% deleted during the
-// stream, in a random permutation.
+// Section B measures the sharded store (store/sharded_graph.h): batch
+// ingest throughput of the single-writer VersionedGraph baseline versus
+// ShardedGraphStore at 1/2/4 shards (and 8 with -large) on rmat inputs,
+// with -writers concurrent ingest threads, while a reader thread samples
+// epoch-acquire + degree-probe latency percentiles and checks that every
+// acquired epoch is a consistent cut (per-shard counts sum to the
+// aggregate). Ingest work per shard runs in parallel, so the
+// sharded/single ratio tracks the worker count; on a single hardware
+// thread it isolates the pipeline's constant-factor wins (counting-sort
+// grouping, span routing).
 //
-// Expected shape (paper): sub-millisecond update visibility; query latency
-// within ~3% of isolated runs.
+// Metric trail: -json <path> writes every reported metric as flat JSON
+// (BENCH_concurrent.json is the committed trail; CI uploads it), and
+// -compare <path> annotates rows against a previous file, following the
+// bench_chunk_ops convention.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,20 +29,22 @@
 
 #include "algorithms/bfs.h"
 #include "graph/versioned_graph.h"
+#include "store/sharded_graph.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
 using namespace aspen;
 
-int main(int Argc, char **Argv) {
-  BenchConfig C = parseBenchConfig(Argc, Argv);
-  CommandLine CL(Argc, Argv);
-  size_t StreamLen =
-      size_t(CL.getInt("updates", 4000)); // single-edge updates
-  BenchInput In = makeInput(C);
-  printEnvironment();
+namespace {
 
+//===----------------------------------------------------------------------===
+// Section A: Table 7 (single-edge updates vs concurrent BFS).
+//===----------------------------------------------------------------------===
+
+void runTable7(const BenchConfig &C, const BenchInput &In,
+               size_t StreamLen) {
   // Sample StreamLen edges from the graph; delete the first 90% upfront
   // (they will be re-inserted), keep 10% in the graph (they will be
   // deleted during the stream).
@@ -124,5 +135,190 @@ int main(int Argc, char **Argv) {
   std::printf("\nconcurrent queries completed: %zu; query slowdown: %.1f%%\n",
               size_t(ConcurrentQueries),
               Isolated > 0 ? (Concurrent / Isolated - 1.0) * 100.0 : 0.0);
+  recordMetric("table7/updates/edges_s", UpdatesPerSec);
+  recordMetric("table7/bfs/concurrent_s", Concurrent);
+  recordMetric("table7/bfs/isolated_s", Isolated);
+}
+
+//===----------------------------------------------------------------------===
+// Section B: sharded batch ingest vs the single-writer baseline.
+//===----------------------------------------------------------------------===
+
+/// Escape hatch so the reader's degree probes aren't optimized away.
+volatile uint64_t GProbeSink = 0;
+
+double percentile(std::vector<double> &Samples, double P) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t I = size_t(P * double(Samples.size() - 1) + 0.5);
+  return Samples[std::min(I, Samples.size() - 1)];
+}
+
+struct IngestResult {
+  double Seconds = 0;
+  double P50 = 0, P95 = 0, P99 = 0;
+  uint64_t ReaderViolations = 0;
+  uint64_t Queries = 0;
+};
+
+/// Drive \p Writers threads over the batch stream (round-robin slices)
+/// against \p Ingest, with one concurrent latency-sampling reader.
+template <class IngestFn, class SampleFn>
+IngestResult driveIngest(const std::vector<std::vector<EdgePair>> &Batches,
+                         int Writers, const IngestFn &Ingest,
+                         const SampleFn &Sample) {
+  std::atomic<bool> Done{false};
+  std::vector<double> Lat;
+  uint64_t Violations = 0;
+  std::thread Reader([&] {
+    uint64_t Q = 0;
+    while (!Done.load(std::memory_order_relaxed)) {
+      Timer T;
+      if (!Sample(Q))
+        ++Violations;
+      Lat.push_back(T.elapsed());
+      ++Q;
+    }
+  });
+
+  Timer T;
+  std::vector<std::thread> Ws;
+  for (int W = 0; W < Writers; ++W)
+    Ws.emplace_back([&, W] {
+      for (size_t B = size_t(W); B < Batches.size(); B += size_t(Writers))
+        Ingest(Batches[B]);
+    });
+  for (auto &Th : Ws)
+    Th.join();
+  IngestResult R;
+  R.Seconds = T.elapsed();
+  Done.store(true);
+  Reader.join();
+  R.Queries = Lat.size();
+  R.P50 = percentile(Lat, 0.50);
+  R.P95 = percentile(Lat, 0.95);
+  R.P99 = percentile(Lat, 0.99);
+  R.ReaderViolations = Violations;
+  return R;
+}
+
+void runShardedIngest(const BenchConfig &C, const BenchInput &In,
+                      size_t BatchSize, size_t NumBatches, int Writers) {
+  printHeader("sharded store: batch ingest vs single-writer baseline");
+  std::printf("%zu batches x %zu directed edges, %d writer thread(s), "
+              "%d worker(s)\n",
+              NumBatches, BatchSize, Writers, numWorkers());
+
+  // A fresh rmat stream (disjoint seed) provides the update batches.
+  RMatGenerator Gen(C.LogN, C.Seed + 9);
+  std::vector<std::vector<EdgePair>> Batches;
+  for (size_t B = 0; B < NumBatches; ++B)
+    Batches.push_back(Gen.edges(uint64_t(B) * BatchSize, BatchSize));
+  uint64_t TotalEdges = uint64_t(NumBatches) * BatchSize;
+
+  std::printf("%-18s %14s %12s %12s %12s %10s\n", "Store", "Edges/sec",
+              "reader p50", "p95", "p99", "queries");
+
+  double SingleRate = 0;
+  {
+    VersionedGraph VG(Graph::fromEdges(In.N, In.Edges));
+    // The single store has one writer by definition: extra writer
+    // threads would race set(); keep the stream order instead.
+    IngestResult R = driveIngest(
+        Batches, 1,
+        [&](const std::vector<EdgePair> &B) { VG.insertEdgesBatch(B); },
+        [&](uint64_t Q) {
+          auto V = VG.acquire();
+          uint64_t DegSum = 0;
+          for (int I = 0; I < 64; ++I)
+            DegSum += V.graph().degree(
+                VertexId(hashAt(C.Seed + Q, I) % In.N));
+          GProbeSink += DegSum;
+          return true;
+        });
+    SingleRate = double(TotalEdges) / R.Seconds;
+    std::string Key = "ingest/single/edges_s";
+    recordMetric(Key, SingleRate);
+    recordMetric("ingest/single/reader_p50_s", R.P50);
+    recordMetric("ingest/single/reader_p99_s", R.P99);
+    std::printf("%-18s %14s %12s %12s %12s %10zu%s\n", "single",
+                fmtRate(SingleRate).c_str(), fmtTime(R.P50).c_str(),
+                fmtTime(R.P95).c_str(), fmtTime(R.P99).c_str(),
+                size_t(R.Queries), compareSuffix(Key, SingleRate).c_str());
+  }
+
+  std::vector<size_t> ShardCounts = {1, 2, 4};
+  if (C.Large)
+    ShardCounts.push_back(8);
+  for (size_t Shards : ShardCounts) {
+    ShardedGraphStore Store(Shards, In.N, In.Edges);
+    IngestResult R = driveIngest(
+        Batches, Writers,
+        [&](const std::vector<EdgePair> &B) { Store.insertBatch(B); },
+        [&](uint64_t Q) {
+          auto E = Store.acquire();
+          auto V = E.view();
+          uint64_t DegSum = 0;
+          for (int I = 0; I < 64; ++I)
+            DegSum += V.degree(VertexId(hashAt(C.Seed + Q, I) % In.N));
+          GProbeSink += DegSum;
+          // Consistency audit: the aggregate must equal the cut's sum.
+          uint64_t ShardSum = 0;
+          for (size_t S = 0; S < E.numShards(); ++S)
+            ShardSum += E.shard(S).numEdges();
+          return ShardSum == E.numEdges();
+        });
+    double Rate = double(TotalEdges) / R.Seconds;
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "sharded S=%zu", Shards);
+    std::string Key =
+        "ingest/sharded" + std::to_string(Shards) + "/edges_s";
+    recordMetric(Key, Rate);
+    recordMetric("ingest/sharded" + std::to_string(Shards) +
+                     "/reader_p50_s",
+                 R.P50);
+    recordMetric("ingest/sharded" + std::to_string(Shards) +
+                     "/reader_p99_s",
+                 R.P99);
+    std::printf("%-18s %14s %12s %12s %12s %10zu%s\n", Name,
+                fmtRate(Rate).c_str(), fmtTime(R.P50).c_str(),
+                fmtTime(R.P95).c_str(), fmtTime(R.P99).c_str(),
+                size_t(R.Queries), compareSuffix(Key, Rate).c_str());
+    if (R.ReaderViolations)
+      std::printf("  !! %llu torn epochs observed\n",
+                  (unsigned long long)R.ReaderViolations);
+    if (Shards == 4 && SingleRate > 0) {
+      recordMetric("ingest/sharded4_vs_single", Rate / SingleRate);
+      std::printf("\n4-shard / single-writer ingest ratio: %.2fx\n",
+                  Rate / SingleRate);
+    }
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig C = parseBenchConfig(Argc, Argv);
+  CommandLine CL(Argc, Argv);
+  size_t StreamLen =
+      size_t(CL.getInt("updates", 4000)); // single-edge updates
+  size_t BatchSize = size_t(CL.getInt("batchsize", 100000));
+  size_t NumBatches = size_t(CL.getInt("batches", 6));
+  int Writers = int(CL.getInt("writers", 2));
+  std::string ComparePath = CL.getString("compare");
+  if (!ComparePath.empty() && !loadBenchBaseline(ComparePath))
+    std::fprintf(stderr, "warning: cannot read -compare file %s\n",
+                 ComparePath.c_str());
+
+  BenchInput In = makeInput(C);
+  printEnvironment();
+
+  if (!CL.has("nosingle"))
+    runTable7(C, In, StreamLen);
+  if (!CL.has("nosharded"))
+    runShardedIngest(C, In, BatchSize, NumBatches, Writers);
+
+  finishMetricTrail(CL);
   return 0;
 }

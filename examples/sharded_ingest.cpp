@@ -1,0 +1,99 @@
+//===- examples/sharded_ingest.cpp - Multi-writer sharded ingest ----------===//
+//
+// The sharded versioned store: several writer threads ingest edge batches
+// concurrently into a hash-partitioned store while an analytics reader
+// pins epoch-consistent cross-shard snapshots. Every acquired epoch is a
+// whole-batch boundary — the reader audits that invariant on every query
+// — and the same algorithms that run on a single-store snapshot run
+// unmodified on the composed sharded view.
+//
+//   ./examples/sharded_ingest [-scale 14] [-shards 4] [-writers 2]
+//                             [-batches 40]
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/cc.h"
+#include "gen/generators.h"
+#include "store/sharded_graph.h"
+#include "util/command_line.h"
+#include "util/timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace aspen;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  int LogN = int(CL.getInt("scale", 14));
+  size_t Shards = size_t(CL.getInt("shards", 4));
+  int Writers = int(CL.getInt("writers", 2));
+  int Batches = int(CL.getInt("batches", 40));
+  const VertexId N = VertexId(1) << LogN;
+  const size_t BatchSize = 5000;
+
+  ShardedGraphStore Store(Shards, N, rmatGraphEdges(LogN, 4, 1));
+  std::printf("initial store: %u vertices across %zu shards, %llu edges\n",
+              N, Store.numShards(),
+              static_cast<unsigned long long>(Store.acquire().numEdges()));
+
+  // Writers: each ingests its slice of the update stream. Batches are
+  // applied atomically across shards; writers overlap wherever their
+  // batches touch disjoint shards, and each batch's per-shard merges run
+  // in parallel on the worker pool.
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Ws;
+  Timer Ingest;
+  for (int W = 0; W < Writers; ++W)
+    Ws.emplace_back([&, W] {
+      RMatGenerator Stream(LogN, 900 + uint64_t(W));
+      for (int B = W; B < Batches; B += Writers) {
+        auto Raw = Stream.edges(uint64_t(B) * BatchSize, BatchSize);
+        Store.insertBatch(symmetrize(Raw));
+      }
+    });
+
+  // Reader: connected components over the composed cross-shard view,
+  // plus the consistency audit — per-shard edge counts must sum to the
+  // epoch's aggregate on every single acquire.
+  uint64_t Queries = 0, Components = 0, Torn = 0;
+  std::thread Reader([&] {
+    while (!Done.load()) {
+      auto E = Store.acquire();
+      uint64_t ShardSum = 0;
+      for (size_t S = 0; S < E.numShards(); ++S)
+        ShardSum += E.shard(S).numEdges();
+      if (ShardSum != E.numEdges())
+        ++Torn;
+      auto Labels = connectedComponents(E.view());
+      uint64_t Roots = 0;
+      for (size_t V = 0; V < Labels.size(); ++V)
+        Roots += Labels[V] == VertexId(V) ? 1 : 0;
+      Components = Roots;
+      ++Queries;
+    }
+  });
+
+  for (auto &T : Ws)
+    T.join();
+  double S = Ingest.elapsed();
+  Done.store(true);
+  Reader.join();
+
+  auto Final = Store.acquire();
+  std::printf("[writers] %d threads, %d batches of %zu updates in %.3fs "
+              "(%.0f directed edges/sec)\n",
+              Writers, Batches, 2 * BatchSize, S,
+              double(Batches) * 2 * BatchSize / S);
+  std::printf("[reader] %llu component queries on pinned epochs, "
+              "%llu torn epochs observed (must be 0), last count: %llu\n",
+              static_cast<unsigned long long>(Queries),
+              static_cast<unsigned long long>(Torn),
+              static_cast<unsigned long long>(Components));
+  std::printf("final store: %llu edges at batch boundary %llu\n",
+              static_cast<unsigned long long>(Final.numEdges()),
+              static_cast<unsigned long long>(Final.batchSeq()));
+  return Torn == 0 ? 0 : 1;
+}

@@ -18,59 +18,29 @@
 
 namespace aspen {
 
-namespace detail {
-
-/// Workspace-backed id buffer that falls back to transient heap storage
-/// for outlier sizes: workspace blocks are retained for reuse, so a hub
-/// query whose neighborhood approaches m must not pin an m-sized block
-/// in the context (or the per-worker caches) for the process lifetime.
-class BoundedCtxBuffer {
-public:
-  static constexpr uint64_t MaxWorkspaceElts = uint64_t(1) << 20;
-
-  BoundedCtxBuffer(AlgoContext &Ctx, uint64_t N) : Ctx(&Ctx) {
-    if (N <= MaxWorkspaceElts)
-      Mem = static_cast<VertexId *>(
-          ctxAcquire(&Ctx, size_t(N) * sizeof(VertexId), Cap));
-    else {
-      Heap.resize(size_t(N));
-      Mem = Heap.data();
-    }
-  }
-  BoundedCtxBuffer(const BoundedCtxBuffer &) = delete;
-  BoundedCtxBuffer &operator=(const BoundedCtxBuffer &) = delete;
-  ~BoundedCtxBuffer() {
-    if (Cap)
-      ctxRelease(Ctx, Mem, Cap);
-  }
-
-  VertexId *data() { return Mem; }
-  VertexId &operator[](size_t I) { return Mem[I]; }
-
-private:
-  AlgoContext *Ctx;
-  VertexId *Mem = nullptr;
-  size_t Cap = 0;
-  std::vector<VertexId> Heap;
-};
-
-} // namespace detail
+/// Workspace blocks are retained for reuse, so a hub query whose
+/// neighborhood approaches m must not pin an m-sized block in the context
+/// (or the per-worker caches) for the process lifetime. BoundedCtxArray
+/// (memory/algo_context.h) enforces that: sizes above this bound live on
+/// transient heap for the duration of the query only.
+inline constexpr size_t TwoHopWorkspaceBound =
+    (size_t(1) << 20) * sizeof(VertexId);
 
 /// Vertices at distance <= 2 from \p Src (including Src), sorted; the
-/// hop-1 and candidate buffers draw from workspace \p Ctx (heap for
-/// hub-sized outliers).
+/// hop-1 and candidate buffers draw from workspace \p Ctx (transient heap
+/// for hub-sized outliers).
 template <class GView>
 std::vector<VertexId> twoHop(const GView &G, VertexId Src,
                              AlgoContext &Ctx) {
   uint64_t Deg = G.degree(Src);
-  detail::BoundedCtxBuffer Hop1(Ctx, Deg);
+  BoundedCtxArray<VertexId> Hop1(Ctx, size_t(Deg), TwoHopWorkspaceBound);
   size_t Hop1N = 0;
   uint64_t Total = 1 + Deg;
   G.mapNeighbors(Src, [&](VertexId U) { Hop1[Hop1N++] = U; });
   for (size_t I = 0; I < Hop1N; ++I)
     Total += G.degree(Hop1[I]);
 
-  detail::BoundedCtxBuffer Cand(Ctx, Total);
+  BoundedCtxArray<VertexId> Cand(Ctx, size_t(Total), TwoHopWorkspaceBound);
   size_t CandN = 0;
   Cand[CandN++] = Src;
   for (size_t I = 0; I < Hop1N; ++I)

@@ -24,9 +24,55 @@
 #include "parallel/primitives.h"
 #include "util/types.h"
 
+#include <optional>
 #include <vector>
 
 namespace aspen {
+
+/// Borrowed-scratch builder for grouped (vertex, edge set) batches — the
+/// shared lifetime protocol of the span batch paths and the sharded
+/// store's shard merges. Entries are placement-new'd into raw scratch
+/// and destroyed (sets released, block returned to the worker cache) on
+/// destruction; merge the finished batch with
+/// GraphSnapshotT::insertGrouped / deleteGrouped. Keys must be strictly
+/// increasing across the filled range.
+template <class EdgeSet> class GroupedBatchT {
+public:
+  using PairT = std::pair<VertexId, EdgeSet>;
+
+  explicit GroupedBatchT(size_t Groups)
+      : Mem(static_cast<PairT *>(
+            ctxAcquire(nullptr, Groups * sizeof(PairT), Cap))) {}
+  GroupedBatchT(const GroupedBatchT &) = delete;
+  GroupedBatchT &operator=(const GroupedBatchT &) = delete;
+  ~GroupedBatchT() {
+    for (size_t I = 0; I < N; ++I)
+      Mem[I].~PairT();
+    ctxRelease(nullptr, Mem, Cap);
+  }
+
+  /// Sequential append.
+  void emplaceBack(VertexId V, EdgeSet S) {
+    new (&Mem[N]) PairT(V, std::move(S));
+    ++N;
+  }
+
+  /// Indexed construction for parallel fills: call setSize(Groups)
+  /// first, then construct every slot in [0, Groups) exactly once
+  /// before the next use (destruction included).
+  void emplaceAt(size_t I, VertexId V, EdgeSet S) {
+    new (&Mem[I]) PairT(V, std::move(S));
+  }
+  void setSize(size_t Size) { N = Size; }
+
+  const PairT *data() const { return Mem; }
+  size_t size() const { return N; }
+
+private:
+  PairT *Mem;
+  size_t Cap;
+  size_t N = 0;
+};
 
 /// An immutable graph snapshot over edge sets of type \p EdgeSet
 /// (CTreeSet<VertexId, Codec> or UncompressedSet<VertexId>).
@@ -175,14 +221,7 @@ public:
     if (Edges.empty())
       return *this;
     auto Pairs = groupBySource(std::move(Edges));
-    Node *Mine = Root;
-    VT::retain(Mine);
-    Node *NewRoot = VT::multiInsert(
-        Mine, Pairs.data(), Pairs.size(),
-        [](EdgeSet Old, EdgeSet New) {
-          return EdgeSet::setUnion(std::move(Old), std::move(New));
-        });
-    return GraphSnapshotT(NewRoot);
+    return insertGrouped(Pairs.data(), Pairs.size());
   }
 
   /// New snapshot with \p Edges removed. Vertices are kept even when their
@@ -192,7 +231,41 @@ public:
     if (Edges.empty())
       return *this;
     auto Pairs = groupBySource(std::move(Edges));
-    Node *Batch = VT::buildSorted(Pairs.data(), Pairs.size());
+    return deleteGrouped(Pairs.data(), Pairs.size());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Batch routing helpers. The sharded store's shard merges group their
+  // sub-batches themselves (counting sort over shard-local ids) and
+  // merge through insertGrouped/deleteGrouped; the versioned single
+  // store routes its writer batches through the span paths, which group
+  // through borrowed scratch so steady-state ingest allocates only the
+  // functional-tree structure itself.
+  //===--------------------------------------------------------------------===
+
+  /// MultiInsert of a pre-grouped batch: \p Pairs sorted by vertex id with
+  /// one entry per distinct source. Duplicate-source behavior matches
+  /// insertEdges (sets are unioned).
+  GraphSnapshotT insertGrouped(const std::pair<VertexId, EdgeSet> *Pairs,
+                               size_t N) const {
+    if (N == 0)
+      return *this;
+    Node *Mine = Root;
+    VT::retain(Mine);
+    Node *NewRoot = VT::multiInsert(
+        Mine, Pairs, N, [](EdgeSet Old, EdgeSet New) {
+          return EdgeSet::setUnion(std::move(Old), std::move(New));
+        });
+    return GraphSnapshotT(NewRoot);
+  }
+
+  /// Grouped counterpart of deleteEdges: subtract each set from its
+  /// source's edge set; unknown sources are ignored.
+  GraphSnapshotT deleteGrouped(const std::pair<VertexId, EdgeSet> *Pairs,
+                               size_t N) const {
+    if (N == 0)
+      return *this;
+    Node *Batch = VT::buildSorted(Pairs, N);
     Node *Mine = Root;
     VT::retain(Mine);
     Node *NewRoot = VT::updateExisting(
@@ -200,6 +273,18 @@ public:
           return EdgeSet::setDifference(std::move(Old), std::move(Del));
         });
     return GraphSnapshotT(NewRoot);
+  }
+
+  /// insertEdges over a caller-owned mutable span: sorts \p Edges in
+  /// place and groups through borrowed scratch (no input-sized heap
+  /// allocation; the new tree structure is the only durable allocation).
+  GraphSnapshotT insertEdgesSpan(EdgePair *Edges, size_t K) const {
+    return combineSpan(Edges, K, /*Insert=*/true);
+  }
+
+  /// deleteEdges over a caller-owned mutable span (sorted in place).
+  GraphSnapshotT deleteEdgesSpan(EdgePair *Edges, size_t K) const {
+    return combineSpan(Edges, K, /*Insert=*/false);
   }
 
   /// New snapshot containing the additional vertices (with empty edge
@@ -261,6 +346,44 @@ public:
   }
 
 private:
+  /// Shared core of the span batch paths: in-place sort + dedup, grouping
+  /// and per-source set building in borrowed scratch, then the grouped
+  /// merge. Pairs storage is raw scratch; entries are placement-new'd and
+  /// destroyed explicitly.
+  GraphSnapshotT combineSpan(EdgePair *Edges, size_t K, bool Insert) const {
+    if (K == 0)
+      return *this;
+    parallelSort(Edges, K);
+    K = size_t(std::unique(Edges, Edges + K) - Edges);
+    std::optional<GroupedBatchT<EdgeSet>> Pairs;
+    {
+      // Grouping scratch scoped to return to the worker caches before
+      // the merge: the merge's chunk-op scratch must not contend with
+      // input-sized blocks held for the whole call.
+      CtxArray<uint32_t> Starts(K);
+      uint32_t *StartsP = Starts.data();
+      size_t Groups = filterIndexInto(
+          K, [&](size_t I) { return uint32_t(I); },
+          [&](size_t I) {
+            return I == 0 || Edges[I].first != Edges[I - 1].first;
+          },
+          StartsP);
+      CtxArray<VertexId> Dst(K);
+      VertexId *DstP = Dst.data();
+      parallelFor(0, K, [&](size_t I) { DstP[I] = Edges[I].second; });
+      Pairs.emplace(Groups);
+      Pairs->setSize(Groups);
+      parallelFor(0, Groups, [&](size_t G) {
+        size_t Lo = StartsP[G];
+        size_t Hi = (G + 1 < Groups) ? StartsP[G + 1] : K;
+        Pairs->emplaceAt(G, Edges[Lo].first,
+                         EdgeSet::buildSorted(DstP + Lo, Hi - Lo));
+      });
+    }
+    return Insert ? insertGrouped(Pairs->data(), Pairs->size())
+                  : deleteGrouped(Pairs->data(), Pairs->size());
+  }
+
   /// Sort + dedup a batch and build one edge set per distinct source.
   static std::vector<std::pair<VertexId, EdgeSet>>
   groupBySource(std::vector<EdgePair> Edges) {

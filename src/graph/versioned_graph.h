@@ -6,12 +6,13 @@
 // writer and always see a consistent snapshot, giving strict
 // serializability of queries with respect to update batches.
 //
-// Deviation from the paper (documented in DESIGN.md): the paper uses the
-// lock-free algorithm of Ben-David et al. [8]; we protect the version-list
-// manipulation with a short critical section (tens of nanoseconds against
-// millisecond-scale queries). Garbage collection is by reference count:
-// a version is reclaimed once it is no longer current and its last reader
-// releases it.
+// The version-list mechanics (refcounted chain, pointer-swap install,
+// exact reclamation) live in the reusable store/version_list.h core;
+// this wrapper binds it to a single GraphSnapshotT and adds the writer
+// conveniences. The sharded store (store/sharded_graph.h) reuses the same
+// core with a cross-shard epoch as the versioned value. The deviation
+// from the paper's lock-free version list (Ben-David et al. [8]) is
+// documented in DESIGN.md Section 1.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,151 +20,84 @@
 #define ASPEN_GRAPH_VERSIONED_GRAPH_H
 
 #include "graph/graph.h"
+#include "store/version_list.h"
 
-#include <atomic>
 #include <cassert>
 #include <mutex>
 
 namespace aspen {
 
 template <class EdgeSet> class VersionedGraphT {
-  struct VersionNode {
-    GraphSnapshotT<EdgeSet> G;
-    std::atomic<int64_t> Refs;
-    uint64_t Stamp;
-
-    VersionNode(GraphSnapshotT<EdgeSet> G, int64_t InitialRefs,
-                uint64_t Stamp)
-        : G(std::move(G)), Refs(InitialRefs), Stamp(Stamp) {}
-  };
+  using List = VersionListT<GraphSnapshotT<EdgeSet>>;
 
 public:
   /// RAII handle to an acquired version; releasing is automatic.
   class Version {
   public:
     Version() = default;
-    Version(const Version &) = delete;
-    Version &operator=(const Version &) = delete;
-    Version(Version &&O) noexcept : VG(O.VG), N(O.N) {
-      O.VG = nullptr;
-      O.N = nullptr;
-    }
-    Version &operator=(Version &&O) noexcept {
-      if (this != &O) {
-        reset();
-        VG = O.VG;
-        N = O.N;
-        O.VG = nullptr;
-        O.N = nullptr;
-      }
-      return *this;
-    }
-    ~Version() { reset(); }
+    Version(Version &&) noexcept = default;
+    Version &operator=(Version &&) noexcept = default;
 
     /// The immutable snapshot this version refers to.
-    const GraphSnapshotT<EdgeSet> &graph() const {
-      assert(N && "empty version handle");
-      return N->G;
-    }
+    const GraphSnapshotT<EdgeSet> &graph() const { return H.value(); }
 
     /// Monotone timestamp of the version (batch sequence number).
-    uint64_t timestamp() const { return N ? N->Stamp : 0; }
+    uint64_t timestamp() const { return H.stamp(); }
 
-    bool valid() const { return N != nullptr; }
+    bool valid() const { return H.valid(); }
 
     /// Explicit early release.
-    void reset() {
-      if (VG && N)
-        VG->releaseNode(N);
-      VG = nullptr;
-      N = nullptr;
-    }
+    void reset() { H.reset(); }
 
   private:
     friend class VersionedGraphT;
-    Version(VersionedGraphT *VG, VersionNode *N) : VG(VG), N(N) {}
-    VersionedGraphT *VG = nullptr;
-    VersionNode *N = nullptr;
+    explicit Version(typename List::Handle H) : H(std::move(H)) {}
+    typename List::Handle H;
   };
 
-  explicit VersionedGraphT(GraphSnapshotT<EdgeSet> Initial) {
-    Current = new VersionNode(std::move(Initial), /*InitialRefs=*/1, 0);
-  }
+  explicit VersionedGraphT(GraphSnapshotT<EdgeSet> Initial)
+      : Versions(std::move(Initial)) {}
 
   VersionedGraphT(const VersionedGraphT &) = delete;
   VersionedGraphT &operator=(const VersionedGraphT &) = delete;
 
-  ~VersionedGraphT() {
-    // All readers must have released their versions by now.
-    std::lock_guard<std::mutex> Lock(M);
-    int64_t Left = Current->Refs.fetch_sub(1, std::memory_order_acq_rel);
-    assert(Left == 1 && "destroying VersionedGraph with live readers");
-    (void)Left;
-    delete Current;
-  }
-
   /// Acquire the latest version. Never blocked by the writer for more than
   /// the duration of a pointer swap.
-  Version acquire() {
-    std::lock_guard<std::mutex> Lock(M);
-    Current->Refs.fetch_add(1, std::memory_order_relaxed);
-    return Version(this, Current);
-  }
+  Version acquire() { return Version(Versions.acquire()); }
 
   /// Install a new snapshot as the current version (single writer). Atomic
   /// with respect to acquire(); the previous version survives until its
   /// last reader releases it.
-  void set(GraphSnapshotT<EdgeSet> G) {
-    VersionNode *Old;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      auto *N = new VersionNode(std::move(G), /*InitialRefs=*/1,
-                                Stamp.fetch_add(1) + 1);
-      Old = Current;
-      Current = N;
-    }
-    releaseNode(Old); // drop the current-slot reference
-  }
+  void set(GraphSnapshotT<EdgeSet> G) { Versions.set(std::move(G)); }
 
-  /// Writer convenience: functionally insert a batch and publish.
+  /// Writer convenience: functionally insert a batch and publish. The
+  /// owned batch routes through the span path (in-place sort, grouping
+  /// in borrowed scratch — no input-sized heap allocation at steady
+  /// state).
   void insertEdgesBatch(std::vector<EdgePair> Edges) {
-    GraphSnapshotT<EdgeSet> Next;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Next = Current->G; // snapshot for the writer
-    }
-    set(Next.insertEdges(std::move(Edges)));
+    GraphSnapshotT<EdgeSet> Next = currentCopy();
+    set(Next.insertEdgesSpan(Edges.data(), Edges.size()));
   }
 
   /// Writer convenience: functionally delete a batch and publish.
   void deleteEdgesBatch(std::vector<EdgePair> Edges) {
-    GraphSnapshotT<EdgeSet> Next;
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Next = Current->G;
-    }
-    set(Next.deleteEdges(std::move(Edges)));
+    GraphSnapshotT<EdgeSet> Next = currentCopy();
+    set(Next.deleteEdgesSpan(Edges.data(), Edges.size()));
   }
 
-  /// Number of versions not yet reclaimed (diagnostic).
+  /// Sequence number of the latest installed version (diagnostic).
   int64_t currentTimestamp() const {
-    return int64_t(Stamp.load(std::memory_order_relaxed));
+    return int64_t(Versions.currentStamp());
   }
 
 private:
-  friend class Version;
-
-  void releaseNode(VersionNode *N) {
-    if (N->Refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last reference: N is no longer current (the current-slot reference
-      // would still be outstanding), so nobody can acquire it again.
-      delete N;
-    }
+  /// Snapshot (refcount copy) of the current version for the writer.
+  GraphSnapshotT<EdgeSet> currentCopy() {
+    auto H = Versions.acquire();
+    return H.value();
   }
 
-  mutable std::mutex M;
-  VersionNode *Current = nullptr;
-  std::atomic<uint64_t> Stamp{0};
+  List Versions;
 };
 
 using VersionedGraph = VersionedGraphT<CTreeSet<VertexId, DeltaByteCodec>>;

@@ -38,8 +38,54 @@
 #include "util/types.h"
 
 #include <cstring>
+#include <type_traits>
 
 namespace aspen {
+
+//===----------------------------------------------------------------------===
+// The graph-view concept. Everything the Ligra layer (and through it every
+// algorithm) needs from a graph is the six members below; any type that
+// provides them — TreeGraphView, FlatGraphView, the sharded store's
+// composed ShardedGraphStoreT::View, or the static baselines — runs
+// unmodified through edgeMap. The trait makes a non-conforming view fail
+// with one readable static_assert instead of a template-instantiation
+// cascade.
+//===----------------------------------------------------------------------===
+
+namespace detail {
+
+/// Probe functors with the exact shapes edgeMap passes to a view.
+struct ViewProbeEdgeFn {
+  void operator()(VertexId) const {}
+};
+struct ViewProbeIndexedFn {
+  void operator()(size_t, VertexId) const {}
+};
+struct ViewProbeCondFn {
+  bool operator()(VertexId) const { return true; }
+};
+
+template <class V, class = void> struct IsGraphView : std::false_type {};
+template <class V>
+struct IsGraphView<
+    V, std::void_t<
+           decltype(VertexId(std::declval<const V &>().numVertices())),
+           decltype(uint64_t(std::declval<const V &>().numEdges())),
+           decltype(uint64_t(std::declval<const V &>().degree(VertexId()))),
+           decltype(std::declval<const V &>().mapNeighbors(
+               VertexId(), std::declval<const ViewProbeEdgeFn &>())),
+           decltype(std::declval<const V &>().mapNeighborsIndexed(
+               VertexId(), std::declval<const ViewProbeIndexedFn &>())),
+           decltype(bool(std::declval<const V &>().iterNeighborsCond(
+               VertexId(), std::declval<const ViewProbeCondFn &>())))>>
+    : std::true_type {};
+
+} // namespace detail
+
+/// True when \p V satisfies the graph-view concept consumed by edgeMap
+/// and the algorithms.
+template <class V>
+inline constexpr bool IsGraphViewV = detail::IsGraphView<V>::value;
 
 struct EdgeMapOptions {
   /// Disable the dense traversal (used for the Stinger/LLAMA comparisons,
@@ -113,6 +159,10 @@ VertexSubset edgeMapDense(const GView &G, AlgoContext *Ctx,
 template <class GView, class F>
 VertexSubset edgeMap(const GView &G, VertexSubset &U, F Fn,
                      EdgeMapOptions Options = {}) {
+  static_assert(IsGraphViewV<GView>,
+                "edgeMap requires the graph-view concept: numVertices / "
+                "numEdges / degree / mapNeighbors / mapNeighborsIndexed / "
+                "iterNeighborsCond");
   VertexId N = G.numVertices();
   AlgoContext *Ctx = U.context();
   if (U.empty())
@@ -154,6 +204,8 @@ VertexSubset edgeMap(const GView &G, VertexSubset &U, F Fn,
 /// Map Fn(u, v) over all edges out of frontier \p U (no output frontier).
 template <class GView, class F>
 void edgeMapNoOutput(const GView &G, const VertexSubset &U, const F &Fn) {
+  static_assert(IsGraphViewV<GView>,
+                "edgeMapNoOutput requires the graph-view concept");
   U.forEach([&](VertexId Src) {
     G.mapNeighbors(Src, [&](VertexId Dst) { Fn(Src, Dst); });
   });

@@ -1,0 +1,403 @@
+//===- store/sharded_graph.h - Sharded versioned graph store --------------===//
+//
+// A hash-partitioned, versioned graph store: vertices are partitioned
+// across S shards (S a power of two), each shard an independent
+// purely-functional GraphSnapshotT, and the published state is an *epoch*
+// — an immutable vector of per-shard snapshots installed through the same
+// refcounted version-list core the single-store VersionedGraphT uses.
+// Readers acquire() an epoch and are guaranteed a cross-shard-consistent
+// cut: every epoch is the previous epoch plus exactly one complete batch,
+// so per-shard edge counts always sum to a batch boundary and no reader
+// ever observes a torn batch.
+//
+// Ingest is a pipeline (DESIGN.md Section 3):
+//   1. Split: the incoming span is partitioned by shard with
+//      filterIndexInto into borrowed scratch (zero steady-state heap
+//      allocation, per the AlgoContext contract).
+//   2. Merge (phase one): the touched shards' writer locks are taken in
+//      ascending order, then per-shard functional merges run in parallel
+//      — one writer per shard. Each shard groups its sub-batch with a
+//      counting sort over *local* vertex ids (the hash partition
+//      compresses a shard's id space by S, so the counter array stays
+//      cache-resident — this is what makes grouping cheaper than the
+//      single store's comparison sort) and multiInserts the grouped
+//      pairs.
+//   3. Install (phase two): under the commit lock, a new epoch is formed
+//      from the latest published epoch with the touched shards replaced,
+//      and published atomically via the version list. Writers whose
+//      batches touch disjoint shards merge concurrently and serialize
+//      only for the O(S) pointer-copy install.
+//
+// Readers compose the per-shard snapshots behind ShardedGraphView, which
+// implements the same graph-view concept (numVertices / numEdges / degree
+// / neighborCursor / mapNeighbors* / iterNeighborsCond) that edgeMap and
+// all the algorithms are templated over, so analytics run unmodified —
+// and bit-identically — on a sharded acquire.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_STORE_SHARDED_GRAPH_H
+#define ASPEN_STORE_SHARDED_GRAPH_H
+
+#include "graph/graph.h"
+#include "store/version_list.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace aspen {
+
+/// Hash-partitioned versioned graph store over \p EdgeSet shards.
+template <class EdgeSet> class ShardedGraphStoreT {
+public:
+  using Snapshot = GraphSnapshotT<EdgeSet>;
+
+  /// An immutable cross-shard cut: the per-shard snapshots as of one
+  /// batch boundary, plus the aggregates readers ask for on every
+  /// acquire. Epochs are the versioned value of the store.
+  struct Epoch {
+    std::vector<Snapshot> Shards;
+    uint64_t BatchSeq = 0;  ///< number of complete batches applied
+    uint64_t NumEdges = 0;  ///< sum of per-shard directed edge counts
+    VertexId Universe = 0;  ///< max materialized vertex id + 1
+  };
+
+  class View;
+
+  /// RAII reader handle to an acquired epoch (releasing is automatic).
+  class Ref {
+  public:
+    Ref() = default;
+    Ref(Ref &&) noexcept = default;
+    Ref &operator=(Ref &&) noexcept = default;
+
+    const Epoch &epoch() const { return H.value(); }
+    uint64_t batchSeq() const { return H.value().BatchSeq; }
+    uint64_t numEdges() const { return H.value().NumEdges; }
+    size_t numShards() const { return H.value().Shards.size(); }
+    const Snapshot &shard(size_t S) const { return H.value().Shards[S]; }
+
+    /// Graph-view over the whole epoch; this handle must outlive it.
+    View view() const { return View(H.value()); }
+
+    bool valid() const { return H.valid(); }
+    void reset() { H.reset(); }
+
+  private:
+    friend class ShardedGraphStoreT;
+    explicit Ref(typename VersionListT<Epoch>::Handle H)
+        : H(std::move(H)) {}
+    typename VersionListT<Epoch>::Handle H;
+  };
+
+  /// Construct an empty store with \p NumShards shards (rounded up to a
+  /// power of two) over the vertex universe [0, N): every vertex is
+  /// materialized with an empty edge set in its owning shard, matching
+  /// GraphSnapshotT::fromEdges.
+  explicit ShardedGraphStoreT(size_t NumShards, VertexId N = 0)
+      : ShardedGraphStoreT(NumShards, N, {}) {}
+
+  /// BuildGraph counterpart: a sharded store over vertices [0, N)
+  /// containing \p Edges, partitioned by shardOf().
+  ShardedGraphStoreT(size_t NumShards, VertexId N,
+                     std::vector<EdgePair> Edges)
+      : LogShards(log2Ceil(NumShards)),
+        Mask(VertexId((size_t(1) << LogShards) - 1)),
+        ShardLocks(new std::mutex[size_t(1) << LogShards]),
+        Versions(initialEpoch(LogShards, N, std::move(Edges))) {}
+
+  ShardedGraphStoreT(const ShardedGraphStoreT &) = delete;
+  ShardedGraphStoreT &operator=(const ShardedGraphStoreT &) = delete;
+
+  size_t numShards() const { return size_t(1) << LogShards; }
+
+  /// Owning shard of a vertex. The partition hash folds the id's low
+  /// bits: scattered real-world ids and generator ids both spread evenly,
+  /// and the complementary high bits form the shard-local dense id the
+  /// ingest grouping counts on.
+  size_t shardOf(VertexId V) const { return size_t(V & Mask); }
+
+  /// Shard-local dense id of \p V (its position in the shard's slice of
+  /// the id space).
+  VertexId localId(VertexId V) const { return V >> LogShards; }
+
+  /// Acquire the current epoch. Never blocked by writers for more than a
+  /// pointer swap; the returned cut is always a whole-batch boundary.
+  Ref acquire() { return Ref(Versions.acquire()); }
+
+  /// Number of complete batches applied so far.
+  uint64_t batchSeq() { return Versions.acquire().value().BatchSeq; }
+
+  /// Atomically apply an insert batch (see class comment for the
+  /// pipeline); returns the new epoch's batch sequence number. Many
+  /// threads may call concurrently; batches touching disjoint shards
+  /// merge in parallel.
+  uint64_t insertBatch(const EdgePair *Edges, size_t K) {
+    return applyBatch(Edges, K, /*Insert=*/true);
+  }
+  uint64_t insertBatch(const std::vector<EdgePair> &Edges) {
+    return insertBatch(Edges.data(), Edges.size());
+  }
+
+  /// Atomically apply a delete batch.
+  uint64_t deleteBatch(const EdgePair *Edges, size_t K) {
+    return applyBatch(Edges, K, /*Insert=*/false);
+  }
+  uint64_t deleteBatch(const std::vector<EdgePair> &Edges) {
+    return deleteBatch(Edges.data(), Edges.size());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Composed reader view.
+  //===--------------------------------------------------------------------===
+
+  /// Graph-view concept over an acquired epoch: vertex resolution costs
+  /// one shard pick (a mask) plus an O(log n/S) lookup in the owning
+  /// shard's vertex tree. The epoch (its Ref) must outlive the view.
+  class View {
+  public:
+    using NeighborCursor = typename EdgeSet::View::Cursor;
+
+    explicit View(const Epoch &E)
+        : E(&E), Mask(VertexId(E.Shards.size() - 1)) {}
+
+    VertexId numVertices() const { return E->Universe; }
+    uint64_t numEdges() const { return E->NumEdges; }
+    uint64_t degree(VertexId V) const { return owner(V).degree(V); }
+
+    /// Streaming cursor over \p V's neighbors (epoch must stay alive).
+    NeighborCursor neighborCursor(VertexId V) const {
+      return owner(V).edgesView(V).cursor();
+    }
+
+    template <class F>
+    void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+      owner(V).edgesView(V).forEachIndexed(Fn);
+    }
+
+    template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+      owner(V).edgesView(V).forEachSeq(Fn);
+    }
+
+    template <class F>
+    bool iterNeighborsCond(VertexId V, const F &Fn) const {
+      return owner(V).edgesView(V).iterCond(Fn);
+    }
+
+    /// Parallel traversal over (vertex, edge set) entries of every shard
+    /// (unordered across shards, like the single store's parallel form).
+    template <class F> void forEachVertex(const F &Fn) const {
+      for (const Snapshot &S : E->Shards)
+        S.forEachVertex(Fn);
+    }
+
+    size_t numShards() const { return E->Shards.size(); }
+    const Snapshot &shard(size_t S) const { return E->Shards[S]; }
+
+  private:
+    const Snapshot &owner(VertexId V) const {
+      return E->Shards[size_t(V & Mask)];
+    }
+
+    const Epoch *E;
+    VertexId Mask;
+  };
+
+private:
+  static size_t log2Ceil(size_t S) {
+    size_t L = 0;
+    while ((size_t(1) << L) < S)
+      ++L;
+    return L;
+  }
+
+  static Epoch initialEpoch(size_t LogShards, VertexId N,
+                            std::vector<EdgePair> Edges) {
+    size_t S = size_t(1) << LogShards;
+    VertexId Mask = VertexId(S - 1);
+    Epoch E;
+    E.Shards.resize(S);
+    parallelFor(0, S, [&](size_t Sh) {
+      // Every owned vertex in [0, N) materialized with an empty edge set
+      // (mirroring GraphSnapshotT::fromEdges), then this shard's edges.
+      std::vector<VertexId> Owned;
+      for (VertexId V = VertexId(Sh); V < N; V += VertexId(S))
+        Owned.push_back(V);
+      std::vector<EdgePair> Mine;
+      for (const EdgePair &P : Edges)
+        if (size_t(P.first & Mask) == Sh) {
+          assert(P.first < N && "edge endpoint out of vertex range");
+          Mine.push_back(P);
+        }
+      E.Shards[Sh] = Snapshot().insertVertices(std::move(Owned))
+                         .insertEdges(std::move(Mine));
+    }, 1);
+    finalizeAggregates(E, N);
+    return E;
+  }
+
+  static void finalizeAggregates(Epoch &E, VertexId FloorUniverse) {
+    uint64_t Edges = 0;
+    VertexId U = FloorUniverse;
+    for (const Snapshot &S : E.Shards) {
+      Edges += S.numEdges();
+      U = std::max(U, S.vertexUniverse());
+    }
+    E.NumEdges = Edges;
+    E.Universe = U;
+  }
+
+  /// Group shard \p Sh's sub-span by source with a counting sort over
+  /// local ids and merge it into \p Base. \p Sub is mutable scratch.
+  ///
+  /// The grouping scratch (counters, scatter buffer) is scoped to return
+  /// to the per-worker cache before the tree merge runs: the merge's own
+  /// chunk-op scratch must not contend with input-sized blocks checked
+  /// out for the whole call (measurably slows the unions otherwise).
+  Snapshot mergeShard(const Snapshot &Base, size_t Sh, EdgePair *Sub,
+                      size_t K, bool Insert) const {
+    if (K == 0)
+      return Base;
+    std::optional<GroupedBatchT<EdgeSet>> Pairs;
+    {
+      // Dense local-id range of the batch (not of the shard): counters
+      // cover only ids the batch names.
+      VertexId MaxLocal = 0;
+      for (size_t I = 0; I < K; ++I)
+        MaxLocal = std::max(MaxLocal, localId(Sub[I].first));
+      size_t M = size_t(MaxLocal) + 1;
+
+      // Counting sort by local source id: Starts[l] = first slot of
+      // group l after the exclusive scan; Pos[] advances in the scatter.
+      CtxArray<uint32_t> Starts(M + 1);
+      uint32_t *StartsP = Starts.data();
+      std::memset(StartsP, 0, (M + 1) * sizeof(uint32_t));
+      for (size_t I = 0; I < K; ++I)
+        ++StartsP[localId(Sub[I].first) + 1];
+      for (size_t L = 0; L < M; ++L)
+        StartsP[L + 1] += StartsP[L];
+      CtxArray<uint32_t> Pos(M);
+      uint32_t *PosP = Pos.data();
+      std::memcpy(PosP, StartsP, M * sizeof(uint32_t));
+      CtxArray<VertexId> Dst(K);
+      VertexId *DstP = Dst.data();
+      for (size_t I = 0; I < K; ++I)
+        DstP[PosP[localId(Sub[I].first)]++] = Sub[I].second;
+
+      // One grouped pair per nonempty local id, in increasing id order
+      // (local order implies global order within a shard: global id =
+      // local << LogShards | shard).
+      size_t Groups = 0;
+      for (size_t L = 0; L < M; ++L)
+        Groups += StartsP[L + 1] > StartsP[L] ? 1 : 0;
+      Pairs.emplace(Groups);
+      VertexId ShardBits = VertexId(Sh);
+      for (size_t L = 0; L < M; ++L) {
+        uint32_t Lo = StartsP[L], Hi = StartsP[L + 1];
+        if (Lo == Hi)
+          continue;
+        std::sort(DstP + Lo, DstP + Hi);
+        size_t Len =
+            size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
+        VertexId Global = (VertexId(L) << LogShards) | ShardBits;
+        Pairs->emplaceBack(Global, EdgeSet::buildSorted(DstP + Lo, Len));
+      }
+    }
+    return Insert ? Base.insertGrouped(Pairs->data(), Pairs->size())
+                  : Base.deleteGrouped(Pairs->data(), Pairs->size());
+  }
+
+  uint64_t applyBatch(const EdgePair *Edges, size_t K, bool Insert) {
+    size_t S = numShards();
+    // --- Split: partition the batch by owning shard into scratch. ---
+    CtxArray<EdgePair> Parts(K);
+    EdgePair *PartsP = Parts.data();
+    CtxArray<size_t> ShardLo(S + 1);
+    size_t *ShardLoP = ShardLo.data();
+    size_t At = 0;
+    for (size_t Sh = 0; Sh < S; ++Sh) {
+      ShardLoP[Sh] = At;
+      At += filterIndexInto(
+          K, [&](size_t I) { return Edges[I]; },
+          [&](size_t I) { return size_t(Edges[I].first & Mask) == Sh; },
+          PartsP + At);
+    }
+    ShardLoP[S] = At;
+    assert(At == K && "shard split must cover the batch");
+
+    // --- Merge (phase one): lock touched shards in ascending order, then
+    // run the per-shard functional merges in parallel (one writer per
+    // shard; concurrent batches on disjoint shards overlap fully). ---
+    for (size_t Sh = 0; Sh < S; ++Sh)
+      if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+        ShardLocks[Sh].lock();
+    using PerShard = typename std::aligned_storage<sizeof(Snapshot),
+                                                   alignof(Snapshot)>::type;
+    CtxArray<PerShard> MergedMem(S);
+    Snapshot *Merged = reinterpret_cast<Snapshot *>(MergedMem.data());
+    // The base epoch: acquired after the shard locks, so every touched
+    // shard's value is its latest *committed* state (a predecessor holds
+    // the shard lock until its install completes). Held until all locks
+    // are dropped: releasing it earlier could make this writer reclaim a
+    // superseded epoch while holding locks others wait on.
+    Ref Base = acquire();
+    parallelFor(0, S, [&](size_t Sh) {
+      size_t Lo = ShardLoP[Sh], Hi = ShardLoP[Sh + 1];
+      new (&Merged[Sh]) Snapshot(
+          Hi > Lo ? mergeShard(Base.shard(Sh), Sh, PartsP + Lo, Hi - Lo,
+                               Insert)
+                  : Snapshot());
+    }, 1);
+
+    // --- Install (phase two): publish a new epoch formed from the
+    // latest committed epoch with the touched shards replaced. Only the
+    // O(S) vector copy and pointer swap happen under the commit lock;
+    // the superseded epoch's reclamation (freeing the replaced shards'
+    // tree delta) is deferred until every lock is released, so
+    // concurrent disjoint-shard writers never serialize behind it.
+    uint64_t Seq;
+    Ref Latest;
+    {
+      std::lock_guard<std::mutex> Lock(CommitM);
+      Latest = acquire();
+      Epoch Next;
+      Next.Shards = Latest.epoch().Shards;
+      for (size_t Sh = 0; Sh < S; ++Sh)
+        if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+          Next.Shards[Sh] = std::move(Merged[Sh]);
+      Next.BatchSeq = Latest.epoch().BatchSeq + 1;
+      finalizeAggregates(Next, Latest.epoch().Universe);
+      Seq = Next.BatchSeq;
+      Versions.set(std::move(Next));
+    }
+    for (size_t Sh = 0; Sh < S; ++Sh)
+      Merged[Sh].~Snapshot();
+    for (size_t Sh = S; Sh-- > 0;)
+      if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+        ShardLocks[Sh].unlock();
+    // Superseded-epoch reclamation outside every lock.
+    Base.reset();
+    Latest.reset();
+    return Seq;
+  }
+
+  size_t LogShards;
+  VertexId Mask;
+  std::unique_ptr<std::mutex[]> ShardLocks;
+  std::mutex CommitM;
+  VersionListT<Epoch> Versions;
+};
+
+/// Default Aspen configuration: C-tree shards with difference encoding.
+using ShardedGraphStore =
+    ShardedGraphStoreT<CTreeSet<VertexId, DeltaByteCodec>>;
+using ShardedGraphView = ShardedGraphStore::View;
+
+} // namespace aspen
+
+#endif // ASPEN_STORE_SHARDED_GRAPH_H
