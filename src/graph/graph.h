@@ -11,8 +11,13 @@
 // edge-set Union (insertions) or Difference (deletions). O(k log n) work,
 // polylog depth.
 //
-// Flat snapshots (Section 5.1) are arrays of per-vertex edge sets built in
-// one O(n)-work traversal; they give edgeMap O(1) vertex access like CSR.
+// Flat snapshots (Section 5.1) give edgeMap O(1) vertex access like CSR.
+// They are stored as refcounted fixed-size pages of (edge-set view,
+// degree) slots: a full build is one write-once O(n)-work traversal, and
+// FlatSnapshotT::refresh derives the flat view of a successor snapshot in
+// O(touched + touched pages) work, sharing every untouched page with the
+// predecessor (copy-on-write). The versioned stores keep a hot-epoch flat
+// snapshot continuously maintained this way (acquireFlat()).
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +29,11 @@
 #include "parallel/primitives.h"
 #include "util/types.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace aspen {
@@ -278,13 +287,22 @@ public:
   /// insertEdges over a caller-owned mutable span: sorts \p Edges in
   /// place and groups through borrowed scratch (no input-sized heap
   /// allocation; the new tree structure is the only durable allocation).
-  GraphSnapshotT insertEdgesSpan(EdgePair *Edges, size_t K) const {
-    return combineSpan(Edges, K, /*Insert=*/true);
+  /// When \p TouchedOut is non-null it receives the batch's distinct
+  /// source ids in ascending order - the per-epoch touched-vertex digest
+  /// the versioned stores feed to FlatSnapshotT::refresh. The digest is
+  /// free to produce: the span path already groups the batch by source.
+  GraphSnapshotT
+  insertEdgesSpan(EdgePair *Edges, size_t K,
+                  std::vector<VertexId> *TouchedOut = nullptr) const {
+    return combineSpan(Edges, K, /*Insert=*/true, TouchedOut);
   }
 
-  /// deleteEdges over a caller-owned mutable span (sorted in place).
-  GraphSnapshotT deleteEdgesSpan(EdgePair *Edges, size_t K) const {
-    return combineSpan(Edges, K, /*Insert=*/false);
+  /// deleteEdges over a caller-owned mutable span (sorted in place);
+  /// \p TouchedOut as in insertEdgesSpan.
+  GraphSnapshotT
+  deleteEdgesSpan(EdgePair *Edges, size_t K,
+                  std::vector<VertexId> *TouchedOut = nullptr) const {
+    return combineSpan(Edges, K, /*Insert=*/false, TouchedOut);
   }
 
   /// New snapshot containing the additional vertices (with empty edge
@@ -350,7 +368,8 @@ private:
   /// and per-source set building in borrowed scratch, then the grouped
   /// merge. Pairs storage is raw scratch; entries are placement-new'd and
   /// destroyed explicitly.
-  GraphSnapshotT combineSpan(EdgePair *Edges, size_t K, bool Insert) const {
+  GraphSnapshotT combineSpan(EdgePair *Edges, size_t K, bool Insert,
+                             std::vector<VertexId> *TouchedOut) const {
     if (K == 0)
       return *this;
     parallelSort(Edges, K);
@@ -379,6 +398,13 @@ private:
         Pairs->emplaceAt(G, Edges[Lo].first,
                          EdgeSet::buildSorted(DstP + Lo, Hi - Lo));
       });
+      if (TouchedOut) {
+        TouchedOut->resize(Groups);
+        VertexId *T = TouchedOut->data();
+        parallelFor(0, Groups, [&](size_t G) {
+          T[G] = Pairs->data()[G].first;
+        });
+      }
     }
     return Insert ? insertGrouped(Pairs->data(), Pairs->size())
                   : deleteGrouped(Pairs->data(), Pairs->size());
@@ -426,40 +452,325 @@ private:
 /// views plus degrees, giving O(1) vertex access like CSR. Slots are
 /// non-owning (trivially destructible); the retained source snapshot
 /// keeps every edge tree alive, so construction and destruction incur no
-/// per-vertex reference-count traffic. Built in O(n) work, O(log n)
-/// depth.
+/// per-vertex reference-count traffic.
+///
+/// Storage is paged copy-on-write: slots live in refcounted fixed-size
+/// pages (PageSlots views + degrees each), and the page table is the only
+/// per-snapshot dense array. A full build is a single write-once in-order
+/// traversal of the vertex tree - every slot (materialized vertex or
+/// hole) is written exactly once into uninitialized page storage, with no
+/// prior O(n) zero-initialization. refresh() derives the flat view of a
+/// *successor* snapshot from a predecessor's flat view in O(touched +
+/// touched-pages) work: untouched pages are shared by refcount (their
+/// views stay valid because a functional update only replaces the edge
+/// sets of touched vertices - every other vertex keeps the identical,
+/// refcounted (root, prefix) pair in the new snapshot), touched pages are
+/// cloned and slot-repaired, and universe growth is filled from the tree.
+/// This is what turns flat snapshots from a per-epoch batch job into the
+/// continuously maintained read index behind the stores' acquireFlat().
+///
+/// \p SlotShift maps vertex keys to slots (slot = key >> SlotShift): 0
+/// for whole-graph snapshots, log2(shards) for a sharded store's
+/// per-shard flats, whose keys all share their low bits.
 template <class EdgeSet> class FlatSnapshotT {
 public:
   using SetView = typename EdgeSet::View;
+  static_assert(std::is_trivially_copyable<SetView>::value &&
+                    std::is_trivially_destructible<SetView>::value,
+                "flat-snapshot slots must be trivially copyable views");
+
+  /// Slots per page. Small enough that a batch touching a spread of
+  /// vertices still shares most pages; large enough that the page table
+  /// and per-page refcount stay negligible (see DESIGN.md Section 4).
+  static constexpr size_t PageSlots = 1024;
 
   FlatSnapshotT() = default;
 
-  explicit FlatSnapshotT(GraphSnapshotT<EdgeSet> G)
-      : Owner(std::move(G)), NumEdgesV(Owner.numEdges()) {
-    VertexId N = Owner.vertexUniverse();
-    Slots.resize(N);
-    Degrees.resize(N);
-    using VT = typename GraphSnapshotT<EdgeSet>::VT;
-    VT::forEachPar(Owner.root(), [&](VertexId V, const EdgeSet &S) {
-      Slots[V] = S.view();
-      Degrees[V] = uint32_t(S.size());
+  explicit FlatSnapshotT(GraphSnapshotT<EdgeSet> G, unsigned SlotShift = 0)
+      : Owner(std::move(G)), Shift(SlotShift), NumEdgesV(Owner.numEdges()) {
+    NumSlots = slotCount(Owner.vertexUniverse());
+    Pages.resize(pageCount(NumSlots));
+    parallelFor(0, Pages.size(), [&](size_t P) { Pages[P] = newPage(); });
+    fillFromTree(Owner.root(), 0, NumSlots, /*ClipLo=*/0);
+  }
+
+  FlatSnapshotT(const FlatSnapshotT &O)
+      : Owner(O.Owner), Pages(O.Pages), NumSlots(O.NumSlots),
+        Shift(O.Shift), NumEdgesV(O.NumEdgesV) {
+    for (Page *P : Pages)
+      retainPage(P);
+  }
+  FlatSnapshotT(FlatSnapshotT &&O) noexcept
+      : Owner(std::move(O.Owner)), Pages(std::move(O.Pages)),
+        NumSlots(O.NumSlots), Shift(O.Shift), NumEdgesV(O.NumEdgesV) {
+    O.Pages.clear();
+    O.NumSlots = 0;
+    O.NumEdgesV = 0;
+  }
+  FlatSnapshotT &operator=(const FlatSnapshotT &O) {
+    if (this != &O) {
+      FlatSnapshotT Tmp(O);
+      *this = std::move(Tmp);
+    }
+    return *this;
+  }
+  FlatSnapshotT &operator=(FlatSnapshotT &&O) noexcept {
+    if (this != &O) {
+      releasePages();
+      Owner = std::move(O.Owner);
+      Pages = std::move(O.Pages);
+      NumSlots = O.NumSlots;
+      Shift = O.Shift;
+      NumEdgesV = O.NumEdgesV;
+      O.Pages.clear();
+      O.NumSlots = 0;
+      O.NumEdgesV = 0;
+    }
+    return *this;
+  }
+  ~FlatSnapshotT() { releasePages(); }
+
+  /// Flat view of \p Next derived from \p Prev's flat view.
+  /// Preconditions: \p Next is a (possibly multi-batch) functional
+  /// successor of Prev's snapshot, and \p TouchedKeys lists - sorted
+  /// ascending, duplicate-free - every vertex whose edge set differs
+  /// between the two (the union of the intervening epochs' digests).
+  /// Untouched pages are shared with \p Prev; pages containing touched
+  /// slots are cloned and repaired by O(log n) lookups; slots the
+  /// universe grew into are filled from the tree (so a touched list that
+  /// omits brand-new vertices beyond Prev's universe is still correct).
+  static FlatSnapshotT refresh(const FlatSnapshotT &Prev,
+                               GraphSnapshotT<EdgeSet> Next,
+                               const VertexId *TouchedKeys,
+                               size_t NumTouched) {
+    FlatSnapshotT FS;
+    FS.Owner = std::move(Next);
+    FS.Shift = Prev.Shift;
+    FS.NumEdgesV = FS.Owner.numEdges();
+    FS.NumSlots = FS.slotCount(FS.Owner.vertexUniverse());
+
+    const VertexId OldSlots = Prev.NumSlots;
+    const size_t OldPages = Prev.Pages.size();
+    const size_t NewPages = pageCount(FS.NumSlots);
+    // Start fully shared; work pages are overwritten below.
+    FS.Pages.resize(NewPages);
+    size_t Shared = std::min(NewPages, OldPages);
+    for (size_t P = 0; P < Shared; ++P) {
+      FS.Pages[P] = Prev.Pages[P];
+      retainPage(Prev.Pages[P]);
+    }
+    for (size_t P = Shared; P < NewPages; ++P)
+      FS.Pages[P] = nullptr;
+
+    // Work set: pages holding touched slots below the repair limit, plus
+    // every page the universe grew into (including a partial old last
+    // page). Touched keys are sorted, so page runs come out grouped.
+    const VertexId RepairLimit = std::min(OldSlots, FS.NumSlots);
+    struct WorkPage {
+      size_t Page;
+      size_t TBegin, TEnd; ///< touched-key range to repair (may be empty)
+    };
+    std::vector<WorkPage> Work;
+    for (size_t I = 0; I < NumTouched;) {
+      VertexId Slot = FS.slotOf(TouchedKeys[I]);
+      assert((I == 0 || TouchedKeys[I - 1] < TouchedKeys[I]) &&
+             "touched digest must be sorted and duplicate-free");
+      if (Slot >= RepairLimit)
+        break; // growth region (or dropped tail): handled by the tree fill
+      size_t P = size_t(Slot) / PageSlots;
+      size_t J = I + 1;
+      while (J < NumTouched) {
+        VertexId S2 = FS.slotOf(TouchedKeys[J]);
+        if (S2 >= RepairLimit || size_t(S2) / PageSlots != P)
+          break;
+        ++J;
+      }
+      Work.push_back({P, I, J});
+      I = J;
+    }
+    size_t NumTouchedPages = Work.size();
+    if (FS.NumSlots > OldSlots) {
+      size_t GrowFirst = size_t(OldSlots) / PageSlots;
+      size_t Skip = 0; // touched pages already in the work list
+      while (Skip < NumTouchedPages &&
+             Work[NumTouchedPages - 1 - Skip].Page >= GrowFirst)
+        ++Skip;
+      for (size_t P = GrowFirst; P < NewPages; ++P) {
+        bool Listed = false;
+        for (size_t K = 0; K < Skip; ++K)
+          Listed |= Work[NumTouchedPages - 1 - K].Page == P;
+        if (!Listed)
+          Work.push_back({P, 0, 0});
+      }
+    }
+
+    // Clone (or allocate) every work page. Cloning copies only the
+    // predecessor's valid slots; growth slots are written below.
+    parallelFor(0, Work.size(), [&](size_t W) {
+      size_t P = Work[W].Page;
+      Page *NP = newPage();
+      if (P < OldPages) {
+        size_t Valid = std::min(PageSlots,
+                                size_t(OldSlots) - P * PageSlots);
+        std::memcpy(NP->Views, Prev.Pages[P]->Views,
+                    Valid * sizeof(SetView));
+        std::memcpy(NP->Degrees, Prev.Pages[P]->Degrees,
+                    Valid * sizeof(uint32_t));
+      }
+      if (FS.Pages[P])
+        releasePage(FS.Pages[P]);
+      FS.Pages[P] = NP;
     });
+
+    // Universe growth: write-once fill from the tree (covers new vertices
+    // and holes alike; O(growth + log n) via clipping).
+    if (FS.NumSlots > OldSlots)
+      FS.fillFromTree(FS.Owner.root(), 0, FS.NumSlots, /*ClipLo=*/OldSlots);
+
+    // Slot repair: point every touched slot at its edge set in the new
+    // snapshot (deleted-to-empty and untouched-by-updateExisting sources
+    // resolve through findNode just the same).
+    using VT = typename GraphSnapshotT<EdgeSet>::VT;
+    const typename VT::Node *Root = FS.Owner.root();
+    parallelFor(0, NumTouchedPages, [&](size_t W) {
+      Page *P = FS.Pages[Work[W].Page];
+      for (size_t I = Work[W].TBegin; I < Work[W].TEnd; ++I) {
+        VertexId Key = TouchedKeys[I];
+        size_t At = size_t(FS.slotOf(Key)) % PageSlots;
+        const typename VT::Node *N = VT::findNode(Root, Key);
+        P->Views[At] = N ? N->Val.view() : SetView{};
+        P->Degrees[At] = N ? uint32_t(N->Val.size()) : 0;
+      }
+    });
+    return FS;
   }
 
-  VertexId numVertices() const { return VertexId(Slots.size()); }
+  /// Slot count (== vertex universe when SlotShift is 0).
+  VertexId numVertices() const { return NumSlots; }
   uint64_t numEdges() const { return NumEdgesV; }
-  uint64_t degree(VertexId V) const { return Degrees[V]; }
-  SetView edges(VertexId V) const { return Slots[V]; }
-
-  /// Bytes used by the flat array itself (Table 2, "Flat Snap.").
-  size_t memoryBytes() const {
-    return Slots.size() * (sizeof(SetView) + sizeof(uint32_t));
+  /// O(1). \p Slot is a vertex id >> SlotShift; must be < numVertices().
+  uint64_t degree(VertexId Slot) const {
+    return Pages[size_t(Slot) / PageSlots]->Degrees[size_t(Slot) % PageSlots];
   }
+  SetView edges(VertexId Slot) const {
+    return Pages[size_t(Slot) / PageSlots]->Views[size_t(Slot) % PageSlots];
+  }
+
+  /// The snapshot this flat view resolves (also what keeps it alive).
+  const GraphSnapshotT<EdgeSet> &graph() const { return Owner; }
+  unsigned slotShift() const { return Shift; }
+
+  /// Bytes used by the flat structure itself (Table 2, "Flat Snap."):
+  /// full page footprint - slot arrays plus per-page refcount header and
+  /// padding - and the page table. Shared pages are counted in full here;
+  /// sharedPages() reports how many are co-owned with other snapshots.
+  size_t memoryBytes() const {
+    return Pages.size() * sizeof(Page) +
+           Pages.capacity() * sizeof(Page *);
+  }
+
+  /// Pages co-owned with other flat snapshots (CoW sharing diagnostic).
+  size_t sharedPages() const {
+    size_t N = 0;
+    for (Page *P : Pages)
+      N += P->Refs.load(std::memory_order_relaxed) > 1 ? 1 : 0;
+    return N;
+  }
+  size_t numPages() const { return Pages.size(); }
 
 private:
+  /// A refcounted page of slots. Slot arrays are raw storage filled
+  /// write-once by the builders; SetView is trivially copyable, so page
+  /// clones are two memcpys and destruction is a single free.
+  struct Page {
+    std::atomic<uint32_t> Refs;
+    SetView Views[PageSlots];
+    uint32_t Degrees[PageSlots];
+  };
+
+  static Page *newPage() {
+    Page *P = static_cast<Page *>(::operator new(sizeof(Page)));
+    new (&P->Refs) std::atomic<uint32_t>(1);
+    return P; // slot arrays deliberately uninitialized (write-once fill)
+  }
+  static void retainPage(Page *P) {
+    P->Refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void releasePage(Page *P) {
+    if (P->Refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      P->Refs.~atomic();
+      ::operator delete(P);
+    }
+  }
+  void releasePages() {
+    for (Page *P : Pages)
+      if (P)
+        releasePage(P);
+    Pages.clear();
+  }
+
+  VertexId slotOf(VertexId Key) const { return Key >> Shift; }
+  VertexId slotCount(VertexId Universe) const {
+    return Universe ? ((Universe - 1) >> Shift) + 1 : 0;
+  }
+  static size_t pageCount(VertexId Slots) {
+    return (size_t(Slots) + PageSlots - 1) / PageSlots;
+  }
+
+  void writeSlot(VertexId Slot, const EdgeSet &S) {
+    Page *P = Pages[size_t(Slot) / PageSlots];
+    size_t At = size_t(Slot) % PageSlots;
+    P->Views[At] = S.view();
+    P->Degrees[At] = uint32_t(S.size());
+  }
+
+  /// Default-fill (empty view, degree 0) slots [Lo, Hi) - the holes of
+  /// the vertex universe. Each slot is written exactly once, here or in
+  /// writeSlot, never both.
+  void fillDefault(VertexId Lo, VertexId Hi) {
+    while (Lo < Hi) {
+      Page *P = Pages[size_t(Lo) / PageSlots];
+      size_t At = size_t(Lo) % PageSlots;
+      size_t N = std::min(size_t(Hi - Lo), PageSlots - At);
+      std::fill(P->Views + At, P->Views + At + N, SetView{});
+      std::memset(P->Degrees + At, 0, N * sizeof(uint32_t));
+      Lo += VertexId(N);
+    }
+  }
+
+  /// Write-once in-order fill of slots [Lo, Hi) from the vertex tree
+  /// rooted at \p N, restricted to slots >= ClipLo (subtrees entirely
+  /// below the clip are skipped, so a growth fill costs O(growth +
+  /// log n) rather than a full traversal). Materialized vertices get
+  /// their view/degree; key gaps get the default slot.
+  void fillFromTree(const typename GraphSnapshotT<EdgeSet>::VT::Node *N,
+                    VertexId Lo, VertexId Hi, VertexId ClipLo) {
+    using VT = typename GraphSnapshotT<EdgeSet>::VT;
+    if (Hi <= ClipLo || Lo >= Hi)
+      return;
+    if (!N) {
+      fillDefault(std::max(Lo, ClipLo), Hi);
+      return;
+    }
+    VertexId S = slotOf(N->Key);
+    auto DoLeft = [&] { fillFromTree(N->Left, Lo, S, ClipLo); };
+    auto DoRight = [&] {
+      if (S >= ClipLo)
+        writeSlot(S, N->Val);
+      fillFromTree(N->Right, S + 1, Hi, ClipLo);
+    };
+    if (N->Size >= VT::SeqCutoff)
+      parallelDo(DoLeft, DoRight);
+    else {
+      DoLeft();
+      DoRight();
+    }
+  }
+
   GraphSnapshotT<EdgeSet> Owner;
-  std::vector<SetView> Slots;
-  std::vector<uint32_t> Degrees;
+  std::vector<Page *> Pages;
+  VertexId NumSlots = 0;
+  unsigned Shift = 0;
   uint64_t NumEdgesV = 0;
 };
 

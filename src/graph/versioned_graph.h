@@ -14,6 +14,13 @@
 // from the paper's lock-free version list (Ben-David et al. [8]) is
 // documented in DESIGN.md Section 1.
 //
+// Hot-epoch flat snapshots: the batch conveniences record each epoch's
+// touched-vertex digest in a DeltaLogT, and acquireFlat() maintains one
+// cached FlatSnapshotT of the latest version, caught up epoch-to-epoch
+// with FlatSnapshotT::refresh (O(touched) page repair) and rebuilt in
+// full only when the replay span is uncovered or too large. Protocol and
+// threshold rationale in DESIGN.md Section 4.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_GRAPH_VERSIONED_GRAPH_H
@@ -23,14 +30,33 @@
 #include "store/version_list.h"
 
 #include <cassert>
+#include <memory>
 #include <mutex>
 
 namespace aspen {
+
+/// Rebuild-vs-refresh counters of a store's hot flat snapshot (tests and
+/// benches assert which maintenance path served an acquireFlat()).
+struct FlatMaintenanceStats {
+  uint64_t Rebuilds = 0;  ///< full O(n) flat builds
+  uint64_t Refreshes = 0; ///< O(touched) incremental refreshes
+  uint64_t Hits = 0;      ///< served the cached flat unchanged
+};
+
+/// Shared tuning constants of the hot-flat maintenance path (both
+/// stores): refresh when the replayed digests touch at most
+/// universe / FlatRefreshDenominator distinct vertices, covering at most
+/// FlatReplayMaxEpochs epochs; anything else rebuilds. See DESIGN.md
+/// Section 4 for the crossover analysis.
+inline constexpr uint64_t FlatRefreshDenominator = 8;
+inline constexpr size_t FlatReplayMaxEpochs = 64;
 
 template <class EdgeSet> class VersionedGraphT {
   using List = VersionListT<GraphSnapshotT<EdgeSet>>;
 
 public:
+  using Flat = FlatSnapshotT<EdgeSet>;
+
   /// RAII handle to an acquired version; releasing is automatic.
   class Version {
   public:
@@ -56,7 +82,7 @@ public:
   };
 
   explicit VersionedGraphT(GraphSnapshotT<EdgeSet> Initial)
-      : Versions(std::move(Initial)) {}
+      : Versions(std::move(Initial)), Digests(FlatReplayMaxEpochs) {}
 
   VersionedGraphT(const VersionedGraphT &) = delete;
   VersionedGraphT &operator=(const VersionedGraphT &) = delete;
@@ -67,27 +93,89 @@ public:
 
   /// Install a new snapshot as the current version (single writer). Atomic
   /// with respect to acquire(); the previous version survives until its
-  /// last reader releases it.
+  /// last reader releases it. Installing through set() records no
+  /// touched digest, so the next acquireFlat() after a raw set() falls
+  /// back to a full rebuild (the batch conveniences keep the incremental
+  /// path alive).
   void set(GraphSnapshotT<EdgeSet> G) { Versions.set(std::move(G)); }
 
   /// Writer convenience: functionally insert a batch and publish. The
   /// owned batch routes through the span path (in-place sort, grouping
   /// in borrowed scratch — no input-sized heap allocation at steady
-  /// state).
+  /// state), which also yields the epoch's touched-vertex digest.
   void insertEdgesBatch(std::vector<EdgePair> Edges) {
     GraphSnapshotT<EdgeSet> Next = currentCopy();
-    set(Next.insertEdgesSpan(Edges.data(), Edges.size()));
+    std::vector<VertexId> Touched;
+    auto G = Next.insertEdgesSpan(Edges.data(), Edges.size(), &Touched);
+    installWithDigest(std::move(G), std::move(Touched));
   }
 
   /// Writer convenience: functionally delete a batch and publish.
   void deleteEdgesBatch(std::vector<EdgePair> Edges) {
     GraphSnapshotT<EdgeSet> Next = currentCopy();
-    set(Next.deleteEdgesSpan(Edges.data(), Edges.size()));
+    std::vector<VertexId> Touched;
+    auto G = Next.deleteEdgesSpan(Edges.data(), Edges.size(), &Touched);
+    installWithDigest(std::move(G), std::move(Touched));
   }
 
   /// Sequence number of the latest installed version (diagnostic).
   int64_t currentTimestamp() const {
     return int64_t(Versions.currentStamp());
+  }
+
+  /// Flat view of the latest version, O(1) vertex access. The store
+  /// keeps one hot flat snapshot: when the cached flat already matches
+  /// the latest stamp it is returned as-is; when the intervening epochs'
+  /// digests are on record and small, the cached flat is refreshed in
+  /// O(touched) page-repair work; otherwise a full parallel rebuild
+  /// runs. The returned snapshot is immutable and keeps its source
+  /// version alive; hold the shared_ptr for as long as the view is used.
+  /// Callers serialize on an internal mutex for the duration of the
+  /// catch-up work (readers of an unchanged epoch only pay a lock/copy).
+  std::shared_ptr<const Flat> acquireFlat() {
+    std::lock_guard<std::mutex> Lock(FlatM);
+    // Acquired under FlatM: every cache entry was built from a version
+    // acquired while holding this lock, so S >= CachedStamp always and
+    // the cache can never regress to an older version.
+    auto H = Versions.acquire();
+    uint64_t S = H.stamp();
+    if (CachedFlat && CachedStamp == S) {
+      ++Stats.Hits;
+      return CachedFlat;
+    }
+    std::shared_ptr<const Flat> New;
+    if (CachedFlat) {
+      std::vector<VertexId> Touched;
+      bool Covered = Digests.replay(
+          CachedStamp, S, [&](const std::vector<VertexId> &D) {
+            Touched.insert(Touched.end(), D.begin(), D.end());
+          });
+      if (Covered) {
+        parallelSort(Touched);
+        Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                      Touched.end());
+        VertexId U = H.value().vertexUniverse();
+        if (uint64_t(Touched.size()) * FlatRefreshDenominator <=
+            uint64_t(U)) {
+          New = std::make_shared<Flat>(Flat::refresh(
+              *CachedFlat, H.value(), Touched.data(), Touched.size()));
+          ++Stats.Refreshes;
+        }
+      }
+    }
+    if (!New) {
+      New = std::make_shared<Flat>(H.value());
+      ++Stats.Rebuilds;
+    }
+    CachedFlat = New;
+    CachedStamp = S;
+    return New;
+  }
+
+  /// Rebuild/refresh/hit counters of acquireFlat() (diagnostics, tests).
+  FlatMaintenanceStats flatStats() const {
+    std::lock_guard<std::mutex> Lock(FlatM);
+    return Stats;
   }
 
 private:
@@ -97,7 +185,28 @@ private:
     return H.value();
   }
 
+  /// Publish \p G and record its touched digest. A digest above the
+  /// refresh threshold is not worth retaining — any replay span
+  /// containing it is guaranteed to exceed the same threshold and
+  /// rebuild — so the log is cleared instead (skipping the pointless
+  /// replay+sort on the reader side).
+  void installWithDigest(GraphSnapshotT<EdgeSet> G,
+                         std::vector<VertexId> Touched) {
+    uint64_t Cap = uint64_t(G.vertexUniverse()) / FlatRefreshDenominator;
+    uint64_t S = Versions.set(std::move(G));
+    if (uint64_t(Touched.size()) <= Cap)
+      Digests.record(S, std::move(Touched));
+    else
+      Digests.clear();
+  }
+
   List Versions;
+  DeltaLogT<std::vector<VertexId>> Digests;
+
+  mutable std::mutex FlatM;
+  std::shared_ptr<const Flat> CachedFlat;
+  uint64_t CachedStamp = 0;
+  FlatMaintenanceStats Stats;
 };
 
 using VersionedGraph = VersionedGraphT<CTreeSet<VertexId, DeltaByteCodec>>;

@@ -46,10 +46,10 @@ namespace aspen {
 // The graph-view concept. Everything the Ligra layer (and through it every
 // algorithm) needs from a graph is the six members below; any type that
 // provides them — TreeGraphView, FlatGraphView, the sharded store's
-// composed ShardedGraphStoreT::View, or the static baselines — runs
-// unmodified through edgeMap. The trait makes a non-conforming view fail
-// with one readable static_assert instead of a template-instantiation
-// cascade.
+// composed ShardedGraphStoreT::View, the hot-flat ShardedFlatView over an
+// acquireFlat() epoch, or the static baselines — runs unmodified through
+// edgeMap. The trait makes a non-conforming view fail with one readable
+// static_assert instead of a template-instantiation cascade.
 //===----------------------------------------------------------------------===
 
 namespace detail {
@@ -80,12 +80,30 @@ struct IsGraphView<
                VertexId(), std::declval<const ViewProbeCondFn &>())))>>
     : std::true_type {};
 
+template <class V, class = void>
+struct HasNeighborCursor : std::false_type {};
+template <class V>
+struct HasNeighborCursor<
+    V, std::void_t<
+           typename V::NeighborCursor,
+           decltype(std::declval<const V &>().neighborCursor(VertexId()))>>
+    : std::true_type {};
+
 } // namespace detail
 
 /// True when \p V satisfies the graph-view concept consumed by edgeMap
 /// and the algorithms.
 template <class V>
 inline constexpr bool IsGraphViewV = detail::IsGraphView<V>::value;
+
+/// True when \p V also exposes the streaming neighborCursor surface.
+/// edgeMap itself never requires it, but every Aspen view (tree, flat,
+/// sharded, sharded-flat) provides it uniformly so cursor-driven code is
+/// view-agnostic; the flat differential tests assert this trait for all
+/// four.
+template <class V>
+inline constexpr bool HasNeighborCursorV =
+    detail::HasNeighborCursor<V>::value;
 
 struct EdgeMapOptions {
   /// Disable the dense traversal (used for the Stinger/LLAMA comparisons,

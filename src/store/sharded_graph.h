@@ -34,12 +34,19 @@
 // all the algorithms are templated over, so analytics run unmodified —
 // and bit-identically — on a sharded acquire.
 //
+// acquireFlat() additionally maintains a hot flat rendering of the
+// current epoch — per-shard paged-CoW FlatSnapshotTs indexed by
+// shard-local id, composed behind ShardedFlatView for O(1) vertex access
+// — refreshed batch-to-batch from the merge pipeline's touched-vertex
+// digests instead of rebuilt (DESIGN.md Section 4).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_STORE_SHARDED_GRAPH_H
 #define ASPEN_STORE_SHARDED_GRAPH_H
 
 #include "graph/graph.h"
+#include "graph/versioned_graph.h" // FlatMaintenanceStats + flat tuning
 #include "store/version_list.h"
 
 #include <algorithm>
@@ -48,6 +55,7 @@
 #include <mutex>
 #include <new>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace aspen {
@@ -68,6 +76,7 @@ public:
   };
 
   class View;
+  class FlatView;
 
   /// RAII reader handle to an acquired epoch (releasing is automatic).
   class Ref {
@@ -208,7 +217,175 @@ public:
     VertexId Mask;
   };
 
+  //===--------------------------------------------------------------------===
+  // Hot-epoch flat snapshots (DESIGN.md Section 4): per-shard paged-CoW
+  // flat arrays indexed by shard-local id, maintained epoch-to-epoch from
+  // the ingest pipeline's touched digests and composed behind a graph
+  // view, so analytics get O(1) vertex access on the latest epoch
+  // without an O(n) rebuild per batch.
+  //===--------------------------------------------------------------------===
+
+  using Flat = FlatSnapshotT<EdgeSet>;
+
+  /// An immutable flat rendering of one epoch: per-shard flat snapshots
+  /// (slot = local id = v >> log2(S)) plus the epoch aggregates.
+  struct FlatEpoch {
+    std::vector<Flat> Flats;
+    uint64_t BatchSeq = 0;
+    uint64_t NumEdges = 0;
+    VertexId Universe = 0;
+    size_t LogShards = 0;
+
+    /// Graph-view over this flat epoch; the FlatEpoch (its shared_ptr)
+    /// must outlive the view.
+    FlatView view() const { return FlatView(*this); }
+  };
+
+  /// Graph-view concept over a FlatEpoch: vertex resolution is a mask,
+  /// a shift, and two array reads — O(1) like FlatGraphView, composed
+  /// across shards. Satisfies IsGraphViewV, so every algorithm runs
+  /// unmodified (and bit-identically; see the flat differential tests).
+  class FlatView {
+  public:
+    using SetView = typename EdgeSet::View;
+    using NeighborCursor = typename SetView::Cursor;
+
+    explicit FlatView(const FlatEpoch &FE)
+        : FE(&FE), Mask(VertexId(FE.Flats.size() - 1)),
+          Log(unsigned(FE.LogShards)) {}
+
+    VertexId numVertices() const { return FE->Universe; }
+    uint64_t numEdges() const { return FE->NumEdges; }
+    uint64_t degree(VertexId V) const {
+      const Flat &F = FE->Flats[size_t(V & Mask)];
+      VertexId L = V >> Log;
+      return L < F.numVertices() ? F.degree(L) : 0;
+    }
+
+    /// Streaming cursor over \p V's neighbors (epoch must stay alive).
+    NeighborCursor neighborCursor(VertexId V) const {
+      return slotView(V).cursor();
+    }
+
+    template <class F>
+    void mapNeighborsIndexed(VertexId V, const F &Fn) const {
+      slotView(V).forEachIndexed(Fn);
+    }
+
+    template <class F> void mapNeighbors(VertexId V, const F &Fn) const {
+      slotView(V).forEachSeq(Fn);
+    }
+
+    template <class F>
+    bool iterNeighborsCond(VertexId V, const F &Fn) const {
+      return slotView(V).iterCond(Fn);
+    }
+
+  private:
+    /// The vertex universe is epoch-global; shards whose own id space
+    /// ends earlier resolve out-of-range vertices to the empty view.
+    SetView slotView(VertexId V) const {
+      const Flat &F = FE->Flats[size_t(V & Mask)];
+      VertexId L = V >> Log;
+      return L < F.numVertices() ? F.edges(L) : SetView{};
+    }
+
+    const FlatEpoch *FE;
+    VertexId Mask;
+    unsigned Log;
+  };
+
+  /// Flat rendering of the current epoch, maintained as a hot cache: an
+  /// unchanged epoch is returned as-is; an epoch a few recorded batches
+  /// ahead of the cache is caught up by refreshing only the touched
+  /// shards' touched pages (untouched shards share their predecessor's
+  /// flat wholesale, by root-pointer identity); anything else — cold
+  /// cache, replay gap, or a touched set above universe /
+  /// FlatRefreshDenominator — is a full parallel rebuild. Callers
+  /// serialize on an internal mutex for the catch-up work; writers are
+  /// never blocked by it. Hold the shared_ptr while using the view.
+  std::shared_ptr<const FlatEpoch> acquireFlat() {
+    size_t S = numShards();
+    std::lock_guard<std::mutex> Lock(FlatM);
+    // Acquired under FlatM: every cache entry was built from an epoch
+    // acquired while holding this lock, so Seq >= CachedFlat->BatchSeq
+    // always and the cache can never regress to an older epoch.
+    Ref E = acquire();
+    uint64_t Seq = E.batchSeq();
+    if (CachedFlat && CachedFlat->BatchSeq == Seq) {
+      ++Stats.Hits;
+      return CachedFlat;
+    }
+
+    std::shared_ptr<FlatEpoch> New;
+    if (CachedFlat) {
+      // Union the replay span's digests per shard.
+      std::vector<std::vector<VertexId>> Touched(S);
+      bool Covered = Digests.replay(
+          CachedFlat->BatchSeq, Seq, [&](const ShardDigest &D) {
+            for (const auto &P : D)
+              Touched[P.first].insert(Touched[P.first].end(),
+                                      P.second.begin(), P.second.end());
+          });
+      // Threshold on the *distinct* touched union (hot vertices hit by
+      // several replayed batches count once), as in the single store.
+      uint64_t Total = 0;
+      if (Covered) {
+        parallelFor(0, S, [&](size_t Sh) {
+          auto &T = Touched[Sh];
+          parallelSort(T);
+          T.erase(std::unique(T.begin(), T.end()), T.end());
+        }, 1);
+        for (const auto &T : Touched)
+          Total += T.size();
+      }
+      if (Covered &&
+          Total * FlatRefreshDenominator <= uint64_t(E.epoch().Universe)) {
+        New = std::make_shared<FlatEpoch>();
+        New->Flats.resize(S);
+        const FlatEpoch &Prev = *CachedFlat;
+        parallelFor(0, S, [&](size_t Sh) {
+          const Snapshot &Cur = E.shard(Sh);
+          // Root identity means the shard is bit-identical to the one
+          // the cached flat renders: share its pages wholesale.
+          if (Cur.root() == Prev.Flats[Sh].graph().root()) {
+            New->Flats[Sh] = Prev.Flats[Sh];
+            return;
+          }
+          const auto &T = Touched[Sh];
+          New->Flats[Sh] =
+              Flat::refresh(Prev.Flats[Sh], Cur, T.data(), T.size());
+        }, 1);
+        ++Stats.Refreshes;
+      }
+    }
+    if (!New) {
+      New = std::make_shared<FlatEpoch>();
+      New->Flats.resize(S);
+      parallelFor(0, S, [&](size_t Sh) {
+        New->Flats[Sh] = Flat(E.shard(Sh), unsigned(LogShards));
+      }, 1);
+      ++Stats.Rebuilds;
+    }
+    New->BatchSeq = Seq;
+    New->NumEdges = E.numEdges();
+    New->Universe = E.epoch().Universe;
+    New->LogShards = LogShards;
+    CachedFlat = New;
+    return CachedFlat;
+  }
+
+  /// Rebuild/refresh/hit counters of acquireFlat() (diagnostics, tests).
+  FlatMaintenanceStats flatStats() const {
+    std::lock_guard<std::mutex> Lock(FlatM);
+    return Stats;
+  }
+
 private:
+  /// Per-epoch touched digest: (shard, ascending touched vertex ids) for
+  /// every shard the batch touched.
+  using ShardDigest = std::vector<std::pair<uint32_t, std::vector<VertexId>>>;
+
   static size_t log2Ceil(size_t S) {
     size_t L = 0;
     while ((size_t(1) << L) < S)
@@ -260,7 +437,8 @@ private:
   /// chunk-op scratch must not contend with input-sized blocks checked
   /// out for the whole call (measurably slows the unions otherwise).
   Snapshot mergeShard(const Snapshot &Base, size_t Sh, EdgePair *Sub,
-                      size_t K, bool Insert) const {
+                      size_t K, bool Insert,
+                      std::vector<VertexId> *TouchedOut) const {
     if (K == 0)
       return Base;
     std::optional<GroupedBatchT<EdgeSet>> Pairs;
@@ -296,6 +474,8 @@ private:
       for (size_t L = 0; L < M; ++L)
         Groups += StartsP[L + 1] > StartsP[L] ? 1 : 0;
       Pairs.emplace(Groups);
+      if (TouchedOut)
+        TouchedOut->reserve(Groups);
       VertexId ShardBits = VertexId(Sh);
       for (size_t L = 0; L < M; ++L) {
         uint32_t Lo = StartsP[L], Hi = StartsP[L + 1];
@@ -306,6 +486,11 @@ private:
             size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
         VertexId Global = (VertexId(L) << LogShards) | ShardBits;
         Pairs->emplaceBack(Global, EdgeSet::buildSorted(DstP + Lo, Len));
+        // The grouped keys double as the epoch's touched-vertex digest
+        // for this shard (ascending local order implies ascending global
+        // order within a shard).
+        if (TouchedOut)
+          TouchedOut->push_back(Global);
       }
     }
     return Insert ? Base.insertGrouped(Pairs->data(), Pairs->size())
@@ -346,11 +531,15 @@ private:
     // are dropped: releasing it earlier could make this writer reclaim a
     // superseded epoch while holding locks others wait on.
     Ref Base = acquire();
+    // Per-shard touched digests come out of the grouping for free; they
+    // are recorded under the commit lock so the digest log's stamp order
+    // matches the install order.
+    std::vector<std::vector<VertexId>> Touched(S);
     parallelFor(0, S, [&](size_t Sh) {
       size_t Lo = ShardLoP[Sh], Hi = ShardLoP[Sh + 1];
       new (&Merged[Sh]) Snapshot(
           Hi > Lo ? mergeShard(Base.shard(Sh), Sh, PartsP + Lo, Hi - Lo,
-                               Insert)
+                               Insert, &Touched[Sh])
                   : Snapshot());
     }, 1);
 
@@ -373,7 +562,23 @@ private:
       Next.BatchSeq = Latest.epoch().BatchSeq + 1;
       finalizeAggregates(Next, Latest.epoch().Universe);
       Seq = Next.BatchSeq;
+      uint64_t DigestCap =
+          uint64_t(Next.Universe) / FlatRefreshDenominator;
       Versions.set(std::move(Next));
+      // Sparse per-shard digest (touched shards only). A digest above
+      // the refresh threshold guarantees any span containing it
+      // rebuilds; clearing skips the pointless replay on readers.
+      ShardDigest Digest;
+      uint64_t Total = 0;
+      for (size_t Sh = 0; Sh < S; ++Sh)
+        if (!Touched[Sh].empty()) {
+          Total += Touched[Sh].size();
+          Digest.emplace_back(uint32_t(Sh), std::move(Touched[Sh]));
+        }
+      if (Total <= DigestCap)
+        Digests.record(Seq, std::move(Digest));
+      else
+        Digests.clear();
     }
     for (size_t Sh = 0; Sh < S; ++Sh)
       Merged[Sh].~Snapshot();
@@ -391,12 +596,23 @@ private:
   std::unique_ptr<std::mutex[]> ShardLocks;
   std::mutex CommitM;
   VersionListT<Epoch> Versions;
+
+  // Hot-flat maintenance state (DESIGN.md Section 4). The digest log is
+  // keyed by BatchSeq (contiguous under the commit lock); the cached
+  // flat serializes its refreshers on FlatM without ever blocking
+  // writers.
+  DeltaLogT<ShardDigest> Digests{FlatReplayMaxEpochs};
+  mutable std::mutex FlatM;
+  std::shared_ptr<const FlatEpoch> CachedFlat;
+  FlatMaintenanceStats Stats;
 };
 
 /// Default Aspen configuration: C-tree shards with difference encoding.
 using ShardedGraphStore =
     ShardedGraphStoreT<CTreeSet<VertexId, DeltaByteCodec>>;
 using ShardedGraphView = ShardedGraphStore::View;
+/// O(1)-vertex-access view over a hot flat epoch (acquireFlat()).
+using ShardedFlatView = ShardedGraphStore::FlatView;
 
 } // namespace aspen
 

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <deque>
 #include <mutex>
 #include <utility>
 
@@ -151,6 +152,80 @@ private:
   mutable std::mutex M;
   VersionNode *Current = nullptr;
   std::atomic<uint64_t> Stamp{0};
+};
+
+/// Bounded log of per-install deltas keyed by version stamp - the second
+/// reusable piece of the version-maintenance core. A store records, for
+/// each installed version, a small summary of what changed relative to
+/// its predecessor (the graph stores record the touched-vertex digest);
+/// an incremental consumer pinned at stamp F catches up to stamp T by
+/// replaying the deltas for (F, T] instead of reprocessing the whole
+/// value.
+///
+/// The log only answers for *contiguous* spans: recording a stamp that
+/// does not directly follow the previous recorded stamp (an install whose
+/// delta was not captured, e.g. a raw set()) clears the log, so a
+/// successful replay() is always a complete, gap-free reconstruction and
+/// anything else falls back to the consumer's full rebuild. Bounded to
+/// \p MaxEntries recent installs; older consumers rebuild too.
+///
+/// record() is called by writers (serialized by the store's install
+/// protocol); replay() by readers. Both take the internal mutex, so the
+/// log is safe against concurrent readers and a concurrent writer.
+template <class DeltaT> class DeltaLogT {
+  struct Entry {
+    uint64_t Stamp;
+    DeltaT Delta;
+  };
+
+public:
+  explicit DeltaLogT(size_t MaxEntries = 64) : MaxEntries(MaxEntries) {}
+
+  /// Record the delta of the install that produced \p Stamp. Clears the
+  /// log first when \p Stamp is not the successor of the last recorded
+  /// stamp (some install went unrecorded; spans across it must rebuild).
+  void record(uint64_t Stamp, DeltaT Delta) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Entries.empty() && Entries.back().Stamp + 1 != Stamp)
+      Entries.clear();
+    Entries.push_back(Entry{Stamp, std::move(Delta)});
+    while (Entries.size() > MaxEntries)
+      Entries.pop_front();
+  }
+
+  /// Drop every recorded delta (e.g. after an install whose delta was
+  /// deliberately not captured); subsequent replays across this point
+  /// report non-coverage.
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Entries.clear();
+  }
+
+  /// Invoke \p Fn on the delta of every stamp in (\p From, \p To], oldest
+  /// first. Returns false without invoking \p Fn at all when the log does
+  /// not cover the whole span (gap, trimmed history, or From > To).
+  template <class F> bool replay(uint64_t From, uint64_t To, F &&Fn) const {
+    std::lock_guard<std::mutex> Lock(M);
+    if (From >= To)
+      return From == To;
+    if (Entries.empty() || Entries.front().Stamp > From + 1 ||
+        Entries.back().Stamp < To)
+      return false;
+    size_t I = size_t(From + 1 - Entries.front().Stamp);
+    for (uint64_t S = From + 1; S <= To; ++S, ++I)
+      Fn(Entries[I].Delta);
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Entries.size();
+  }
+
+private:
+  mutable std::mutex M;
+  std::deque<Entry> Entries;
+  size_t MaxEntries;
 };
 
 } // namespace aspen

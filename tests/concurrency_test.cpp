@@ -305,6 +305,110 @@ TEST(Concurrency, ShardedQueriesRunOnPinnedEpochs) {
   EXPECT_EQ(Violations.load(), 0u);
 }
 
+TEST(Concurrency, HotFlatReadersDuringIngest) {
+  // Readers loop acquireFlat() — the store-maintained hot flat snapshot,
+  // refreshed incrementally from the writer's digests — while the writer
+  // streams disjoint batches. Every returned flat must be a consistent
+  // whole-batch cut: edge count a multiple of the batch size and equal
+  // to the sum of its slot degrees.
+  // Universe big enough that each batch's touched set sits under the
+  // refresh threshold: readers race against the incremental path, not
+  // just full rebuilds.
+  const VertexId N = 4096;
+  const size_t BatchSize = 128;
+  const int NumBatches = 40;
+  VersionedGraph VG(Graph::fromEdges(N, {}));
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Violations{0};
+
+  std::thread Writer([&] {
+    for (int B = 0; B < NumBatches; ++B)
+      VG.insertEdgesBatch(disjointBatch(B, BatchSize, N));
+    Done.store(true);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      while (!Done.load()) {
+        auto FS = VG.acquireFlat();
+        uint64_t E = FS->numEdges();
+        if (E % BatchSize != 0)
+          Violations.fetch_add(1);
+        uint64_t DegSum = 0;
+        for (VertexId V = 0; V < FS->numVertices(); ++V)
+          DegSum += FS->degree(V);
+        if (DegSum != E)
+          Violations.fetch_add(1);
+        FlatGraphView FV(*FS);
+        bfs(FV, 0);
+      }
+    });
+
+  Writer.join();
+  for (auto &T : Readers)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  auto Last = VG.acquireFlat();
+  EXPECT_EQ(Last->numEdges(), uint64_t(NumBatches) * BatchSize);
+  auto Stats = VG.flatStats();
+  EXPECT_GE(Stats.Refreshes + Stats.Rebuilds, 1u);
+}
+
+TEST(Concurrency, ShardedHotFlatChurnSeesAllOrNone) {
+  // Sharded counterpart: churn a batch in and out of a 4-shard store
+  // while readers acquire hot flat epochs. Batch atomicity must survive
+  // the flat rendering: every flat epoch contains all churn edges or
+  // none, and its composed view's degrees sum to its edge count.
+  const VertexId N = 256;
+  auto Fixed = dedupEdges(symmetrize(uniformRandomEdges(N, 2000, 21)));
+  ShardedGraphStore Store(4, N, Fixed);
+  uint64_t FixedCount = Store.acquire().numEdges();
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> Violations{0};
+
+  auto Churn = dedupEdges(symmetrize(uniformRandomEdges(N, 300, 22)));
+  std::vector<EdgePair> ChurnOnly;
+  {
+    std::set<EdgePair> FixedSet(Fixed.begin(), Fixed.end());
+    for (const EdgePair &E : Churn)
+      if (!FixedSet.count(E))
+        ChurnOnly.push_back(E);
+  }
+
+  std::thread Writer([&] {
+    for (int I = 0; I < 20; ++I) {
+      Store.insertBatch(ChurnOnly);
+      Store.deleteBatch(ChurnOnly);
+    }
+    Done.store(true);
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      while (!Done.load()) {
+        auto FE = Store.acquireFlat();
+        uint64_t E = FE->NumEdges;
+        if (E != FixedCount && E != FixedCount + ChurnOnly.size())
+          Violations.fetch_add(1);
+        auto V = FE->view();
+        uint64_t DegSum = 0;
+        for (VertexId X = 0; X < V.numVertices(); ++X)
+          DegSum += V.degree(X);
+        if (DegSum != E)
+          Violations.fetch_add(1);
+        bfs(V, 0);
+      }
+    });
+
+  Writer.join();
+  for (auto &T : Readers)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_EQ(Store.acquireFlat()->NumEdges, FixedCount);
+}
+
 TEST(Concurrency, ParallelSetOpsOnSharedInputs) {
   // Two application threads run set operations against the SAME shared
   // tree concurrently; shared subtrees are read-only so both must get
