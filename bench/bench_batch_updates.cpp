@@ -11,18 +11,55 @@
 // batches of 10 to 10^9, approaching memory bandwidth; deletions run
 // within ~10% of insertions (Figure 5).
 //
+// Beyond the Table 8 curves, the trail records the within-shard ingest
+// scaling rows: a skewed batch (1M edges into ONE vertex, and the same
+// batch into a one-shard store) is timed under the full worker pool and
+// again in sequential mode. These batches defeat shard- and vertex-level
+// parallelism by construction, so their par/seq speedup isolates the
+// parallel unionBC/diffBC group routing, the work-weighted pam forks, and
+// the parallel mergeShard group builds (DESIGN.md §5).
+//
+//   -json <path>    write every metric as flat JSON (BENCH_batch_updates.json)
+//   -compare <path> annotate rows with before/after ratios vs a prior file
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench_common.h"
 
 #include "graph/graph.h"
+#include "store/sharded_graph.h"
+#include "util/hash.h"
 
 using namespace aspen;
 
+namespace {
+
+void reportRow(const std::string &Key, double Value, const char *Unit) {
+  recordMetric(Key, Value);
+  std::printf("  %-40s %12s %s%s\n", Key.c_str(), fmtRate(Value).c_str(),
+              Unit, compareSuffix(Key, Value).c_str());
+}
+
+/// 1M distinct-destination edges all sourced at one vertex: no vertex- or
+/// shard-level parallelism exists in this batch by construction.
+std::vector<EdgePair> hotVertexBatch(VertexId Hot, size_t K, VertexId N,
+                                     uint64_t Seed) {
+  std::vector<EdgePair> Out(K);
+  for (size_t I = 0; I < K; ++I)
+    Out[I] = {Hot, VertexId(hashAt(Seed, I) % N)};
+  return Out;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  BenchConfig C = parseBenchConfig(Argc, Argv);
+  BenchConfig C = parseBenchConfig(Argc, Argv, /*DefaultLogN=*/17);
   CommandLine CL(Argc, Argv);
   bool Huge = CL.has("huge");
+  std::string ComparePath = CL.getString("compare");
+  if (!ComparePath.empty() && !loadBenchBaseline(ComparePath))
+    std::fprintf(stderr, "warning: cannot read -compare file %s\n",
+                 ComparePath.c_str());
   BenchInput In = makeInput(C);
   printEnvironment();
 
@@ -54,9 +91,87 @@ int main(int Argc, char **Argv) {
                 fmtRate(double(BS) / InsertT).c_str(),
                 fmtRate(double(BS) / DeleteT).c_str(),
                 fmtTime(InsertT).c_str(), fmtTime(DeleteT).c_str());
+    recordMetric("table8/" + std::to_string(BS) + "/insert_eps",
+                 double(BS) / InsertT);
+    recordMetric("table8/" + std::to_string(BS) + "/delete_eps",
+                 double(BS) / DeleteT);
   }
 
   std::printf("\nFigure 5 series (log-log): the two columns above are the "
               "insertion (I) and deletion (D) curves.\n");
+
+  //===------------------------------------------------------------------===
+  // Skewed-batch ingest: worker scaling where only within-shard
+  // parallelism can help.
+  //===------------------------------------------------------------------===
+
+  const size_t HotK = 1000000;
+  auto Hot = hotVertexBatch(/*Hot=*/7, HotK, In.N, C.Seed + 77);
+
+  std::printf("\n== skewed ingest: %zu edges into one vertex on %s "
+              "(%d workers vs sequential) ==\n",
+              HotK, In.Name.c_str(), numWorkers());
+
+  {
+    Graph Out;
+    double ParT = benchTime(C.Rounds, [&] { Out = Base.insertEdges(Hot); });
+    setSequentialMode(true);
+    double SeqT = benchTime(C.Rounds, [&] {
+      Graph S = Base.insertEdges(Hot);
+      (void)S;
+    });
+    setSequentialMode(false);
+    reportRow("skewed/onevertex/insert_par_eps", double(HotK) / ParT,
+              "edges/s");
+    reportRow("skewed/onevertex/insert_seq_eps", double(HotK) / SeqT,
+              "edges/s");
+    reportRow("skewed/onevertex/insert_speedup", SeqT / ParT, "x");
+
+    double DParT = benchTime(C.Rounds, [&] {
+      Graph D = Out.deleteEdges(Hot);
+      (void)D;
+    });
+    setSequentialMode(true);
+    double DSeqT = benchTime(C.Rounds, [&] {
+      Graph D = Out.deleteEdges(Hot);
+      (void)D;
+    });
+    setSequentialMode(false);
+    reportRow("skewed/onevertex/delete_par_eps", double(HotK) / DParT,
+              "edges/s");
+    reportRow("skewed/onevertex/delete_seq_eps", double(HotK) / DSeqT,
+              "edges/s");
+    reportRow("skewed/onevertex/delete_speedup", DSeqT / DParT, "x");
+  }
+
+  std::printf("\n== skewed ingest: %zu-edge batch into a ONE-shard store "
+              "==\n",
+              HotK);
+
+  {
+    // A one-shard store sends the whole batch through a single mergeShard
+    // call: shard-level parallelism is zero, so any speedup comes from
+    // the within-shard machinery. Each round inserts then deletes the
+    // batch, so the store returns to its base state between rounds.
+    auto Mixed = Stream.edges(5 * HotK, HotK);
+    ShardedGraphStore St(1, In.N, In.Edges);
+    double ParT = benchTime(C.Rounds, [&] {
+      St.insertBatch(Mixed);
+      St.deleteBatch(Mixed);
+    });
+    setSequentialMode(true);
+    double SeqT = benchTime(C.Rounds, [&] {
+      St.insertBatch(Mixed);
+      St.deleteBatch(Mixed);
+    });
+    setSequentialMode(false);
+    double Edges = 2.0 * double(HotK); // insert + delete per round
+    reportRow("skewed/oneshard/update_par_eps", Edges / ParT, "edges/s");
+    reportRow("skewed/oneshard/update_seq_eps", Edges / SeqT, "edges/s");
+    reportRow("skewed/oneshard/update_speedup", SeqT / ParT, "x");
+  }
+
+  recordMetric("machine/workers", double(numWorkers()));
+  finishMetricTrail(CL);
   return 0;
 }

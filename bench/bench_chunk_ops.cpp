@@ -34,6 +34,7 @@
 
 #include "bench_common.h"
 #include "ctree/chunk.h"
+#include "ctree/ctree.h"
 #include "encoding/byte_code.h"
 #include "encoding/varint_block.h"
 #include "util/hash.h"
@@ -271,6 +272,59 @@ template <class Codec> void runCodec(size_t Count, size_t Pairs, int Rounds) {
     releaseChunk(As[P]);
     releaseChunk(Bs[P]);
   }
+}
+
+//===----------------------------------------------------------------------===
+// C-tree batch base cases (unionBC/diffBC): the whole merge must allocate
+// only the output payloads and tree nodes — the head-routing updates
+// buffer and the decoded batch live in borrowed scratch, so the heap
+// column must stay at ~0 allocs/op and scratch at ~0 misses/op after
+// warm-up.
+//===----------------------------------------------------------------------===
+
+template <class Codec>
+void runCtreeBatchOps(size_t Count, size_t Pairs, int Rounds) {
+  using CT = CTreeSet<uint32_t, Codec>;
+  std::printf("\nctree batch ops (scratch-routed unionBC/diffBC), %zu "
+              "elems/base, %zu batch, %zu pairs:\n",
+              Count * 8, Count * 2, Pairs);
+  std::string Scope = std::string("ctree-batch-") + Codec::Name;
+
+  std::vector<CT> Bases(Pairs), Batches(Pairs), Dels(Pairs);
+  for (size_t P = 0; P < Pairs; ++P) {
+    auto Make = [&](uint64_t Seed, size_t N, uint64_t Range) {
+      std::vector<uint32_t> E(N);
+      for (size_t I = 0; I < N; ++I)
+        E[I] = uint32_t(hashAt(Seed, I) % Range);
+      return CT::fromUnsorted(std::move(E));
+    };
+    Bases[P] = Make(3 * P, Count * 8, Count * 64);
+    // Batch concentrated in a window: few heads, big groups (the shape
+    // the grouped routing targets).
+    Batches[P] = Make(3 * P + 1, Count * 2, Count * 8);
+    Dels[P] = CT::setIntersect(Bases[P], Make(3 * P + 2, Count * 4,
+                                              Count * 64));
+  }
+
+  OpReport R = measure(Rounds, Pairs, [&] {
+    for (size_t P = 0; P < Pairs; ++P) {
+      CT Out = CT::setUnion(Bases[P], Batches[P]);
+      (void)Out;
+    }
+  });
+  printRow(Scope, "union", "grouped", R, Pairs);
+  recordMetric(Scope + "/union/grouped_heap_allocs_op",
+               double(R.Delta.Heap) / double(Pairs));
+
+  R = measure(Rounds, Pairs, [&] {
+    for (size_t P = 0; P < Pairs; ++P) {
+      CT Out = CT::setDifference(Bases[P], Dels[P]);
+      (void)Out;
+    }
+  });
+  printRow(Scope, "minus", "grouped", R, Pairs);
+  recordMetric(Scope + "/minus/grouped_heap_allocs_op",
+               double(R.Delta.Heap) / double(Pairs));
 }
 
 //===----------------------------------------------------------------------===
@@ -559,6 +613,7 @@ int main(int Argc, char **Argv) {
   runCodec<DeltaByteCodec>(Count, Pairs, Rounds);
   runCodec<RawCodec>(Count, Pairs, Rounds);
   runCodec<DeltaByteCodec>(Count * 16, Pairs / 8 + 1, Rounds);
+  runCtreeBatchOps<DeltaByteCodec>(Count, Pairs / 16 + 1, Rounds);
   runDecode(512, Pairs, Rounds);
   runMergePatterns(Count * 8, Pairs / 4 + 1, Rounds);
   runVarintKernels(Count * 16, Pairs, Rounds);

@@ -167,19 +167,21 @@ public:
   static CTreeSet buildSorted(const K *E, size_t N) {
     if (N == 0)
       return CTreeSet();
-    auto HeadIdx = filterIndex(
-        N, [&](size_t I) { return I; },
-        [&](size_t I) { return CTreeParams::isHead(E[I]); });
-    if (HeadIdx.empty())
+    CtxArray<size_t> HeadIdx(N);
+    size_t *HeadIdxP = HeadIdx.data();
+    size_t H = filterIndexInto(
+        N, [](size_t I) { return I; },
+        [&](size_t I) { return CTreeParams::isHead(E[I]); }, HeadIdxP);
+    if (H == 0)
       return CTreeSet(nullptr, makeChunk<Codec>(E, N));
-    Payload *Pre = makeChunk<Codec>(E, HeadIdx[0]);
-    size_t H = HeadIdx.size();
-    std::vector<std::pair<K, ChunkRef<K>>> Pairs(H);
+    Payload *Pre = makeChunk<Codec>(E, HeadIdxP[0]);
+    UpdateBuf Pairs(H);
+    Pairs.setSize(H);
     parallelFor(0, H, [&](size_t I) {
-      size_t Lo = HeadIdx[I] + 1;
-      size_t Hi = (I + 1 < H) ? HeadIdx[I + 1] : N;
-      Pairs[I] = {E[HeadIdx[I]],
-                  ChunkRef<K>(makeChunk<Codec>(E + Lo, Hi - Lo))};
+      size_t Lo = HeadIdxP[I] + 1;
+      size_t Hi = (I + 1 < H) ? HeadIdxP[I + 1] : N;
+      Pairs.emplaceAt(I, E[HeadIdxP[I]],
+                      ChunkRef<K>(makeChunk<Codec>(E + Lo, Hi - Lo)));
     });
     Node *Tr = T::buildSorted(Pairs.data(), H);
     return CTreeSet(Tr, Pre);
@@ -648,6 +650,108 @@ private:
     return Raw{T::join(Rest, LastShell, R.T), L.P};
   }
 
+public:
+  /// Decoded-batch size above which unionBC/diffBC discover group
+  /// boundaries with parallel head probes and run the per-group chunk
+  /// merges in parallel (see routeGroups). Mutable so differential tests
+  /// can force the parallel path onto small batches.
+  static inline size_t BatchParCutoff = 2048;
+
+private:
+  /// Scratch-backed (head, merged tail) update buffer for the batch base
+  /// cases: the pair's ChunkRef is not trivially destructible, so
+  /// CtxArray does not apply — placement-new into borrowed scratch with
+  /// explicit destruction instead, mirroring graph.h's GroupedBatchT.
+  /// multiInsert's buildSorted copies the refs into tree nodes; the
+  /// destructor drops the buffer's own references afterwards.
+  class UpdateBuf {
+  public:
+    using PairT = std::pair<K, ChunkRef<K>>;
+
+    explicit UpdateBuf(size_t MaxGroups)
+        : Mem(static_cast<PairT *>(
+              ctxAcquire(nullptr, MaxGroups * sizeof(PairT), Cap))) {}
+    UpdateBuf(const UpdateBuf &) = delete;
+    UpdateBuf &operator=(const UpdateBuf &) = delete;
+    ~UpdateBuf() {
+      for (size_t I = 0; I < N; ++I)
+        Mem[I].~PairT();
+      ctxRelease(nullptr, Mem, Cap);
+    }
+
+    void emplaceBack(K Head, ChunkRef<K> Tail) {
+      new (&Mem[N]) PairT(Head, std::move(Tail));
+      ++N;
+    }
+    /// Indexed construction for parallel fills: setSize first, then
+    /// construct every slot exactly once.
+    void emplaceAt(size_t I, K Head, ChunkRef<K> Tail) {
+      new (&Mem[I]) PairT(Head, std::move(Tail));
+    }
+    void setSize(size_t Size) { N = Size; }
+
+    PairT *data() { return Mem; }
+    size_t size() const { return N; }
+
+  private:
+    PairT *Mem;
+    size_t Cap;
+    size_t N = 0;
+  };
+
+  /// Shared group-routing core of unionBC/diffBC (Algorithm 2): route the
+  /// sorted batch E[0..NE) to head territories of \p Tr and emit one
+  /// (head, MergeFn(head node, span)) update per touched head, in
+  /// ascending head order.
+  ///
+  /// Small batches run the sequential head-walk (one findLE per group,
+  /// linear scan to the successor's key). Large batches probe every
+  /// element's head with a parallelFor of findLE calls, mark group starts
+  /// where the head changes, and merge the groups in parallel. The two
+  /// paths produce identical updates — an element's group is determined
+  /// by its owning head either way, and each group's span and merge call
+  /// are the same — so the result stays byte-identical; which path ran is
+  /// invisible outside scheduling.
+  template <class MergeFn>
+  static void routeGroups(const Node *Tr, const K *E, size_t NE,
+                          UpdateBuf &Updates, const MergeFn &Merge) {
+    if (NE < BatchParCutoff || !detail::parallelismEnabled()) {
+      size_t I = 0;
+      while (I < NE) {
+        const Node *HN = T::findLE(Tr, E[I]);
+        assert(HN && "element below the smallest head reached routing");
+        K Head = HN->Key;
+        // The group ends where the next head's territory begins.
+        const Node *Succ = nextHead(Tr, Head);
+        size_t J = I;
+        while (J < NE && (!Succ || E[J] < Succ->Key))
+          ++J;
+        Updates.emplaceBack(Head, ChunkRef<K>(Merge(HN, E + I, J - I)));
+        I = J;
+      }
+      return;
+    }
+    // Parallel path: per-element head probes (O(log h) each, fully
+    // independent), then group starts where the owning head changes.
+    CtxArray<const Node *> Heads(NE);
+    const Node **HeadsP = Heads.data();
+    parallelFor(0, NE, [&](size_t I) { HeadsP[I] = T::findLE(Tr, E[I]); });
+    CtxArray<uint32_t> Starts(NE);
+    uint32_t *StartsP = Starts.data();
+    size_t Groups = filterIndexInto(
+        NE, [](size_t I) { return uint32_t(I); },
+        [&](size_t I) { return I == 0 || HeadsP[I] != HeadsP[I - 1]; },
+        StartsP);
+    Updates.setSize(Groups);
+    parallelFor(0, Groups, [&](size_t G) {
+      size_t Lo = StartsP[G];
+      size_t Hi = G + 1 < Groups ? StartsP[G + 1] : NE;
+      const Node *HN = HeadsP[Lo];
+      assert(HN && "element below the smallest head reached routing");
+      Updates.emplaceAt(G, HN->Key, ChunkRef<K>(Merge(HN, E + Lo, Hi - Lo)));
+    });
+  }
+
   /// Union of a bare chunk (owned \p P; non-head elements) into C-tree
   /// \p C (Algorithm 2, UnionBC).
   static Raw unionBC(Payload *P, Raw C) {
@@ -677,21 +781,11 @@ private:
     CtxArray<K> E(PR->Count);
     size_t NE = decodeChunkTo<Codec>(PR, E.data());
     releaseChunk(PR);
-    std::vector<std::pair<K, ChunkRef<K>>> Updates;
-    size_t I = 0;
-    while (I < NE) {
-      const Node *HN = T::findLE(C.T, E[I]);
-      assert(HN && "element below the smallest head reached tree routing");
-      K Head = HN->Key;
-      // The group ends where the next head's territory begins.
-      const Node *Succ = nextHead(C.T, Head);
-      size_t J = I;
-      while (J < NE && (!Succ || E[J] < Succ->Key))
-        ++J;
-      Updates.emplace_back(Head, ChunkRef<K>(unionChunkSpan<Codec>(
-                                     HN->Val.get(), E.data() + I, J - I)));
-      I = J;
-    }
+    UpdateBuf Updates(NE);
+    routeGroups(C.T, E.data(), NE, Updates,
+                [](const Node *HN, const K *Span, size_t Len) {
+                  return unionChunkSpan<Codec>(HN->Val.get(), Span, Len);
+                });
     Node *NT = T::multiInsert(
         C.T, Updates.data(), Updates.size(),
         [](ChunkRef<K>, ChunkRef<K> New) { return New; });
@@ -727,8 +821,11 @@ private:
     Payload *V = E.Shell->Val.take();
     Raw L, R;
     bool Par = T::size(S.Left.T) + T::size(E.Left) +
-                   T::size(S.Right.T) + T::size(E.Right) >=
-               T::SeqCutoff;
+                       T::size(S.Right.T) + T::size(E.Right) >=
+                   T::SeqCutoff ||
+               T::workOf(S.Left.T) + T::workOf(E.Left) +
+                       T::workOf(S.Right.T) + T::workOf(E.Right) >=
+                   T::WorkCutoff;
     auto DoL = [&] { L = rawUnion(S.Left, Raw{E.Left, B.P}); };
     auto DoR = [&] { R = rawUnion(S.Right, Raw{E.Right, V}); };
     if (Par)
@@ -765,20 +862,11 @@ private:
       ++Cut;
     Payload *NP = chunkMinus<Codec>(A.P, S.data(), Cut);
     releaseChunk(A.P);
-    std::vector<std::pair<K, ChunkRef<K>>> Updates;
-    size_t I = Cut;
-    while (I < NS) {
-      const Node *HN = T::findLE(A.T, S[I]);
-      assert(HN && "subtrahend below smallest head routed into tree");
-      K Head = HN->Key;
-      const Node *Succ = nextHead(A.T, Head);
-      size_t J = I;
-      while (J < NS && (!Succ || S[J] < Succ->Key))
-        ++J;
-      Updates.emplace_back(Head, ChunkRef<K>(chunkMinus<Codec>(
-                                     HN->Val.get(), S.data() + I, J - I)));
-      I = J;
-    }
+    UpdateBuf Updates(NS - Cut);
+    routeGroups(A.T, S.data() + Cut, NS - Cut, Updates,
+                [](const Node *HN, const K *Span, size_t Len) {
+                  return chunkMinus<Codec>(HN->Val.get(), Span, Len);
+                });
     Node *NT = T::multiInsert(
         A.T, Updates.data(), Updates.size(),
         [](ChunkRef<K>, ChunkRef<K> New) { return New; });
@@ -815,8 +903,11 @@ private:
     T::freeShell(E.Shell);
     Raw L, R;
     bool Par = T::size(S.Left.T) + T::size(E.Left) +
-                   T::size(S.Right.T) + T::size(E.Right) >=
-               T::SeqCutoff;
+                       T::size(S.Right.T) + T::size(E.Right) >=
+                   T::SeqCutoff ||
+               T::workOf(S.Left.T) + T::workOf(E.Left) +
+                       T::workOf(S.Right.T) + T::workOf(E.Right) >=
+                   T::WorkCutoff;
     auto DoL = [&] { L = rawDifference(S.Left, Raw{E.Left, B.P}); };
     auto DoR = [&] { R = rawDifference(S.Right, Raw{E.Right, V}); };
     if (Par)
@@ -857,8 +948,11 @@ private:
     Payload *V = E.Shell->Val.take();
     Raw L, R;
     bool Par = T::size(S.Left.T) + T::size(E.Left) +
-                   T::size(S.Right.T) + T::size(E.Right) >=
-               T::SeqCutoff;
+                       T::size(S.Right.T) + T::size(E.Right) >=
+                   T::SeqCutoff ||
+               T::workOf(S.Left.T) + T::workOf(E.Left) +
+                       T::workOf(S.Right.T) + T::workOf(E.Right) >=
+                   T::WorkCutoff;
     auto DoL = [&] { L = rawIntersect(S.Left, Raw{E.Left, B.P}); };
     auto DoR = [&] { R = rawIntersect(S.Right, Raw{E.Right, V}); };
     if (Par)

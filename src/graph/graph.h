@@ -225,22 +225,20 @@ public:
   //===--------------------------------------------------------------------===
 
   /// New snapshot with \p Edges inserted (duplicates combined). Sources
-  /// not yet present are created.
+  /// not yet present are created. The owned vector doubles as the span
+  /// path's mutable workspace, so grouping runs through combineSpan's
+  /// borrowed scratch and makes no input-sized heap allocations.
   GraphSnapshotT insertEdges(std::vector<EdgePair> Edges) const {
-    if (Edges.empty())
-      return *this;
-    auto Pairs = groupBySource(std::move(Edges));
-    return insertGrouped(Pairs.data(), Pairs.size());
+    return combineSpan(Edges.data(), Edges.size(), /*Insert=*/true,
+                       nullptr);
   }
 
   /// New snapshot with \p Edges removed. Vertices are kept even when their
   /// edge sets become empty (the paper makes singleton removal optional;
   /// see removeIsolatedVertices()). Unknown sources are ignored.
   GraphSnapshotT deleteEdges(std::vector<EdgePair> Edges) const {
-    if (Edges.empty())
-      return *this;
-    auto Pairs = groupBySource(std::move(Edges));
-    return deleteGrouped(Pairs.data(), Pairs.size());
+    return combineSpan(Edges.data(), Edges.size(), /*Insert=*/false,
+                       nullptr);
   }
 
   //===--------------------------------------------------------------------===
@@ -408,29 +406,6 @@ private:
     }
     return Insert ? insertGrouped(Pairs->data(), Pairs->size())
                   : deleteGrouped(Pairs->data(), Pairs->size());
-  }
-
-  /// Sort + dedup a batch and build one edge set per distinct source.
-  static std::vector<std::pair<VertexId, EdgeSet>>
-  groupBySource(std::vector<EdgePair> Edges) {
-    parallelSort(Edges);
-    auto E = filterIndex(
-        Edges.size(), [&](size_t I) { return Edges[I]; },
-        [&](size_t I) { return I == 0 || Edges[I] != Edges[I - 1]; });
-    auto Dst = tabulate(E.size(), [&](size_t I) { return E[I].second; });
-    auto Starts = filterIndex(
-        E.size(), [&](size_t I) { return I; },
-        [&](size_t I) {
-          return I == 0 || E[I].first != E[I - 1].first;
-        });
-    std::vector<std::pair<VertexId, EdgeSet>> Pairs(Starts.size());
-    parallelFor(0, Starts.size(), [&](size_t G) {
-      size_t Lo = Starts[G];
-      size_t Hi = (G + 1 < Starts.size()) ? Starts[G + 1] : E.size();
-      Pairs[G] = {E[Lo].first,
-                  EdgeSet::buildSorted(Dst.data() + Lo, Hi - Lo)};
-    });
-    return Pairs;
   }
 
   static size_t memoryRec(const Node *N) {

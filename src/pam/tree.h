@@ -40,6 +40,7 @@
 #include <cassert>
 #include <cstdint>
 #include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,26 @@ template <class Entry> struct Tree {
 
   /// Below this subtree size, recursive operations run sequentially.
   static constexpr uint32_t SeqCutoff = 128;
+
+  /// Augmentation-weighted work threshold for forking. SeqCutoff counts
+  /// nodes, which under-forks trees whose per-node payloads are heavy: a
+  /// vertex tree of 16 nodes carrying a million edges never reaches 128
+  /// nodes, yet its merge does a million elements of chunk work. workOf()
+  /// folds an integral augmentation (edge counts in the vertex tree, tail
+  /// counts in the C-tree heads tree) into the fork decision so such
+  /// subtrees still split across cores. The threshold is coarser than
+  /// SeqCutoff because per-element chunk work is much cheaper than
+  /// per-node tree work.
+  static constexpr uint64_t WorkCutoff = 4096;
+
+  /// Fork-decision work estimate: node count, plus the aggregated payload
+  /// size when the augmentation measures one (integral AugT).
+  static uint64_t workOf(const Node *T) {
+    if constexpr (std::is_integral_v<AugT>)
+      return T ? uint64_t(T->Size) + uint64_t(T->Aug) : 0;
+    else
+      return T ? uint64_t(T->Size) : 0;
+  }
 
   //===--------------------------------------------------------------------===
   // Node lifecycle.
@@ -486,7 +507,8 @@ template <class Entry> struct Tree {
     if (S.Found)
       E.Shell->Val = Fn(std::move(S.Val), std::move(E.Shell->Val));
     Node *L = nullptr, *R = nullptr;
-    bool Par = size(S.Left) + size(E.Left) >= SeqCutoff &&
+    bool Par = (size(S.Left) + size(E.Left) >= SeqCutoff ||
+                workOf(S.Left) + workOf(E.Left) >= WorkCutoff) &&
                size(S.Right) + size(E.Right) >= 1;
     auto DoL = [&] { L = unionWith(S.Left, E.Left, Fn); };
     auto DoR = [&] { R = unionWith(S.Right, E.Right, Fn); };
@@ -513,7 +535,8 @@ template <class Entry> struct Tree {
     Exposed E = expose(B);
     SplitResult S = split(A, E.Shell->Key);
     Node *L = nullptr, *R = nullptr;
-    bool Par = size(S.Left) + size(E.Left) >= SeqCutoff;
+    bool Par = size(S.Left) + size(E.Left) >= SeqCutoff ||
+               workOf(S.Left) + workOf(E.Left) >= WorkCutoff;
     auto DoL = [&] { L = intersectWith(S.Left, E.Left, Fn); };
     auto DoR = [&] { R = intersectWith(S.Right, E.Right, Fn); };
     if (Par)
@@ -542,7 +565,8 @@ template <class Entry> struct Tree {
     SplitResult S = split(A, E.Shell->Key);
     freeShell(E.Shell);
     Node *L = nullptr, *R = nullptr;
-    bool Par = size(S.Left) + size(E.Left) >= SeqCutoff;
+    bool Par = size(S.Left) + size(E.Left) >= SeqCutoff ||
+               workOf(S.Left) + workOf(E.Left) >= WorkCutoff;
     auto DoL = [&] { L = difference(S.Left, E.Left); };
     auto DoR = [&] { R = difference(S.Right, E.Right); };
     if (Par)
@@ -572,7 +596,8 @@ template <class Entry> struct Tree {
     if (S.Found)
       E.Shell->Val = Fn(std::move(E.Shell->Val), std::move(S.Val));
     Node *L = nullptr, *R = nullptr;
-    bool Par = size(E.Left) + size(S.Left) >= SeqCutoff;
+    bool Par = size(E.Left) + size(S.Left) >= SeqCutoff ||
+               workOf(E.Left) + workOf(S.Left) >= WorkCutoff;
     auto DoL = [&] { L = updateExisting(E.Left, S.Left, Fn); };
     auto DoR = [&] { R = updateExisting(E.Right, S.Right, Fn); };
     if (Par)
@@ -599,7 +624,7 @@ template <class Entry> struct Tree {
       return nullptr;
     Exposed E = expose(T);
     Node *L = nullptr, *R = nullptr;
-    bool Par = size(E.Left) >= SeqCutoff;
+    bool Par = size(E.Left) >= SeqCutoff || workOf(E.Left) >= WorkCutoff;
     auto DoL = [&] { L = filter(E.Left, Fn); };
     auto DoR = [&] { R = filter(E.Right, Fn); };
     if (Par)

@@ -4,8 +4,6 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,13 +12,130 @@ using namespace aspen::detail;
 
 namespace {
 
-/// Per-context work deque. The owner pushes/pops at the back; thieves take
-/// from the front (oldest job == largest remaining work).
+/// Per-context lock-free work deque (Chase & Lev, SPAA'05; memory orders
+/// after the C11 mapping of Lê et al., PPoPP'13). The owner pushes and
+/// pops at Bottom; thieves CAS Top. Indices grow monotonically and wrap
+/// into a fixed power-of-two ring.
+///
+/// Two deviations from the textbook version, both deliberate:
+///
+///  * No resizing. Deque depth equals the nesting depth of in-flight
+///    parallelDo frames on the owning thread's stack, which is bounded by
+///    tree recursion depth plus steal-help nesting — far below Cap. If
+///    the ring ever fills, push() reports failure and the forking frame
+///    runs the job inline (always correct, never blocks).
+///  * The fence-based orderings are expressed as seq_cst *operations* on
+///    Top/Bottom rather than standalone atomic_thread_fence: TSan does
+///    not model fences, and the operation form is what keeps the
+///    concurrency suites TSan-clean. On x86 the cost difference is one
+///    locked instruction in pop(), which the steal-free common case
+///    (push + popIfLocal) never pays beyond a store-load barrier.
+///
+/// Safety sketch: a slot written by push() is published by the release
+/// store to Bottom; a thief's seq_cst load of Bottom that observes the
+/// new value therefore also observes the Job pointer and the Job fields
+/// written before the push. A slot is never overwritten while a thief
+/// could still CAS its index: reusing slot (T & Mask) requires Bottom to
+/// advance Cap past T, which the full-check in push() forbids while
+/// Top == T. A stale Job pointer read by a slow thief is discarded when
+/// its CAS on Top fails, so it is never dereferenced.
 struct alignas(64) WorkDeque {
-  std::mutex M;
-  std::deque<Job *> Items;
-  std::atomic<int> Size{0}; ///< mirror of Items.size() for lock-free peeks
+  static constexpr uint64_t CapLog = 10;
+  static constexpr uint64_t Cap = uint64_t(1) << CapLog; // 1024 jobs
+  static constexpr uint64_t Mask = Cap - 1;
+
+  std::atomic<uint64_t> Top{0};    ///< next index thieves take from
+  std::atomic<uint64_t> Bottom{0}; ///< next index the owner pushes to
   std::atomic<bool> Active{false};
+  std::atomic<Job *> Slots[Cap];
+
+  /// Owner only. Returns false when the ring is full.
+  bool push(Job *J) {
+    uint64_t B = Bottom.load(std::memory_order_relaxed);
+    uint64_t T = Top.load(std::memory_order_acquire);
+    if (B - T >= Cap)
+      return false;
+    Slots[B & Mask].store(J, std::memory_order_relaxed);
+    // Release publishes the slot (and the Job it points to) to thieves.
+    Bottom.store(B + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only: take the most recently pushed job, or nullptr if the
+  /// deque is empty / the last job was stolen.
+  Job *pop() {
+    uint64_t B = Bottom.load(std::memory_order_relaxed);
+    uint64_t T = Top.load(std::memory_order_acquire);
+    if (B == T)
+      return nullptr;
+    B -= 1;
+    // seq_cst store-load pairing with steal(): either the thief sees the
+    // reservation (its Bottom load reads <= B) or we see its CAS (our
+    // Top load below reads the advanced value) — both never claim the
+    // same slot.
+    Bottom.store(B, std::memory_order_seq_cst);
+    Job *J = Slots[B & Mask].load(std::memory_order_relaxed);
+    T = Top.load(std::memory_order_seq_cst);
+    if (int64_t(B - T) < 0) { // thieves emptied it first
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (B == T) { // last element: race the thieves for it
+      if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed))
+        J = nullptr;
+      Bottom.store(B + 1, std::memory_order_relaxed);
+    }
+    return J;
+  }
+
+  /// Owner only: pop() specialized to commit only when the bottom job is
+  /// \p Expected. In strict fork-join the bottom job at join time is
+  /// either \p Expected or a job of an *enclosing* frame (when Expected
+  /// was stolen) — the peek keeps us from popping the latter.
+  bool popIfLocal(Job *Expected) {
+    uint64_t B = Bottom.load(std::memory_order_relaxed);
+    uint64_t T = Top.load(std::memory_order_acquire);
+    if (B == T)
+      return false; // empty: Expected was stolen
+    if (Slots[(B - 1) & Mask].load(std::memory_order_relaxed) != Expected)
+      return false; // bottom belongs to an enclosing frame
+    B -= 1;
+    Bottom.store(B, std::memory_order_seq_cst);
+    T = Top.load(std::memory_order_seq_cst);
+    if (int64_t(B - T) < 0) {
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    if (B == T) {
+      bool Won = Top.compare_exchange_strong(T, T + 1,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_relaxed);
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return Won;
+    }
+    return true;
+  }
+
+  /// Thief: take the oldest job (largest remaining work), or nullptr.
+  Job *steal() {
+    uint64_t T = Top.load(std::memory_order_seq_cst);
+    uint64_t B = Bottom.load(std::memory_order_seq_cst);
+    if (int64_t(B - T) <= 0)
+      return nullptr;
+    Job *J = Slots[T & Mask].load(std::memory_order_relaxed);
+    if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return nullptr; // lost the race; caller retries elsewhere
+    return J;
+  }
+
+  /// Cheap non-committal peek for idle thieves.
+  bool looksEmpty() const {
+    uint64_t T = Top.load(std::memory_order_relaxed);
+    uint64_t B = Bottom.load(std::memory_order_relaxed);
+    return int64_t(B - T) <= 0;
+  }
 };
 
 inline void cpuRelax() {
@@ -67,38 +182,17 @@ public:
     return Id;
   }
 
-  void push(int Ctx, Job *J) {
-    WorkDeque &D = Deques[Ctx];
-    std::lock_guard<std::mutex> Lock(D.M);
-    D.Items.push_back(J);
-    D.Size.store(int(D.Items.size()), std::memory_order_release);
-  }
+  bool push(int Ctx, Job *J) { return Deques[Ctx].push(J); }
 
-  bool popIfLocal(int Ctx, Job *J) {
-    WorkDeque &D = Deques[Ctx];
-    std::lock_guard<std::mutex> Lock(D.M);
-    if (!D.Items.empty() && D.Items.back() == J) {
-      D.Items.pop_back();
-      D.Size.store(int(D.Items.size()), std::memory_order_release);
-      return true;
-    }
-    return false;
-  }
+  bool popIfLocal(int Ctx, Job *J) { return Deques[Ctx].popIfLocal(J); }
 
-  /// Take one job: prefer own deque's back, then steal a random victim's
-  /// front. A lock-free Size peek keeps idle thieves off the mutexes.
-  /// Returns nullptr if no work was found after a few attempts.
+  /// Take one job: prefer own deque's bottom, then steal a random
+  /// victim's top. The looksEmpty peek keeps idle thieves from issuing
+  /// CAS traffic against quiet deques. Returns nullptr if no work was
+  /// found after a few attempts.
   Job *findWork(int Ctx, uint64_t &Rng) {
-    WorkDeque &Own = Deques[Ctx];
-    if (Own.Size.load(std::memory_order_acquire) > 0) {
-      std::lock_guard<std::mutex> Lock(Own.M);
-      if (!Own.Items.empty()) {
-        Job *J = Own.Items.back();
-        Own.Items.pop_back();
-        Own.Size.store(int(Own.Items.size()), std::memory_order_release);
-        return J;
-      }
-    }
+    if (Job *J = Deques[Ctx].pop())
+      return J;
     int Limit = NextContext.load(std::memory_order_acquire);
     for (int Attempt = 0; Attempt < 8; ++Attempt) {
       Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -107,20 +201,10 @@ public:
       if (Victim == Ctx)
         continue;
       WorkDeque &D = Deques[Victim];
-      if (!D.Active.load(std::memory_order_relaxed) ||
-          D.Size.load(std::memory_order_acquire) == 0)
+      if (!D.Active.load(std::memory_order_relaxed) || D.looksEmpty())
         continue;
-      // try_lock: if another thief (or the owner) holds the deque, move
-      // on instead of convoying on the mutex.
-      std::unique_lock<std::mutex> Lock(D.M, std::try_to_lock);
-      if (!Lock.owns_lock())
-        continue;
-      if (!D.Items.empty()) {
-        Job *J = D.Items.front();
-        D.Items.pop_front();
-        D.Size.store(int(D.Items.size()), std::memory_order_release);
+      if (Job *J = D.steal())
         return J;
-      }
     }
     return nullptr;
   }
@@ -221,7 +305,7 @@ bool aspen::detail::parallelismEnabled() {
          !SequentialModeFlag.load(std::memory_order_relaxed);
 }
 
-void aspen::detail::pushJob(Job *J) { scheduler().push(workerId(), J); }
+bool aspen::detail::pushJob(Job *J) { return scheduler().push(workerId(), J); }
 
 bool aspen::detail::popJobIfLocal(Job *J) {
   return scheduler().popIfLocal(workerId(), J);

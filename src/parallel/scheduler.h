@@ -12,9 +12,15 @@
 //    in Section 7.3) can share the worker pool safely.
 //  * Forked jobs live on the forking frame's stack; a blocked joiner helps
 //    by stealing other jobs, so nested parallelism composes.
-//  * Deques are protected by a small mutex. Jobs are coarse (grain control
-//    in parallelFor), so deque contention is negligible; this trades a few
-//    nanoseconds for simplicity over a Chase-Lev deque.
+//  * Deques are lock-free Chase-Lev rings (Chase & Lev, SPAA'05): the
+//    owner pushes and pops at the bottom with plain stores, thieves CAS
+//    the top. The fine-grained forks from the within-shard parallel batch
+//    merges (C-tree unionBC/diffBC groups, work-weighted pam forks) make
+//    deque traffic frequent enough that the old mutex deque's lock
+//    hand-offs showed up; see DESIGN.md §5 for the memory-ordering
+//    argument. Capacity is fixed; on the (never-seen-in-practice)
+//    overflow, pushJob reports failure and parallelDo simply runs both
+//    sides inline, which is always correct.
 //
 //===----------------------------------------------------------------------===//
 
@@ -57,7 +63,9 @@ struct Job {
 };
 
 /// Push \p J onto the calling context's deque (making it stealable).
-void pushJob(Job *J);
+/// Returns false if the deque is full; the caller must then run the job
+/// inline instead of forking.
+bool pushJob(Job *J);
 
 /// Try to remove \p J from the calling context's deque. Returns true if the
 /// job was reclaimed (not stolen) and should be run inline by the caller.
@@ -84,7 +92,11 @@ template <class L, class R> void parallelDo(L &&Left, R &&Right) {
   detail::Job J;
   J.Arg = const_cast<void *>(static_cast<const void *>(&Right));
   J.Run = [](void *Arg) { (*static_cast<RightFn *>(Arg))(); };
-  detail::pushJob(&J);
+  if (!detail::pushJob(&J)) {
+    Left();
+    Right();
+    return;
+  }
   Left();
   if (detail::popJobIfLocal(&J)) {
     Right();

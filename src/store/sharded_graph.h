@@ -469,28 +469,39 @@ private:
 
       // One grouped pair per nonempty local id, in increasing id order
       // (local order implies global order within a shard: global id =
-      // local << LogShards | shard).
-      size_t Groups = 0;
-      for (size_t L = 0; L < M; ++L)
-        Groups += StartsP[L + 1] > StartsP[L] ? 1 : 0;
+      // local << LogShards | shard). The per-group sort + set builds are
+      // independent, so they fill the grouped batch in parallel by
+      // index; a skewed batch into one shard then still fans out across
+      // cores instead of serializing behind this loop.
+      CtxArray<uint32_t> GroupIds(M);
+      uint32_t *GroupIdsP = GroupIds.data();
+      size_t Groups = filterIndexInto(
+          M, [](size_t L) { return uint32_t(L); },
+          [&](size_t L) { return StartsP[L + 1] > StartsP[L]; }, GroupIdsP);
       Pairs.emplace(Groups);
-      if (TouchedOut)
-        TouchedOut->reserve(Groups);
+      Pairs->setSize(Groups);
       VertexId ShardBits = VertexId(Sh);
-      for (size_t L = 0; L < M; ++L) {
+      parallelFor(0, Groups, [&](size_t G) {
+        uint32_t L = GroupIdsP[G];
         uint32_t Lo = StartsP[L], Hi = StartsP[L + 1];
-        if (Lo == Hi)
-          continue;
-        std::sort(DstP + Lo, DstP + Hi);
-        size_t Len =
-            size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
+        size_t Len = Hi - Lo;
+        if (Len >= 8192)
+          parallelSort(DstP + Lo, Len);
+        else
+          std::sort(DstP + Lo, DstP + Hi);
+        Len = size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
         VertexId Global = (VertexId(L) << LogShards) | ShardBits;
-        Pairs->emplaceBack(Global, EdgeSet::buildSorted(DstP + Lo, Len));
-        // The grouped keys double as the epoch's touched-vertex digest
-        // for this shard (ascending local order implies ascending global
-        // order within a shard).
-        if (TouchedOut)
-          TouchedOut->push_back(Global);
+        Pairs->emplaceAt(G, Global, EdgeSet::buildSorted(DstP + Lo, Len));
+      });
+      // The grouped keys double as the epoch's touched-vertex digest for
+      // this shard (ascending local order implies ascending global order
+      // within a shard).
+      if (TouchedOut) {
+        TouchedOut->resize(Groups);
+        VertexId *TP = TouchedOut->data();
+        parallelFor(0, Groups, [&](size_t G) {
+          TP[G] = Pairs->data()[G].first;
+        });
       }
     }
     return Insert ? Base.insertGrouped(Pairs->data(), Pairs->size())

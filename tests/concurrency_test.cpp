@@ -442,3 +442,85 @@ TEST(Concurrency, ParallelSetOpsOnSharedInputs) {
   EXPECT_EQ(Violations.load(), 0u);
   EXPECT_EQ(Shared.toVector(), SortedKeys) << "shared input unchanged";
 }
+
+namespace {
+
+/// Deep unbalanced fork tree with tiny leaves: maximizes push/pop/steal
+/// traffic on the Chase-Lev deques (every leaf is an independently
+/// stealable job and the owner races thieves for the bottom entry).
+uint64_t forkSum(uint64_t Lo, uint64_t Hi) {
+  if (Hi - Lo <= 4) {
+    uint64_t S = 0;
+    for (uint64_t I = Lo; I < Hi; ++I)
+      S += hash64(I) & 0xff;
+    return S;
+  }
+  uint64_t Mid = Lo + (Hi - Lo) / 3 + 1; // unbalanced: steal-heavy
+  uint64_t A = 0, B = 0;
+  parallelDo([&] { A = forkSum(Lo, Mid); }, [&] { B = forkSum(Mid, Hi); });
+  return A + B;
+}
+
+} // namespace
+
+TEST(Concurrency, ChaseLevDequeStress) {
+  // Many application threads hammer the scheduler with nested fork-join
+  // work at steal-heavy grain sizes, each checking its deterministic
+  // sum. Run under TSan in CI, this exercises every deque transition:
+  // owner push/pop, popIfLocal rescinding, thief CAS races on the last
+  // element, and cross-thread Job publication.
+  const uint64_t N = 20000;
+  uint64_t Expected = 0;
+  for (uint64_t I = 0; I < N; ++I)
+    Expected += hash64(I) & 0xff;
+
+  std::atomic<uint64_t> Violations{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 6; ++T)
+    Threads.emplace_back([&] {
+      for (int Round = 0; Round < 8; ++Round)
+        if (forkSum(0, N) != Expected)
+          Violations.fetch_add(1);
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+}
+
+TEST(Concurrency, ChaseLevNestedParallelFor) {
+  // Nested parallelFors with grain 1 from several registered threads:
+  // band tasks of the inner loops interleave with outer-loop stealing,
+  // so deques hold jobs from multiple nesting levels at once.
+  std::atomic<uint64_t> Violations{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int Round = 0; Round < 4; ++Round) {
+        std::atomic<uint64_t> Sum{0};
+        parallelFor(
+            0, 64,
+            [&](size_t I) {
+              std::atomic<uint64_t> Local{0};
+              parallelFor(
+                  0, 64,
+                  [&](size_t J) {
+                    Local.fetch_add(hash64(I * 64 + J) & 7);
+                  },
+                  1);
+              Sum.fetch_add(Local.load() + I);
+            },
+            1);
+        uint64_t Expected = 0;
+        for (size_t I = 0; I < 64; ++I) {
+          Expected += I;
+          for (size_t J = 0; J < 64; ++J)
+            Expected += hash64(I * 64 + J) & 7;
+        }
+        if (Sum.load() != Expected)
+          Violations.fetch_add(1);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Violations.load(), 0u);
+}

@@ -1,0 +1,302 @@
+//===- tests/parallel_merge_test.cpp - Parallel merge byte-identity -------===//
+//
+// Differential tests for the within-shard parallel ingest paths: the
+// parallel group-routing in unionBC/diffBC, the work-weighted fork
+// decisions in pam/tree.h, and the parallel per-group builds in the
+// sharded store's mergeShard must all produce results *byte-identical*
+// to the sequential reference — same tree shapes, same chunk payload
+// headers, same encoded bytes. Each test runs the same operation twice,
+// once under the normal scheduler and once under setSequentialMode (the
+// sequential head-walk loop and inline forks), on the batch shapes that
+// stress the parallel machinery: single-hot-vertex skew, zipf skew,
+// interleaved territories, and delete-heavy batches.
+//
+// On a single-worker pool the parallel gates never open and both runs
+// take the sequential path (the comparison is then trivially true); the
+// multi-core CI runners provide the real coverage. BatchParCutoff is
+// lowered so even these test-sized batches route through the parallel
+// grouping when workers are available.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctree/ctree.h"
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "store/sharded_graph.h"
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace aspen;
+
+namespace {
+
+using CTS = CTreeSet<VertexId, DeltaByteCodec>;
+using P64 = ChunkPayload<VertexId>;
+
+/// Lower the parallel-routing cutoff for the duration of a test so
+/// test-sized batches exercise the probe/group path.
+struct BatchCutoffGuard {
+  size_t Saved;
+  explicit BatchCutoffGuard(size_t Cutoff) : Saved(CTS::BatchParCutoff) {
+    CTS::BatchParCutoff = Cutoff;
+  }
+  ~BatchCutoffGuard() { CTS::BatchParCutoff = Saved; }
+};
+
+/// Run \p Fn with the scheduler forced sequential, restoring after.
+template <class F> auto runSequential(const F &Fn) {
+  setSequentialMode(true);
+  auto R = Fn();
+  setSequentialMode(false);
+  return R;
+}
+
+bool chunksIdentical(const P64 *A, const P64 *B) {
+  if (!A || !B)
+    return A == B;
+  return A->Count == B->Count && A->Bytes == B->Bytes &&
+         A->First == B->First && A->Last == B->Last &&
+         std::memcmp(A->data(), B->data(), A->Bytes) == 0;
+}
+
+/// Byte-level equality of two C-trees: identical prefix payloads and, in
+/// order, identical (head, tail payload) entries. Chunk payloads carry
+/// their encoded bytes, so memcmp equality here means the two trees
+/// serialize identically.
+bool setsIdentical(const CTS &A, const CTS &B) {
+  if (!chunksIdentical(A.prefix(), B.prefix()))
+    return false;
+  std::vector<std::pair<VertexId, const P64 *>> EA, EB;
+  CTS::T::forEachSeq(A.root(), [&](const VertexId &H,
+                                   const ChunkRef<VertexId> &Tl) {
+    EA.emplace_back(H, Tl.get());
+  });
+  CTS::T::forEachSeq(B.root(), [&](const VertexId &H,
+                                   const ChunkRef<VertexId> &Tl) {
+    EB.emplace_back(H, Tl.get());
+  });
+  if (EA.size() != EB.size())
+    return false;
+  for (size_t I = 0; I < EA.size(); ++I)
+    if (EA[I].first != EB[I].first ||
+        !chunksIdentical(EA[I].second, EB[I].second))
+      return false;
+  return true;
+}
+
+/// Byte-level equality of two graph snapshots: same vertex sequence with
+/// byte-identical edge sets.
+bool graphsIdentical(const Graph &A, const Graph &B) {
+  std::vector<std::pair<VertexId, const CTS *>> VA, VB;
+  Graph::VT::forEachSeq(A.root(), [&](const VertexId &V, const CTS &S) {
+    VA.emplace_back(V, &S);
+  });
+  Graph::VT::forEachSeq(B.root(), [&](const VertexId &V, const CTS &S) {
+    VB.emplace_back(V, &S);
+  });
+  if (VA.size() != VB.size())
+    return false;
+  for (size_t I = 0; I < VA.size(); ++I)
+    if (VA[I].first != VB[I].first ||
+        !setsIdentical(*VA[I].second, *VB[I].second))
+      return false;
+  return true;
+}
+
+std::vector<VertexId> sortedUnique(std::vector<VertexId> V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+  return V;
+}
+
+/// Zipf-ish values: heavy mass on small values, long tail up to Range.
+std::vector<VertexId> zipfValues(size_t N, VertexId Range, uint64_t Seed) {
+  std::vector<VertexId> V(N);
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t H = hashAt(Seed, I);
+    // Inverse-rank skew: value ~ Range / (1 + rank), rank uniform.
+    V[I] = VertexId(Range / (1 + H % 1024)) + VertexId(H % 7);
+  }
+  return sortedUnique(std::move(V));
+}
+
+//===----------------------------------------------------------------------===
+// C-tree level: unionBC/diffBC group routing.
+//===----------------------------------------------------------------------===
+
+class CTreeDifferential : public ::testing::Test {
+protected:
+  CTS buildBase() {
+    std::vector<VertexId> E(200000);
+    for (size_t I = 0; I < E.size(); ++I)
+      E[I] = VertexId(hashAt(11, I) % 1000000);
+    return CTS::fromUnsorted(std::move(E));
+  }
+};
+
+TEST_F(CTreeDifferential, UnionSkewedBatch) {
+  BatchCutoffGuard G(64);
+  CTS Base = buildBase();
+  // All batch elements inside one narrow window: few head territories,
+  // large groups — the worst case for the sequential head walk.
+  std::vector<VertexId> Hot(50000);
+  for (size_t I = 0; I < Hot.size(); ++I)
+    Hot[I] = VertexId(500000 + hashAt(13, I) % 4096);
+  CTS Batch = CTS::fromUnsorted(sortedUnique(std::move(Hot)));
+
+  CTS Par = CTS::setUnion(Base, Batch);
+  CTS Seq = runSequential([&] { return CTS::setUnion(Base, Batch); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(setsIdentical(Par, Seq));
+}
+
+TEST_F(CTreeDifferential, UnionZipfBatch) {
+  BatchCutoffGuard G(64);
+  CTS Base = buildBase();
+  CTS Batch = CTS::fromUnsorted(zipfValues(60000, 1000000, 17));
+
+  CTS Par = CTS::setUnion(Base, Batch);
+  CTS Seq = runSequential([&] { return CTS::setUnion(Base, Batch); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(setsIdentical(Par, Seq));
+}
+
+TEST_F(CTreeDifferential, UnionInterleavedBatch) {
+  BatchCutoffGuard G(64);
+  CTS Base = buildBase();
+  // Every 3rd value over the whole range: touches nearly every head.
+  std::vector<VertexId> E;
+  for (VertexId V = 1; V < 300000; V += 3)
+    E.push_back(V);
+  CTS Batch = CTS::fromUnsorted(std::move(E));
+
+  CTS Par = CTS::setUnion(Base, Batch);
+  CTS Seq = runSequential([&] { return CTS::setUnion(Base, Batch); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(setsIdentical(Par, Seq));
+}
+
+TEST_F(CTreeDifferential, DifferenceDeleteHeavy) {
+  BatchCutoffGuard G(64);
+  CTS Base = buildBase();
+  // Subtrahend drawn mostly from elements actually present.
+  std::vector<VertexId> Sub;
+  Base.forEachSeq([&](VertexId V) {
+    if (hash64(V) % 10 < 6)
+      Sub.push_back(V);
+  });
+  CTS Del = CTS::fromUnsorted(std::move(Sub));
+
+  CTS Par = CTS::setDifference(Base, Del);
+  CTS Seq = runSequential([&] { return CTS::setDifference(Base, Del); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(setsIdentical(Par, Seq));
+}
+
+//===----------------------------------------------------------------------===
+// Graph level: single-hot-vertex batches through insertEdges/deleteEdges
+// exercise the work-weighted pam forks (tiny vertex trees, huge edge
+// sets) on top of the C-tree group routing.
+//===----------------------------------------------------------------------===
+
+TEST(GraphDifferential, SingleHotVertexInsert) {
+  BatchCutoffGuard G(64);
+  auto In = rmatGraphEdges(18, 4, 5);
+  Graph Base = Graph::fromEdges(VertexId(1) << 18, In);
+
+  const VertexId Hot = 7;
+  std::vector<EdgePair> Batch(100000);
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Batch[I] = {Hot, VertexId(hashAt(23, I) % (VertexId(1) << 20))};
+
+  Graph Par = Base.insertEdges(Batch);
+  Graph Seq = runSequential([&] { return Base.insertEdges(Batch); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(graphsIdentical(Par, Seq));
+}
+
+TEST(GraphDifferential, SingleHotVertexDelete) {
+  BatchCutoffGuard G(64);
+  const VertexId Hot = 3;
+  std::vector<EdgePair> Build(120000);
+  for (size_t I = 0; I < Build.size(); ++I)
+    Build[I] = {Hot, VertexId(hashAt(29, I) % (VertexId(1) << 20))};
+  Graph Base = Graph::fromEdges(VertexId(1) << 20, Build);
+
+  // Delete-heavy: remove ~2/3 of the hot vertex's edges.
+  std::vector<EdgePair> Del;
+  for (size_t I = 0; I < Build.size(); ++I)
+    if (I % 3 != 0)
+      Del.push_back(Build[I]);
+
+  Graph Par = Base.deleteEdges(Del);
+  Graph Seq = runSequential([&] { return Base.deleteEdges(Del); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(graphsIdentical(Par, Seq));
+}
+
+TEST(GraphDifferential, FewHeavyVerticesWorkWeightedForks) {
+  BatchCutoffGuard G(64);
+  // 8 vertices, ~40k edges each: node counts stay far below SeqCutoff,
+  // so only the work-weighted Par decisions can fork these merges.
+  std::vector<EdgePair> Build;
+  for (VertexId V = 0; V < 8; ++V)
+    for (size_t I = 0; I < 40000; ++I)
+      Build.push_back({V, VertexId(hashAt(31 + V, I) % (VertexId(1) << 19))});
+  Graph Base = Graph::fromEdges(8, Build);
+
+  std::vector<EdgePair> Batch;
+  for (VertexId V = 0; V < 8; ++V)
+    for (size_t I = 0; I < 30000; ++I)
+      Batch.push_back(
+          {V, VertexId(hashAt(101 + V, I) % (VertexId(1) << 19))});
+
+  Graph Par = Base.insertEdges(Batch);
+  Graph Seq = runSequential([&] { return Base.insertEdges(Batch); });
+  EXPECT_TRUE(Par.checkInvariants());
+  EXPECT_TRUE(graphsIdentical(Par, Seq));
+
+  Graph DPar = Par.deleteEdges(Build);
+  Graph DSeq = runSequential([&] { return Par.deleteEdges(Build); });
+  EXPECT_TRUE(DPar.checkInvariants());
+  EXPECT_TRUE(graphsIdentical(DPar, DSeq));
+}
+
+//===----------------------------------------------------------------------===
+// Sharded store: one shard forces the whole batch through a single
+// mergeShard call — its parallel per-group builds and the grouped merge
+// below them must match the sequential store state byte for byte.
+//===----------------------------------------------------------------------===
+
+TEST(ShardedDifferential, OneShardSkewedBatch) {
+  BatchCutoffGuard G(64);
+  const VertexId N = VertexId(1) << 16;
+  auto Build = dedupEdges(symmetrize(rmatGraphEdges(14, 4, 9)));
+
+  const VertexId Hot = 42;
+  std::vector<EdgePair> Batch(80000);
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Batch[I] = {Hot, VertexId(hashAt(43, I) % N)};
+
+  ShardedGraphStore Par(1, N, Build);
+  Par.insertBatch(Batch);
+  ShardedGraphStore Seq(1, N, Build);
+  runSequential([&] { return Seq.insertBatch(Batch); });
+
+  auto RP = Par.acquire();
+  auto RS = Seq.acquire();
+  ASSERT_EQ(RP.numShards(), RS.numShards());
+  EXPECT_TRUE(graphsIdentical(RP.shard(0), RS.shard(0)));
+
+  Par.deleteBatch(Batch);
+  runSequential([&] { return Seq.deleteBatch(Batch); });
+  auto DP = Par.acquire();
+  auto DS = Seq.acquire();
+  EXPECT_TRUE(graphsIdentical(DP.shard(0), DS.shard(0)));
+}
+
+} // namespace
