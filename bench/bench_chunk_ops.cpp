@@ -37,6 +37,7 @@
 #include "ctree/ctree.h"
 #include "encoding/byte_code.h"
 #include "encoding/varint_block.h"
+#include "graph/hybrid_set.h"
 #include "util/hash.h"
 
 #include <algorithm>
@@ -499,6 +500,77 @@ void runMergePatterns(size_t Count, size_t Pairs, int Rounds) {
 }
 
 //===----------------------------------------------------------------------===
+// containsEdge probes per hybrid degree class (graph/hybrid_set.h):
+// inline (in-node array scan), chunked (tree descent + chunk decode
+// scan), hot (tree + hash sidecar, O(1)). The hot row is reported twice:
+// through the sidecar probe and through the same set's underlying C-tree
+// scan (findLE + chunkContains), which is what a hot-degree membership
+// test costs without the sidecar.
+//===----------------------------------------------------------------------===
+
+void runHybridProbes(size_t Sets, int Rounds) {
+  using HSet = HybridEdgeSetT<uint32_t, DeltaByteCodec>;
+  struct ClassSpec {
+    const char *Name;
+    size_t Degree;
+  };
+  // Degrees relative to the default HybridParams thresholds
+  // (InlineMax = 8, b = 128, HotMin = 4096).
+  const ClassSpec Classes[] = {
+      {"inline", 8}, {"chunked", 512}, {"hot", 8192}};
+  HybridParams HP; // defaults: LogB 7, InlineMax 8, HotMin 4096
+  std::printf("\nhybrid containsEdge probes, %zu sets/class, degrees "
+              "8/512/8192 (b=128):\n",
+              Sets);
+  for (const ClassSpec &CS : Classes) {
+    std::vector<HSet> Hs(Sets);
+    std::vector<CTreeSet<uint32_t, DeltaByteCodec>> Cs(Sets);
+    for (size_t S = 0; S < Sets; ++S) {
+      std::vector<uint32_t> E(CS.Degree);
+      for (size_t I = 0; I < CS.Degree; ++I)
+        E[I] = uint32_t(hashAt(31 * S + 5, I) % (CS.Degree * 16));
+      std::sort(E.begin(), E.end());
+      E.erase(std::unique(E.begin(), E.end()), E.end());
+      Hs[S] = HSet::buildSorted(E.data(), E.size(), HP);
+      Cs[S] = CTreeSet<uint32_t, DeltaByteCodec>::buildSorted(
+          E.data(), E.size(), {HP.headMask()});
+    }
+    uint64_t Probes = Sets * 256;
+    std::atomic<uint64_t> Sink{0};
+    std::string Scope = std::string("probe-") + CS.Name;
+    OpReport R = measure(Rounds, Probes, [&] {
+      uint64_t Hits = 0;
+      for (size_t S = 0; S < Sets; ++S) {
+        auto V = Hs[S].view();
+        for (size_t I = 0; I < 256; ++I)
+          Hits += V.contains(uint32_t(hashAt(13, S * 256 + I) %
+                                      (CS.Degree * 16)));
+      }
+      Sink += Hits;
+    });
+    printRateRow(Scope, "contains", "hybrid",
+                 double(Probes) / R.Seconds, "ops_s");
+    double HybridRate = double(Probes) / R.Seconds;
+    R = measure(Rounds, Probes, [&] {
+      uint64_t Hits = 0;
+      for (size_t S = 0; S < Sets; ++S) {
+        auto V = Cs[S].view();
+        for (size_t I = 0; I < 256; ++I)
+          Hits += V.contains(uint32_t(hashAt(13, S * 256 + I) %
+                                      (CS.Degree * 16)));
+      }
+      Sink += Hits;
+    });
+    printRateRow(Scope, "contains", "ctree-scan",
+                 double(Probes) / R.Seconds, "ops_s");
+    double ScanRate = double(Probes) / R.Seconds;
+    std::printf("  %-10s ratio  %20.2fx hybrid/scan\n", CS.Name,
+                HybridRate / ScanRate);
+    recordMetric(Scope + "/contains/ratio", HybridRate / ScanRate);
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Varint skip: scalar byte loop (the pre-word-at-a-time implementation)
 // vs VarintCursor::skip's 8-byte-load + SWAR continuation-bit count; and
 // raw block decode: scalar decodeVarint loop vs the dispatched
@@ -616,6 +688,7 @@ int main(int Argc, char **Argv) {
   runCtreeBatchOps<DeltaByteCodec>(Count, Pairs / 16 + 1, Rounds);
   runDecode(512, Pairs, Rounds);
   runMergePatterns(Count * 8, Pairs / 4 + 1, Rounds);
+  runHybridProbes(Pairs / 16 + 1, Rounds);
   runVarintKernels(Count * 16, Pairs, Rounds);
 
   finishMetricTrail(CL, {{"_tier", blockDecodeTierName()}});

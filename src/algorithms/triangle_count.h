@@ -17,6 +17,7 @@
 #ifndef ASPEN_ALGORITHMS_TRIANGLE_COUNT_H
 #define ASPEN_ALGORITHMS_TRIANGLE_COUNT_H
 
+#include "ligra/edge_map.h"
 #include "memory/algo_context.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
@@ -25,7 +26,19 @@
 
 namespace aspen {
 
+/// Scan-vs-probe crossover: probing N(V) for one candidate costs about
+/// as much as decoding this many scanned neighbors, so the merge
+/// intersection switches to hash probes only when
+/// |candidates| * TriangleProbeCost < deg(V).
+inline constexpr uint64_t TriangleProbeCost = 8;
+
 /// Count triangles in a symmetric graph view.
+///
+/// Views exposing the edge-probe surface (HasContainsEdgeV) take an
+/// O(1)-membership fast path on hot vertices: when V keeps a hash
+/// sidecar and the candidate suffix of Au is small relative to deg(V),
+/// each candidate is probed against N(V) instead of merge-scanning the
+/// (possibly huge) neighborhood of V.
 template <class GView> uint64_t triangleCount(const GView &G) {
   VertexId N = G.numVertices();
   return reduce(
@@ -43,8 +56,20 @@ template <class GView> uint64_t triangleCount(const GView &G) {
         uint64_t Local = 0;
         for (size_t VI = 0; VI < AuN; ++VI) {
           VertexId V = Au[VI];
-          // Merge-intersect Au (suffix > V) with N(V) (> V).
           size_t Pos = VI + 1;
+          if (Pos == AuN)
+            break; // empty candidate suffix: nothing left to intersect
+          if constexpr (HasContainsEdgeV<GView>) {
+            uint64_t Cand = uint64_t(AuN - Pos);
+            if (G.hasFastProbe(V) &&
+                Cand * TriangleProbeCost < G.degree(V)) {
+              for (; Pos < AuN; ++Pos)
+                if (G.containsEdge(V, Au[Pos]))
+                  ++Local;
+              continue;
+            }
+          }
+          // Merge-intersect Au (suffix > V) with N(V) (> V).
           G.iterNeighborsCond(V, [&](VertexId Wv) {
             if (Wv <= V)
               return true;

@@ -10,6 +10,7 @@
 #ifndef ASPEN_ALGORITHMS_TWO_HOP_H
 #define ASPEN_ALGORITHMS_TWO_HOP_H
 
+#include "ligra/edge_map.h"
 #include "memory/algo_context.h"
 #include "util/types.h"
 
@@ -62,6 +63,47 @@ std::vector<VertexId> twoHop(const GView &G, VertexId Src) {
 /// |twoHop(G, Src)| without materializing (same cost; test convenience).
 template <class GView> size_t twoHopCount(const GView &G, VertexId Src) {
   return twoHop(G, Src).size();
+}
+
+/// Is \p Target within two hops of \p Src (Src itself counts)? A local
+/// point query: direct adjacency first, then one middle hop. On views
+/// with the edge-probe surface (HasContainsEdgeV), hot middle vertices
+/// answer the second hop with an O(1) sidecar probe instead of scanning
+/// their (large, that is what made them hot) neighborhoods; other views
+/// fall back to the conditional scan.
+template <class GView>
+bool isWithinTwoHops(const GView &G, VertexId Src, VertexId Target) {
+  if (Src == Target)
+    return true;
+  if constexpr (HasContainsEdgeV<GView>) {
+    if (G.hasFastProbe(Src) && G.containsEdge(Src, Target))
+      return true;
+  }
+  bool Found = false;
+  G.iterNeighborsCond(Src, [&](VertexId Mid) {
+    if (Mid == Target) {
+      Found = true;
+      return false;
+    }
+    if constexpr (HasContainsEdgeV<GView>) {
+      if (G.hasFastProbe(Mid)) {
+        if (G.containsEdge(Mid, Target)) {
+          Found = true;
+          return false;
+        }
+        return true;
+      }
+    }
+    G.iterNeighborsCond(Mid, [&](VertexId W) {
+      if (W == Target) {
+        Found = true;
+        return false;
+      }
+      return true;
+    });
+    return !Found;
+  });
+  return Found;
 }
 
 } // namespace aspen

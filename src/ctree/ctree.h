@@ -45,39 +45,24 @@
 
 namespace aspen {
 
-/// Global chunking parameters shared by every C-tree in the process. The
-/// expected chunk size b must be a power of two. Heads of all C-trees are
-/// chosen by the same hash, so trees built under different parameters must
-/// never be combined: change the parameter only while no C-trees are live
-/// (the chunk-size benchmark of Table 5 rebuilds between settings).
-struct CTreeParams {
-  static inline uint64_t HeadMask = 127; ///< b = 128 by default.
-  static inline uint64_t Seed = 0xa9c3f71b02d5e841ULL;
+/// Default expected chunk size b = 128 (HeadMask = b - 1). The mask is a
+/// per-tree construction parameter, not process state: head-ness is baked
+/// into a C-tree's structure at build time and the set algebra never
+/// re-evaluates it, so trees built under different masks coexist freely
+/// in one process (e.g. per-graph autotuned chunk sizes, the chunk-size
+/// sweep). Trees that are *combined* by the set operations must share a
+/// mask; the graph layer guarantees this by threading one BuildParams
+/// through every construction site of a snapshot lineage.
+inline constexpr uint64_t CTreeDefaultHeadMask = 127;
 
-  static bool isHead(uint64_t Key) {
+/// Head-selection hash, shared by every C-tree. \p HeadMask = b - 1 with
+/// b a power of two; expected chunk size is b.
+struct CTreeParams {
+  static constexpr uint64_t Seed = 0xa9c3f71b02d5e841ULL;
+
+  static bool isHead(uint64_t Key, uint64_t HeadMask) {
     return (hash64(Key ^ Seed) & HeadMask) == 0;
   }
-
-  /// Set the expected chunk size b (power of two).
-  static void setChunkSize(uint64_t B) {
-    assert(B > 0 && (B & (B - 1)) == 0 && "chunk size must be a power of 2");
-    HeadMask = B - 1;
-  }
-
-  static uint64_t chunkSize() { return HeadMask + 1; }
-};
-
-/// RAII guard that sets the chunk size and restores it on destruction
-/// (test/benchmark support).
-class ChunkSizeGuard {
-public:
-  explicit ChunkSizeGuard(uint64_t B) : Saved(CTreeParams::chunkSize()) {
-    CTreeParams::setChunkSize(B);
-  }
-  ~ChunkSizeGuard() { CTreeParams::setChunkSize(Saved); }
-
-private:
-  uint64_t Saved;
 };
 
 /// A compressed purely-functional ordered set of integers (Section 3).
@@ -103,6 +88,15 @@ public:
 
   using T = Tree<HeadEntry>;
   using Node = typename T::Node;
+
+  /// Construction parameters (the edge-set representation concept: every
+  /// representation names a BuildParams, threaded by the graph layer
+  /// through all construction sites of a snapshot lineage). The mask only
+  /// matters where heads are (re)selected — construction and invariant
+  /// checking; merges of already-built trees never consult it.
+  struct BuildParams {
+    uint64_t HeadMask = CTreeDefaultHeadMask;
+  };
 
   //===--------------------------------------------------------------------===
   // Value semantics.
@@ -164,14 +158,15 @@ public:
   /// Build from sorted, duplicate-free elements. O(n) work after sorting,
   /// O(b log n) depth w.h.p. (Section 4.2; sorting is the caller's job so
   /// pre-sorted inputs, e.g. CSR rows, build in linear work).
-  static CTreeSet buildSorted(const K *E, size_t N) {
+  static CTreeSet buildSorted(const K *E, size_t N, BuildParams P = {}) {
     if (N == 0)
       return CTreeSet();
     CtxArray<size_t> HeadIdx(N);
     size_t *HeadIdxP = HeadIdx.data();
     size_t H = filterIndexInto(
         N, [](size_t I) { return I; },
-        [&](size_t I) { return CTreeParams::isHead(E[I]); }, HeadIdxP);
+        [&](size_t I) { return CTreeParams::isHead(E[I], P.HeadMask); },
+        HeadIdxP);
     if (H == 0)
       return CTreeSet(nullptr, makeChunk<Codec>(E, N));
     Payload *Pre = makeChunk<Codec>(E, HeadIdxP[0]);
@@ -188,10 +183,10 @@ public:
   }
 
   /// Sorts, removes duplicates, and builds.
-  static CTreeSet fromUnsorted(std::vector<K> E) {
+  static CTreeSet fromUnsorted(std::vector<K> E, BuildParams P = {}) {
     parallelSort(E);
     E.erase(std::unique(E.begin(), E.end()), E.end());
-    return buildSorted(E.data(), E.size());
+    return buildSorted(E.data(), E.size(), P);
   }
 
   //===--------------------------------------------------------------------===
@@ -208,6 +203,26 @@ public:
 
     size_t size() const { return chunkCount(Prefix) + T::aug(Root); }
     bool empty() const { return !Root && !Prefix; }
+
+    /// Membership. O(b + log n) expected work: findLE over the heads tree
+    /// plus an early-exiting decode scan of one chunk.
+    bool contains(K X) const {
+      if (Prefix && X <= Prefix->Last) {
+        if (X < Prefix->First)
+          return false;
+        return chunkContains<Codec>(Prefix, X);
+      }
+      const Node *N = T::findLE(Root, X);
+      if (!N)
+        return false;
+      if (N->Key == X)
+        return true;
+      return chunkContains<Codec>(N->Val.get(), X);
+    }
+
+    /// No O(1) membership index on a plain C-tree view (the hybrid
+    /// representation's hot-vertex sidecars provide one).
+    bool hasFastProbe() const { return false; }
 
     /// Streaming in-order cursor over every element: composes the prefix
     /// chunk cursor, the heads-tree cursor, and per-head tail cursors.
@@ -348,19 +363,7 @@ public:
   //===--------------------------------------------------------------------===
 
   /// Membership. O(b + log n) expected work (Section 4.2).
-  bool contains(K X) const {
-    if (Prefix && X <= Prefix->Last) {
-      if (X < Prefix->First)
-        return false;
-      return chunkContains<Codec>(Prefix, X);
-    }
-    const Node *N = T::findLE(Root, X);
-    if (!N)
-      return false;
-    if (N->Key == X)
-      return true;
-    return chunkContains<Codec>(N->Val.get(), X);
-  }
+  bool contains(K X) const { return view().contains(X); }
 
   /// Sequential in-order traversal: Fn(element).
   template <class F> void forEachSeq(const F &Fn) const {
@@ -411,20 +414,25 @@ public:
   }
 
   /// MultiInsert (Section 4): union with a C-tree built over the batch.
-  CTreeSet multiInsert(std::vector<K> Batch) const {
-    return setUnion(*this, fromUnsorted(std::move(Batch)));
+  /// \p P must match the mask this tree was built under.
+  CTreeSet multiInsert(std::vector<K> Batch, BuildParams P = {}) const {
+    return setUnion(*this, fromUnsorted(std::move(Batch), P));
   }
 
   /// MultiDelete (Section 4): difference with the batch.
-  CTreeSet multiDelete(std::vector<K> Batch) const {
-    return setDifference(*this, fromUnsorted(std::move(Batch)));
+  CTreeSet multiDelete(std::vector<K> Batch, BuildParams P = {}) const {
+    return setDifference(*this, fromUnsorted(std::move(Batch), P));
   }
 
   /// Insert a single element (O(b + log n) expected).
-  CTreeSet insert(K X) const { return multiInsert({X}); }
+  CTreeSet insert(K X, BuildParams P = {}) const {
+    return multiInsert({X}, P);
+  }
 
   /// Remove a single element.
-  CTreeSet remove(K X) const { return multiDelete({X}); }
+  CTreeSet remove(K X, BuildParams P = {}) const {
+    return multiDelete({X}, P);
+  }
 
   //===--------------------------------------------------------------------===
   // Validation (test support).
@@ -432,7 +440,8 @@ public:
 
   /// Full structural audit: PAM invariants, strict element order, head
   /// placement, prefix/tail bounds, chunk headers, and count augmentation.
-  bool checkInvariants() const {
+  /// \p P must match the mask this tree was built under.
+  bool checkInvariants(BuildParams P = {}) const {
     if (!T::validate(Root))
       return false;
     // The element sequence must be strictly increasing, with heads exactly
@@ -448,7 +457,7 @@ public:
       Codec::template iterate<K>(Prefix, [&](K V) {
         if (Any && V <= Prev)
           Ok = false;
-        if (CTreeParams::isHead(V))
+        if (CTreeParams::isHead(V, P.HeadMask))
           Ok = false; // prefix holds non-heads only
         Prev = V;
         Any = true;
@@ -460,7 +469,7 @@ public:
       SeenTreeKey = true;
       if (Any && Key <= Prev)
         Ok = false;
-      if (!CTreeParams::isHead(Key))
+      if (!CTreeParams::isHead(Key, P.HeadMask))
         Ok = false; // tree keys must be heads
       Prev = Key;
       Any = true;
@@ -471,7 +480,7 @@ public:
         Codec::template iterate<K>(C, [&](K V) {
           if (V <= Prev)
             Ok = false;
-          if (CTreeParams::isHead(V))
+          if (CTreeParams::isHead(V, P.HeadMask))
             Ok = false; // tails hold non-heads only
           Prev = V;
           ++Count;

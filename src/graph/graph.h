@@ -25,6 +25,7 @@
 #define ASPEN_GRAPH_GRAPH_H
 
 #include "ctree/ctree.h"
+#include "graph/hybrid_set.h"
 #include "graph/uncompressed_set.h"
 #include "parallel/primitives.h"
 #include "util/types.h"
@@ -101,14 +102,25 @@ public:
   using VT = Tree<VertexEntry>;
   using Node = typename VT::Node;
 
-  GraphSnapshotT() = default;
-  /// Adopts \p Root.
-  explicit GraphSnapshotT(Node *Root) : Root(Root) {}
+  /// Edge-set construction parameters of this snapshot's lineage. Every
+  /// edge set built on behalf of this snapshot (initial build, batch
+  /// spans, grouped merges) uses the same params, which functional
+  /// updates inherit — sets that the set algebra combines are therefore
+  /// always structurally compatible (e.g. same C-tree chunk mask).
+  using BuildParams = typename EdgeSet::BuildParams;
 
-  GraphSnapshotT(const GraphSnapshotT &O) : Root(O.Root) {
+  GraphSnapshotT() = default;
+  /// Empty snapshot whose future updates build edge sets under \p P.
+  explicit GraphSnapshotT(BuildParams P) : Params(P) {}
+  /// Adopts \p Root.
+  explicit GraphSnapshotT(Node *Root, BuildParams P = {})
+      : Root(Root), Params(P) {}
+
+  GraphSnapshotT(const GraphSnapshotT &O) : Root(O.Root), Params(O.Params) {
     VT::retain(Root);
   }
-  GraphSnapshotT(GraphSnapshotT &&O) noexcept : Root(O.Root) {
+  GraphSnapshotT(GraphSnapshotT &&O) noexcept
+      : Root(O.Root), Params(O.Params) {
     O.Root = nullptr;
   }
   GraphSnapshotT &operator=(const GraphSnapshotT &O) {
@@ -116,6 +128,7 @@ public:
       VT::retain(O.Root);
       VT::release(Root);
       Root = O.Root;
+      Params = O.Params;
     }
     return *this;
   }
@@ -123,11 +136,14 @@ public:
     if (this != &O) {
       VT::release(Root);
       Root = O.Root;
+      Params = O.Params;
       O.Root = nullptr;
     }
     return *this;
   }
   ~GraphSnapshotT() { VT::release(Root); }
+
+  BuildParams buildParams() const { return Params; }
 
   //===--------------------------------------------------------------------===
   // Construction.
@@ -136,7 +152,8 @@ public:
   /// BuildGraph (Section 10.4): a graph over vertices [0, N) containing
   /// the given directed edges. Vertices with no edges are materialized
   /// with empty edge sets.
-  static GraphSnapshotT fromEdges(VertexId N, std::vector<EdgePair> Edges) {
+  static GraphSnapshotT fromEdges(VertexId N, std::vector<EdgePair> Edges,
+                                  BuildParams P = {}) {
     parallelSort(Edges);
     auto E = filterIndex(
         Edges.size(), [&](size_t I) { return Edges[I]; },
@@ -158,9 +175,9 @@ public:
       size_t Hi = (G + 1 < Starts.size()) ? Starts[G + 1] : E.size();
       VertexId Src = E[Lo].first;
       assert(Src < N && "edge endpoint out of vertex range");
-      Pairs[Src].second = EdgeSet::buildSorted(Dst.data() + Lo, Hi - Lo);
+      Pairs[Src].second = EdgeSet::buildSorted(Dst.data() + Lo, Hi - Lo, P);
     });
-    return GraphSnapshotT(VT::buildSorted(Pairs.data(), Pairs.size()));
+    return GraphSnapshotT(VT::buildSorted(Pairs.data(), Pairs.size()), P);
   }
 
   //===--------------------------------------------------------------------===
@@ -213,6 +230,17 @@ public:
     return N ? N->Val.size() : 0;
   }
 
+  /// Edge-existence probe: O(1) on hot hybrid vertices (hash sidecar),
+  /// a chunk/tree membership test otherwise.
+  bool containsEdge(VertexId U, VertexId X) const {
+    return edgesView(U).contains(X);
+  }
+
+  /// True when containsEdge(\p U, ...) probes are O(1).
+  bool hasFastProbe(VertexId U) const {
+    return edgesView(U).hasFastProbe();
+  }
+
   Node *root() const { return Root; }
 
   /// Parallel traversal over (vertex, edge set) entries.
@@ -263,7 +291,7 @@ public:
         Mine, Pairs, N, [](EdgeSet Old, EdgeSet New) {
           return EdgeSet::setUnion(std::move(Old), std::move(New));
         });
-    return GraphSnapshotT(NewRoot);
+    return GraphSnapshotT(NewRoot, Params);
   }
 
   /// Grouped counterpart of deleteEdges: subtract each set from its
@@ -279,7 +307,7 @@ public:
         Mine, Batch, [](EdgeSet Old, EdgeSet Del) {
           return EdgeSet::setDifference(std::move(Old), std::move(Del));
         });
-    return GraphSnapshotT(NewRoot);
+    return GraphSnapshotT(NewRoot, Params);
   }
 
   /// insertEdges over a caller-owned mutable span: sorts \p Edges in
@@ -316,7 +344,7 @@ public:
     Node *NewRoot =
         VT::multiInsert(Mine, Pairs.data(), Pairs.size(),
                         [](EdgeSet Old, EdgeSet) { return Old; });
-    return GraphSnapshotT(NewRoot);
+    return GraphSnapshotT(NewRoot, Params);
   }
 
   /// New snapshot without the given vertices (and their out-edges). Edges
@@ -331,7 +359,7 @@ public:
     Node *Batch = VT::buildSorted(Pairs.data(), Pairs.size());
     Node *Mine = Root;
     VT::retain(Mine);
-    return GraphSnapshotT(VT::difference(Mine, Batch));
+    return GraphSnapshotT(VT::difference(Mine, Batch), Params);
   }
 
   /// Drop all degree-0 vertices.
@@ -339,7 +367,8 @@ public:
     Node *Mine = Root;
     VT::retain(Mine);
     return GraphSnapshotT(VT::filter(
-        Mine, [](VertexId, const EdgeSet &S) { return !S.empty(); }));
+        Mine, [](VertexId, const EdgeSet &S) { return !S.empty(); }),
+                          Params);
   }
 
   //===--------------------------------------------------------------------===
@@ -355,7 +384,7 @@ public:
       return false;
     std::atomic<bool> Ok{true};
     VT::forEachPar(Root, [&](VertexId, const EdgeSet &S) {
-      if (!S.checkInvariants())
+      if (!S.checkInvariants(Params))
         Ok.store(false, std::memory_order_relaxed);
     });
     return Ok.load();
@@ -394,7 +423,7 @@ private:
         size_t Lo = StartsP[G];
         size_t Hi = (G + 1 < Groups) ? StartsP[G + 1] : K;
         Pairs->emplaceAt(G, Edges[Lo].first,
-                         EdgeSet::buildSorted(DstP + Lo, Hi - Lo));
+                         EdgeSet::buildSorted(DstP + Lo, Hi - Lo, Params));
       });
       if (TouchedOut) {
         TouchedOut->resize(Groups);
@@ -421,6 +450,7 @@ private:
   }
 
   Node *Root = nullptr;
+  BuildParams Params{};
 };
 
 /// Flat snapshot (Section 5.1): a dense array of per-vertex edge-set
@@ -786,6 +816,13 @@ public:
     return G->edgesView(V).iterCond(Fn);
   }
 
+  /// Edge-existence probe (O(1) on hot hybrid vertices).
+  bool containsEdge(VertexId U, VertexId X) const {
+    return G->containsEdge(U, X);
+  }
+
+  bool hasFastProbe(VertexId U) const { return G->hasFastProbe(U); }
+
 private:
   const GraphSnapshotT<EdgeSet> *G;
   VertexId Universe;
@@ -820,6 +857,15 @@ public:
     return FS->edges(V).iterCond(Fn);
   }
 
+  /// Edge-existence probe (O(1) on hot hybrid vertices).
+  bool containsEdge(VertexId U, VertexId X) const {
+    return FS->edges(U).contains(X);
+  }
+
+  bool hasFastProbe(VertexId U) const {
+    return FS->edges(U).hasFastProbe();
+  }
+
 private:
   const FlatSnapshotT<EdgeSet> *FS;
 };
@@ -830,8 +876,13 @@ using Graph = GraphSnapshotT<CTreeSet<VertexId, DeltaByteCodec>>;
 using GraphNoDE = GraphSnapshotT<CTreeSet<VertexId, RawCodec>>;
 /// Plain purely-functional trees ("Aspen Uncomp.").
 using GraphUncompressed = GraphSnapshotT<UncompressedSet<VertexId>>;
+/// Degree-adaptive hybrid representation (graph/hybrid_set.h): inline
+/// small adjacencies, per-graph chunk size, hash sidecars on hot
+/// vertices.
+using HybridGraph = GraphSnapshotT<HybridEdgeSet>;
 
 using FlatSnapshot = FlatSnapshotT<CTreeSet<VertexId, DeltaByteCodec>>;
+using HybridFlatSnapshot = FlatSnapshotT<HybridEdgeSet>;
 
 } // namespace aspen
 

@@ -34,6 +34,10 @@ public:
   using T = Tree<SetEntry>;
   using Node = typename T::Node;
 
+  /// No tunable construction parameters; present so the graph layer can
+  /// thread one BuildParams type through any edge-set representation.
+  struct BuildParams {};
+
   UncompressedSet() = default;
   explicit UncompressedSet(Node *Root) : Root(Root) {}
 
@@ -65,14 +69,15 @@ public:
   size_t size() const { return T::size(Root); }
   Node *root() const { return Root; }
 
-  static UncompressedSet buildSorted(const K *E, size_t N) {
+  static UncompressedSet buildSorted(const K *E, size_t N,
+                                     BuildParams = {}) {
     auto Pairs = tabulate(N, [&](size_t I) {
       return std::pair<K, Empty>{E[I], Empty{}};
     });
     return UncompressedSet(T::buildSorted(Pairs.data(), N));
   }
 
-  static UncompressedSet fromUnsorted(std::vector<K> E) {
+  static UncompressedSet fromUnsorted(std::vector<K> E, BuildParams = {}) {
     parallelSort(E);
     E.erase(std::unique(E.begin(), E.end()), E.end());
     return buildSorted(E.data(), E.size());
@@ -99,11 +104,13 @@ public:
         }));
   }
 
-  UncompressedSet multiInsert(std::vector<K> Batch) const {
+  UncompressedSet multiInsert(std::vector<K> Batch,
+                              BuildParams = {}) const {
     return setUnion(*this, fromUnsorted(std::move(Batch)));
   }
 
-  UncompressedSet multiDelete(std::vector<K> Batch) const {
+  UncompressedSet multiDelete(std::vector<K> Batch,
+                              BuildParams = {}) const {
     return setDifference(*this, fromUnsorted(std::move(Batch)));
   }
 
@@ -113,6 +120,12 @@ public:
 
     size_t size() const { return T::size(Root); }
     bool empty() const { return !Root; }
+
+    /// Membership: O(log n) tree search.
+    bool contains(K X) const { return T::findNode(Root, X) != nullptr; }
+
+    /// No O(1) membership index on a plain tree view.
+    bool hasFastProbe() const { return false; }
 
     /// Streaming in-order cursor (mirrors CTreeSet::View::Cursor so the
     /// graph layer compiles against either edge-set representation).
@@ -186,7 +199,7 @@ public:
 
   size_t memoryBytes() const { return size() * sizeof(Node); }
 
-  bool checkInvariants() const {
+  bool checkInvariants(BuildParams = {}) const {
     if (!T::validate(Root))
       return false;
     bool Ok = true, Any = false;

@@ -210,6 +210,8 @@ private:
 };
 
 using VersionedGraph = VersionedGraphT<CTreeSet<VertexId, DeltaByteCodec>>;
+/// Degree-adaptive hybrid edge sets (graph/hybrid_set.h).
+using VersionedHybridGraph = VersionedGraphT<HybridEdgeSet>;
 
 } // namespace aspen
 

@@ -61,6 +61,10 @@ public:
   using T = Tree<MapEntry>;
   using Node = typename T::Node;
 
+  /// No tunable construction parameters (plain map tree); present for
+  /// interface parity with the unweighted edge-set representations.
+  struct BuildParams {};
+
   WeightedEdgeSet() = default;
   explicit WeightedEdgeSet(Node *Root) : Root(Root) {}
 
@@ -96,8 +100,13 @@ public:
 
   /// Build from sorted, duplicate-free (neighbor, weight) pairs.
   static WeightedEdgeSet buildSorted(const std::pair<VertexId, W> *E,
-                                     size_t N) {
+                                     size_t N, BuildParams = {}) {
     return WeightedEdgeSet(T::buildSorted(E, N));
+  }
+
+  /// Membership: O(log n) tree search.
+  bool contains(VertexId V) const {
+    return T::findNode(Root, V) != nullptr;
   }
 
   std::optional<W> weightOf(VertexId V) const {
@@ -246,6 +255,14 @@ public:
       return std::nullopt;
     return N->Val.weightOf(V);
   }
+
+  /// Edge-existence probe (the probe surface of the unweighted views).
+  bool containsEdge(VertexId U, VertexId V) const {
+    const Node *N = VT::findNode(Root, U);
+    return N && N->Val.contains(V);
+  }
+
+  bool hasFastProbe(VertexId) const { return false; }
 
   /// Iterate (neighbor, weight) pairs of \p V with early exit.
   template <class F> bool iterNeighborsW(VertexId V, const F &Fn) const {

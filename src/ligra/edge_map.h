@@ -89,6 +89,15 @@ struct HasNeighborCursor<
            decltype(std::declval<const V &>().neighborCursor(VertexId()))>>
     : std::true_type {};
 
+template <class V, class = void>
+struct HasContainsEdge : std::false_type {};
+template <class V>
+struct HasContainsEdge<
+    V, std::void_t<decltype(bool(std::declval<const V &>().containsEdge(
+                       VertexId(), VertexId()))),
+                   decltype(bool(std::declval<const V &>().hasFastProbe(
+                       VertexId())))>> : std::true_type {};
+
 } // namespace detail
 
 /// True when \p V satisfies the graph-view concept consumed by edgeMap
@@ -104,6 +113,15 @@ inline constexpr bool IsGraphViewV = detail::IsGraphView<V>::value;
 template <class V>
 inline constexpr bool HasNeighborCursorV =
     detail::HasNeighborCursor<V>::value;
+
+/// True when \p V exposes the edge-existence probe surface:
+/// containsEdge(u, x) (membership of x in N(u)) and hasFastProbe(u)
+/// (true when those probes are O(1), e.g. a hot hybrid vertex's hash
+/// sidecar). Algorithms that intersect adjacency lists (triangleCount,
+/// twoHop) switch from scanning N(v) to probing it when the probe is
+/// fast and the candidate set is small.
+template <class V>
+inline constexpr bool HasContainsEdgeV = detail::HasContainsEdge<V>::value;
 
 struct EdgeMapOptions {
   /// Disable the dense traversal (used for the Stinger/LLAMA comparisons,

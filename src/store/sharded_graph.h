@@ -112,18 +112,23 @@ public:
       : ShardedGraphStoreT(NumShards, N, {}) {}
 
   /// BuildGraph counterpart: a sharded store over vertices [0, N)
-  /// containing \p Edges, partitioned by shardOf().
+  /// containing \p Edges, partitioned by shardOf(). All shards build
+  /// and update their edge sets under the same \p P (per-store, not
+  /// process-global).
   ShardedGraphStoreT(size_t NumShards, VertexId N,
-                     std::vector<EdgePair> Edges)
+                     std::vector<EdgePair> Edges,
+                     typename EdgeSet::BuildParams P = {})
       : LogShards(log2Ceil(NumShards)),
-        Mask(VertexId((size_t(1) << LogShards) - 1)),
+        Mask(VertexId((size_t(1) << LogShards) - 1)), Params(P),
         ShardLocks(new std::mutex[size_t(1) << LogShards]),
-        Versions(initialEpoch(LogShards, N, std::move(Edges))) {}
+        Versions(initialEpoch(LogShards, N, std::move(Edges), P)) {}
 
   ShardedGraphStoreT(const ShardedGraphStoreT &) = delete;
   ShardedGraphStoreT &operator=(const ShardedGraphStoreT &) = delete;
 
   size_t numShards() const { return size_t(1) << LogShards; }
+
+  typename EdgeSet::BuildParams buildParams() const { return Params; }
 
   /// Owning shard of a vertex. The partition hash folds the id's low
   /// bits: scattered real-world ids and generator ids both spread evenly,
@@ -196,6 +201,15 @@ public:
     template <class F>
     bool iterNeighborsCond(VertexId V, const F &Fn) const {
       return owner(V).edgesView(V).iterCond(Fn);
+    }
+
+    /// Edge-existence probe (O(1) on hot hybrid vertices).
+    bool containsEdge(VertexId U, VertexId X) const {
+      return owner(U).containsEdge(U, X);
+    }
+
+    bool hasFastProbe(VertexId U) const {
+      return owner(U).hasFastProbe(U);
     }
 
     /// Parallel traversal over (vertex, edge set) entries of every shard
@@ -279,6 +293,15 @@ public:
     template <class F>
     bool iterNeighborsCond(VertexId V, const F &Fn) const {
       return slotView(V).iterCond(Fn);
+    }
+
+    /// Edge-existence probe (O(1) on hot hybrid vertices).
+    bool containsEdge(VertexId U, VertexId X) const {
+      return slotView(U).contains(X);
+    }
+
+    bool hasFastProbe(VertexId U) const {
+      return slotView(U).hasFastProbe();
     }
 
   private:
@@ -394,7 +417,8 @@ private:
   }
 
   static Epoch initialEpoch(size_t LogShards, VertexId N,
-                            std::vector<EdgePair> Edges) {
+                            std::vector<EdgePair> Edges,
+                            typename EdgeSet::BuildParams P) {
     size_t S = size_t(1) << LogShards;
     VertexId Mask = VertexId(S - 1);
     Epoch E;
@@ -411,7 +435,7 @@ private:
           assert(P.first < N && "edge endpoint out of vertex range");
           Mine.push_back(P);
         }
-      E.Shards[Sh] = Snapshot().insertVertices(std::move(Owned))
+      E.Shards[Sh] = Snapshot(P).insertVertices(std::move(Owned))
                          .insertEdges(std::move(Mine));
     }, 1);
     finalizeAggregates(E, N);
@@ -491,7 +515,8 @@ private:
           std::sort(DstP + Lo, DstP + Hi);
         Len = size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
         VertexId Global = (VertexId(L) << LogShards) | ShardBits;
-        Pairs->emplaceAt(G, Global, EdgeSet::buildSorted(DstP + Lo, Len));
+        Pairs->emplaceAt(G, Global,
+                         EdgeSet::buildSorted(DstP + Lo, Len, Params));
       });
       // The grouped keys double as the epoch's touched-vertex digest for
       // this shard (ascending local order implies ascending global order
@@ -604,6 +629,7 @@ private:
 
   size_t LogShards;
   VertexId Mask;
+  typename EdgeSet::BuildParams Params{};
   std::unique_ptr<std::mutex[]> ShardLocks;
   std::mutex CommitM;
   VersionListT<Epoch> Versions;
@@ -621,6 +647,8 @@ private:
 /// Default Aspen configuration: C-tree shards with difference encoding.
 using ShardedGraphStore =
     ShardedGraphStoreT<CTreeSet<VertexId, DeltaByteCodec>>;
+/// Degree-adaptive hybrid shards (graph/hybrid_set.h).
+using HybridShardedGraphStore = ShardedGraphStoreT<HybridEdgeSet>;
 using ShardedGraphView = ShardedGraphStore::View;
 /// O(1)-vertex-access view over a hot flat epoch (acquireFlat()).
 using ShardedFlatView = ShardedGraphStore::FlatView;

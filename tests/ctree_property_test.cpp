@@ -42,34 +42,34 @@ TEST(CTreeExtreme, ChunkSizeOneEveryElementIsHead) {
   // b = 1 => mask 0 => hash & 0 == 0 always: every element is a head;
   // tails and prefix are empty and the structure degenerates to a plain
   // tree. All operations must still work.
-  ChunkSizeGuard G(1);
+  CT::BuildParams P{0};
   auto E = sortedUnique(randomKeys(2000, 1, 100000));
-  CT T = CT::buildSorted(E.data(), E.size());
+  CT T = CT::buildSorted(E.data(), E.size(), P);
   EXPECT_EQ(T.numHeads(), E.size());
   EXPECT_EQ(T.size(), E.size());
-  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_TRUE(T.checkInvariants(P));
   EXPECT_EQ(T.toVector(), E);
-  CT U = CT::setUnion(T, T.multiInsert({999999u}));
+  CT U = CT::setUnion(T, T.multiInsert({999999u}, P));
   EXPECT_EQ(U.size(), E.size() + 1);
-  EXPECT_TRUE(U.checkInvariants());
+  EXPECT_TRUE(U.checkInvariants(P));
 }
 
 TEST(CTreeExtreme, HugeChunkSizeMostlyPrefix) {
   // b = 2^20 on a small set: with high probability no element is a head
   // and the entire structure is one prefix chunk.
-  ChunkSizeGuard G(1 << 20);
+  CT::BuildParams P{(uint64_t(1) << 20) - 1};
   auto E = sortedUnique(randomKeys(500, 2, 1u << 20));
-  CT T = CT::buildSorted(E.data(), E.size());
-  EXPECT_TRUE(T.checkInvariants());
+  CT T = CT::buildSorted(E.data(), E.size(), P);
+  EXPECT_TRUE(T.checkInvariants(P));
   EXPECT_EQ(T.toVector(), E);
   // Set algebra must still work through the base cases.
   auto B = sortedUnique(randomKeys(500, 3, 1u << 20));
-  CT TB = CT::buildSorted(B.data(), B.size());
+  CT TB = CT::buildSorted(B.data(), B.size(), P);
   std::set<uint32_t> Ref(E.begin(), E.end());
   Ref.insert(B.begin(), B.end());
   CT U = CT::setUnion(T, TB);
   EXPECT_EQ(U.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
-  ASSERT_TRUE(U.checkInvariants());
+  ASSERT_TRUE(U.checkInvariants(P));
   CT D = CT::setDifference(U, TB);
   std::vector<uint32_t> RefD;
   std::set_difference(E.begin(), E.end(), B.begin(), B.end(),
@@ -504,7 +504,7 @@ TYPED_TEST(ChunkDifferential, CTreeBatchOpsAgainstStdSet) {
   // (the unionBC/diffBC scratch paths) against a std::set reference, at a
   // chunk size small enough to exercise head routing constantly.
   using Codec = TypeParam;
-  ChunkSizeGuard G(8);
+  typename CTreeSet<uint32_t, Codec>::BuildParams P{7};
   CTreeSet<uint32_t, Codec> Cur;
   std::set<uint32_t> Ref;
   for (int Round = 0; Round < 40; ++Round) {
@@ -512,15 +512,15 @@ TYPED_TEST(ChunkDifferential, CTreeBatchOpsAgainstStdSet) {
     // themselves and with the tree.
     auto Batch = randomKeys(200, 1000 + Round, 900);
     if (Round % 3 != 2) {
-      Cur = Cur.multiInsert(Batch);
+      Cur = Cur.multiInsert(Batch, P);
       Ref.insert(Batch.begin(), Batch.end());
     } else {
-      Cur = Cur.multiDelete(Batch);
+      Cur = Cur.multiDelete(Batch, P);
       for (uint32_t V : Batch)
         Ref.erase(V);
     }
     ASSERT_EQ(Cur.size(), Ref.size()) << "round " << Round;
-    ASSERT_TRUE(Cur.checkInvariants()) << "round " << Round;
+    ASSERT_TRUE(Cur.checkInvariants(P)) << "round " << Round;
   }
   EXPECT_EQ(Cur.toVector(),
             std::vector<uint32_t>(Ref.begin(), Ref.end()));

@@ -76,9 +76,9 @@ TEST(CTreeBasic, BuildLargeDense) {
 
 TEST(CTreeBasic, ExpectedChunkStatistics) {
   // With n elements and chunk parameter b, expect ~n/b heads (Lemma 3.1).
-  ChunkSizeGuard G(64);
+  CT::BuildParams P{63};
   auto E = sortedUnique(randomKeys(200000, 2, 1u << 24));
-  CT T = CT::buildSorted(E.data(), E.size());
+  CT T = CT::buildSorted(E.data(), E.size(), P);
   double ExpectHeads = double(E.size()) / 64.0;
   EXPECT_GT(double(T.numHeads()), 0.5 * ExpectHeads);
   EXPECT_LT(double(T.numHeads()), 2.0 * ExpectHeads);
@@ -162,9 +162,9 @@ TEST(CTreeMemory, DeltaSmallerThanRawOnClusteredKeys) {
 }
 
 TEST(CTreeMemory, FewerNodesThanElements) {
-  ChunkSizeGuard G(128);
+  CT::BuildParams P{127};
   auto E = sortedUnique(randomKeys(100000, 8, 1u << 24));
-  CT T = CT::buildSorted(E.data(), E.size());
+  CT T = CT::buildSorted(E.data(), E.size(), P);
   // ~n/b tree nodes versus n nodes for the uncompressed tree.
   EXPECT_LT(T.numHeads() * 20, E.size());
 }
@@ -177,22 +177,24 @@ class CTreeSetOps
     : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {
 protected:
   void SetUp() override {
-    Guard.emplace(std::get<0>(GetParam()));
+    // Chunk size b -> head mask b-1 (expected chunk length == b), now a
+    // per-tree construction parameter rather than process-global state.
+    P.HeadMask = std::get<0>(GetParam()) - 1;
     Seed = std::get<1>(GetParam());
   }
-  std::optional<ChunkSizeGuard> Guard;
+  CT::BuildParams P;
   uint64_t Seed = 0;
 };
 
 TEST_P(CTreeSetOps, UnionMatchesReference) {
   auto A = sortedUnique(randomKeys(4000, Seed, 30000));
   auto B = sortedUnique(randomKeys(4000, Seed + 100, 30000));
-  CT TA = CT::buildSorted(A.data(), A.size());
-  CT TB = CT::buildSorted(B.data(), B.size());
+  CT TA = CT::buildSorted(A.data(), A.size(), P);
+  CT TB = CT::buildSorted(B.data(), B.size(), P);
   CT U = CT::setUnion(TA, TB);
   std::set<uint32_t> Ref(A.begin(), A.end());
   Ref.insert(B.begin(), B.end());
-  ASSERT_TRUE(U.checkInvariants());
+  ASSERT_TRUE(U.checkInvariants(P));
   EXPECT_EQ(U.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
   // Inputs survive (value semantics).
   EXPECT_EQ(TA.toVector(), A);
@@ -202,26 +204,26 @@ TEST_P(CTreeSetOps, UnionMatchesReference) {
 TEST_P(CTreeSetOps, DifferenceMatchesReference) {
   auto A = sortedUnique(randomKeys(5000, Seed + 1, 20000));
   auto B = sortedUnique(randomKeys(5000, Seed + 101, 20000));
-  CT TA = CT::buildSorted(A.data(), A.size());
-  CT TB = CT::buildSorted(B.data(), B.size());
+  CT TA = CT::buildSorted(A.data(), A.size(), P);
+  CT TB = CT::buildSorted(B.data(), B.size(), P);
   CT D = CT::setDifference(TA, TB);
   std::vector<uint32_t> Ref;
   std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
                       std::back_inserter(Ref));
-  ASSERT_TRUE(D.checkInvariants());
+  ASSERT_TRUE(D.checkInvariants(P));
   EXPECT_EQ(D.toVector(), Ref);
 }
 
 TEST_P(CTreeSetOps, IntersectMatchesReference) {
   auto A = sortedUnique(randomKeys(5000, Seed + 2, 20000));
   auto B = sortedUnique(randomKeys(5000, Seed + 102, 20000));
-  CT TA = CT::buildSorted(A.data(), A.size());
-  CT TB = CT::buildSorted(B.data(), B.size());
+  CT TA = CT::buildSorted(A.data(), A.size(), P);
+  CT TB = CT::buildSorted(B.data(), B.size(), P);
   CT I = CT::setIntersect(TA, TB);
   std::vector<uint32_t> Ref;
   std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
                         std::back_inserter(Ref));
-  ASSERT_TRUE(I.checkInvariants());
+  ASSERT_TRUE(I.checkInvariants(P));
   EXPECT_EQ(I.toVector(), Ref);
 }
 
@@ -235,14 +237,14 @@ TEST_P(CTreeSetOps, MultiInsertDeleteSequence) {
       auto Batch =
           randomKeys(1 + hashAt(Seed, Round) % 3000, Seed * 7 + Round, 15000);
       if (Round % 3 != 2) {
-        T = T.multiInsert(Batch);
+        T = T.multiInsert(Batch, P);
         Ref.insert(Batch.begin(), Batch.end());
       } else {
-        T = T.multiDelete(Batch);
+        T = T.multiDelete(Batch, P);
         for (uint32_t K : Batch)
           Ref.erase(K);
       }
-      ASSERT_TRUE(T.checkInvariants()) << "round " << Round;
+      ASSERT_TRUE(T.checkInvariants(P)) << "round " << Round;
       ASSERT_EQ(T.size(), Ref.size()) << "round " << Round;
       ASSERT_EQ(T.toVector(),
                 std::vector<uint32_t>(Ref.begin(), Ref.end()))
@@ -255,13 +257,13 @@ TEST_P(CTreeSetOps, MultiInsertDeleteSequence) {
 
 TEST_P(CTreeSetOps, SnapshotSurvivesUpdates) {
   auto A = sortedUnique(randomKeys(8000, Seed + 3, 40000));
-  CT V1 = CT::buildSorted(A.data(), A.size());
+  CT V1 = CT::buildSorted(A.data(), A.size(), P);
   CT Snapshot = V1; // O(1)
   auto Batch = randomKeys(4000, Seed + 200, 40000);
-  CT V2 = V1.multiInsert(Batch);
-  CT V3 = V2.multiDelete(std::vector<uint32_t>(A.begin(), A.begin() + 100));
+  CT V2 = V1.multiInsert(Batch, P);
+  CT V3 = V2.multiDelete(std::vector<uint32_t>(A.begin(), A.begin() + 100), P);
   EXPECT_EQ(Snapshot.toVector(), A) << "old snapshot must be unchanged";
-  EXPECT_TRUE(V3.checkInvariants());
+  EXPECT_TRUE(V3.checkInvariants(P));
 }
 
 TEST_P(CTreeSetOps, UnionDisjointRanges) {
@@ -271,25 +273,25 @@ TEST_P(CTreeSetOps, UnionDisjointRanges) {
     A.push_back(I);
   for (uint32_t I = 10000; I < 13000; ++I)
     B.push_back(I);
-  CT TA = CT::buildSorted(A.data(), A.size());
-  CT TB = CT::buildSorted(B.data(), B.size());
+  CT TA = CT::buildSorted(A.data(), A.size(), P);
+  CT TB = CT::buildSorted(B.data(), B.size(), P);
   CT U1 = CT::setUnion(TA, TB);
   CT U2 = CT::setUnion(TB, TA);
   auto All = A;
   All.insert(All.end(), B.begin(), B.end());
   EXPECT_EQ(U1.toVector(), All);
   EXPECT_EQ(U2.toVector(), All);
-  ASSERT_TRUE(U1.checkInvariants());
-  ASSERT_TRUE(U2.checkInvariants());
+  ASSERT_TRUE(U1.checkInvariants(P));
+  ASSERT_TRUE(U2.checkInvariants(P));
   // Difference that removes the entire low range.
   CT D = CT::setDifference(U1, TA);
   EXPECT_EQ(D.toVector(), B);
-  ASSERT_TRUE(D.checkInvariants());
+  ASSERT_TRUE(D.checkInvariants(P));
 }
 
 TEST_P(CTreeSetOps, SelfOperations) {
   auto A = sortedUnique(randomKeys(3000, Seed + 4, 20000));
-  CT TA = CT::buildSorted(A.data(), A.size());
+  CT TA = CT::buildSorted(A.data(), A.size(), P);
   CT U = CT::setUnion(TA, TA);
   EXPECT_EQ(U.toVector(), A);
   CT I = CT::setIntersect(TA, TA);
@@ -304,16 +306,16 @@ TEST_P(CTreeSetOps, SingleElementOps) {
   for (int I = 0; I < 200; ++I) {
     uint32_t K = uint32_t(hashAt(Seed + 5, I) % 500);
     if (I % 4 == 3) {
-      T = T.remove(K);
+      T = T.remove(K, P);
       Ref.erase(K);
     } else {
-      T = T.insert(K);
+      T = T.insert(K, P);
       Ref.insert(K);
     }
     ASSERT_EQ(T.size(), Ref.size());
   }
   EXPECT_EQ(T.toVector(), std::vector<uint32_t>(Ref.begin(), Ref.end()));
-  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_TRUE(T.checkInvariants(P));
 }
 
 INSTANTIATE_TEST_SUITE_P(
