@@ -3,40 +3,105 @@
 #include "gen/graph_io.h"
 
 #include "parallel/primitives.h"
+#include "util/crc.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 using namespace aspen;
 
-bool aspen::readAdjacencyGraph(const std::string &Path, EdgeList &Out) {
+namespace {
+
+bool fail(std::string *Err, std::string Msg) {
+  if (Err)
+    *Err = std::move(Msg);
+  return false;
+}
+
+/// Size of an open stream, or -1 on failure. Restores the read position.
+int64_t streamSize(std::ifstream &In) {
+  std::streampos Cur = In.tellg();
+  In.seekg(0, std::ios::end);
+  std::streampos End = In.tellg();
+  In.seekg(Cur);
+  if (!In || End < 0)
+    return -1;
+  return int64_t(End);
+}
+
+constexpr uint64_t MaxVertexCount =
+    uint64_t(std::numeric_limits<VertexId>::max()) + 1;
+
+} // namespace
+
+bool aspen::readAdjacencyGraph(const std::string &Path, EdgeList &Out,
+                               std::string *Err) {
   std::ifstream In(Path);
   if (!In)
-    return false;
+    return fail(Err, Path + ": cannot open file");
+  int64_t FileSize = streamSize(In);
+  if (FileSize < 0)
+    return fail(Err, Path + ": cannot determine file size");
   std::string Header;
   In >> Header;
   if (Header != "AdjacencyGraph")
-    return false;
+    return fail(Err, Path + ": missing AdjacencyGraph header");
   uint64_t N = 0, M = 0;
   In >> N >> M;
   if (!In)
-    return false;
+    return fail(Err, Path + ": truncated header (expected n and m)");
+  if (N > MaxVertexCount)
+    return fail(Err, Path + ": vertex count " + std::to_string(N) +
+                         " exceeds the 32-bit vertex-id space");
+  // Every offset and target occupies at least one digit plus a separator,
+  // so a file promising n+m numbers must hold at least that many bytes.
+  // This rejects absurd counts before any allocation is attempted.
+  if (N + M > uint64_t(FileSize))
+    return fail(Err, Path + ": header promises " + std::to_string(N) +
+                         " offsets and " + std::to_string(M) +
+                         " edges but the file is only " +
+                         std::to_string(FileSize) + " bytes");
+  if (N == 0 && M > 0)
+    return fail(Err, Path + ": " + std::to_string(M) +
+                         " edges declared over zero vertices");
   std::vector<uint64_t> Offsets(N);
-  for (uint64_t I = 0; I < N; ++I)
+  for (uint64_t I = 0; I < N; ++I) {
     In >> Offsets[I];
-  std::vector<uint64_t> Targets(M);
-  for (uint64_t I = 0; I < M; ++I)
-    In >> Targets[I];
-  if (!In)
-    return false;
+    if (!In)
+      return fail(Err, Path + ": truncated offset array (got " +
+                           std::to_string(I) + " of " + std::to_string(N) +
+                           " offsets)");
+    if (Offsets[I] > M)
+      return fail(Err, Path + ": offset " + std::to_string(Offsets[I]) +
+                           " at index " + std::to_string(I) +
+                           " exceeds edge count " + std::to_string(M));
+    if (I > 0 && Offsets[I] < Offsets[I - 1])
+      return fail(Err, Path + ": offsets are not monotonically " +
+                           "non-decreasing at index " + std::to_string(I));
+  }
+  if (N > 0 && Offsets[0] != 0)
+    return fail(Err, Path + ": first offset must be 0, got " +
+                         std::to_string(Offsets[0]));
   Out.NumVertices = VertexId(N);
   Out.Edges.clear();
   Out.Edges.reserve(M);
-  for (uint64_t U = 0; U < N; ++U) {
-    uint64_t End = (U + 1 < N) ? Offsets[U + 1] : M;
-    for (uint64_t E = Offsets[U]; E < End; ++E)
-      Out.Edges.push_back({VertexId(U), VertexId(Targets[E])});
+  uint64_t U = 0;
+  for (uint64_t I = 0; I < M; ++I) {
+    uint64_t T = 0;
+    In >> T;
+    if (!In)
+      return fail(Err, Path + ": truncated edge array (got " +
+                           std::to_string(I) + " of " + std::to_string(M) +
+                           " targets)");
+    if (T >= N)
+      return fail(Err, Path + ": target " + std::to_string(T) +
+                           " at edge " + std::to_string(I) +
+                           " is out of range for n=" + std::to_string(N));
+    while (U + 1 < N && Offsets[U + 1] <= I)
+      ++U;
+    Out.Edges.push_back({VertexId(U), VertexId(T)});
   }
   return true;
 }
@@ -60,21 +125,81 @@ bool aspen::writeAdjacencyGraph(const std::string &Path, VertexId N,
   return static_cast<bool>(OutF);
 }
 
-bool aspen::readBinaryEdges(const std::string &Path, EdgeList &Out) {
+static_assert(sizeof(EdgePair) == 8, "expect packed u32 pairs");
+
+bool aspen::readBinaryEdges(const std::string &Path, EdgeList &Out,
+                            std::string *Err) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return false;
-  uint64_t N = 0, M = 0;
-  In.read(reinterpret_cast<char *>(&N), sizeof(N));
-  In.read(reinterpret_cast<char *>(&M), sizeof(M));
+    return fail(Err, Path + ": cannot open file");
+  int64_t FileSize = streamSize(In);
+  if (FileSize < 0)
+    return fail(Err, Path + ": cannot determine file size");
+  if (uint64_t(FileSize) < 2 * sizeof(uint64_t))
+    return fail(Err, Path + ": file too small for a binary edge header (" +
+                         std::to_string(FileSize) + " bytes)");
+  uint64_t First = 0;
+  In.read(reinterpret_cast<char *>(&First), sizeof(First));
   if (!In)
-    return false;
+    return fail(Err, Path + ": truncated header");
+
+  uint64_t N = 0, M = 0, HeaderBytes = 0;
+  uint32_t Crc = 0;
+  bool Checksummed = (First == BinaryEdgesMagic);
+  if (Checksummed) {
+    // "ASPNEDG1": magic, n, m, crc32c(n|m|payload), pad.
+    HeaderBytes = 4 * sizeof(uint64_t);
+    uint32_t Pad = 0;
+    In.read(reinterpret_cast<char *>(&N), sizeof(N));
+    In.read(reinterpret_cast<char *>(&M), sizeof(M));
+    In.read(reinterpret_cast<char *>(&Crc), sizeof(Crc));
+    In.read(reinterpret_cast<char *>(&Pad), sizeof(Pad));
+    if (!In)
+      return fail(Err, Path + ": truncated ASPNEDG1 header");
+  } else {
+    // Legacy headerless format: u64 n, u64 m, pairs.
+    HeaderBytes = 2 * sizeof(uint64_t);
+    N = First;
+    In.read(reinterpret_cast<char *>(&M), sizeof(M));
+    if (!In)
+      return fail(Err, Path + ": truncated header");
+  }
+  if (N > MaxVertexCount)
+    return fail(Err, Path + ": vertex count " + std::to_string(N) +
+                         " exceeds the 32-bit vertex-id space");
+  // The payload length is fully determined by m; insist the file matches
+  // exactly before allocating, so a corrupt count cannot trigger a huge
+  // allocation or a short read into uninitialized memory.
+  uint64_t PayloadBytes = uint64_t(FileSize) - HeaderBytes;
+  if (PayloadBytes / sizeof(EdgePair) != M ||
+      PayloadBytes % sizeof(EdgePair) != 0)
+    return fail(Err, Path + ": edge count " + std::to_string(M) +
+                         " does not match payload size " +
+                         std::to_string(PayloadBytes) + " bytes");
   Out.NumVertices = VertexId(N);
   Out.Edges.resize(M);
-  static_assert(sizeof(EdgePair) == 8, "expect packed u32 pairs");
   In.read(reinterpret_cast<char *>(Out.Edges.data()),
-          std::streamsize(M * sizeof(EdgePair)));
-  return static_cast<bool>(In);
+          std::streamsize(PayloadBytes));
+  if (!In)
+    return fail(Err, Path + ": truncated edge payload");
+  if (Checksummed) {
+    uint32_t Want = crc32c(&N, sizeof(N));
+    Want = crc32c(&M, sizeof(M), Want);
+    Want = crc32c(Out.Edges.data(), PayloadBytes, Want);
+    if (Want != Crc)
+      return fail(Err, Path + ": checksum mismatch (stored " +
+                           std::to_string(Crc) + ", computed " +
+                           std::to_string(Want) + ")");
+  }
+  for (uint64_t I = 0; I < M; ++I) {
+    const EdgePair &E = Out.Edges[I];
+    if (uint64_t(E.first) >= N || uint64_t(E.second) >= N)
+      return fail(Err, Path + ": edge " + std::to_string(I) + " (" +
+                           std::to_string(E.first) + ", " +
+                           std::to_string(E.second) +
+                           ") is out of range for n=" + std::to_string(N));
+  }
+  return true;
 }
 
 bool aspen::writeBinaryEdges(const std::string &Path, VertexId N,
@@ -82,9 +207,16 @@ bool aspen::writeBinaryEdges(const std::string &Path, VertexId N,
   std::ofstream OutF(Path, std::ios::binary);
   if (!OutF)
     return false;
-  uint64_t NN = N, M = Edges.size();
+  uint64_t Magic = BinaryEdgesMagic, NN = N, M = Edges.size();
+  uint32_t Crc = crc32c(&NN, sizeof(NN));
+  Crc = crc32c(&M, sizeof(M), Crc);
+  Crc = crc32c(Edges.data(), M * sizeof(EdgePair), Crc);
+  uint32_t Pad = 0;
+  OutF.write(reinterpret_cast<const char *>(&Magic), sizeof(Magic));
   OutF.write(reinterpret_cast<const char *>(&NN), sizeof(NN));
   OutF.write(reinterpret_cast<const char *>(&M), sizeof(M));
+  OutF.write(reinterpret_cast<const char *>(&Crc), sizeof(Crc));
+  OutF.write(reinterpret_cast<const char *>(&Pad), sizeof(Pad));
   OutF.write(reinterpret_cast<const char *>(Edges.data()),
              std::streamsize(M * sizeof(EdgePair)));
   return static_cast<bool>(OutF);

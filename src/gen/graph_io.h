@@ -11,6 +11,12 @@
 //   <offset 0> ... <offset n-1>
 //   <edge 0> ... <edge m-1>
 //
+// All readers validate their input before allocating or indexing: header
+// counts are cross-checked against the file size, offsets must be
+// monotonically non-decreasing and bounded by m, and every target must be
+// a valid vertex id. Malformed input yields `false` plus a descriptive
+// message in the optional `Err` out-parameter -- never undefined behavior.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ASPEN_GEN_GRAPH_IO_H
@@ -18,6 +24,7 @@
 
 #include "util/types.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,15 +36,28 @@ struct EdgeList {
   std::vector<EdgePair> Edges;
 };
 
-/// Parse a Ligra AdjacencyGraph file. Returns false on malformed input.
-bool readAdjacencyGraph(const std::string &Path, EdgeList &Out);
+/// Magic prefix of the checksummed binary edge format ("ASPNEDG1" LE).
+constexpr uint64_t BinaryEdgesMagic = 0x31474445'4E505341ULL;
+
+/// Parse a Ligra AdjacencyGraph file. Returns false on malformed input
+/// (truncated file, counts inconsistent with the file size, non-monotonic
+/// or out-of-range offsets, targets >= n) and, when `Err` is non-null,
+/// stores a human-readable description of the failure.
+bool readAdjacencyGraph(const std::string &Path, EdgeList &Out,
+                        std::string *Err = nullptr);
 
 /// Write a Ligra AdjacencyGraph file from (sorted or unsorted) edges.
 bool writeAdjacencyGraph(const std::string &Path, VertexId N,
                          std::vector<EdgePair> Edges);
 
-/// Binary edge list: u64 n, u64 m, then m (u32 src, u32 dst) pairs.
-bool readBinaryEdges(const std::string &Path, EdgeList &Out);
+/// Binary edge list. Writes the checksummed format:
+///   u64 magic "ASPNEDG1", u64 n, u64 m, u32 crc32c(n, m, payload), u32 pad,
+///   m x (u32 src, u32 dst) pairs.
+/// The reader also accepts the legacy headerless format (u64 n, u64 m,
+/// pairs) but cross-checks m against the file size in both cases, verifies
+/// the checksum when present, and rejects out-of-range endpoints.
+bool readBinaryEdges(const std::string &Path, EdgeList &Out,
+                     std::string *Err = nullptr);
 bool writeBinaryEdges(const std::string &Path, VertexId N,
                       const std::vector<EdgePair> &Edges);
 

@@ -27,6 +27,7 @@
 #define ASPEN_GRAPH_VERSIONED_GRAPH_H
 
 #include "graph/graph.h"
+#include "store/durability.h"
 #include "store/version_list.h"
 
 #include <cassert>
@@ -84,6 +85,49 @@ public:
   explicit VersionedGraphT(GraphSnapshotT<EdgeSet> Initial)
       : Versions(std::move(Initial)), Digests(FlatReplayMaxEpochs) {}
 
+  /// Durable open (opt-in; DESIGN.md Section 7): recover the newest
+  /// valid checkpoint from \p O.Dir, replay the WAL suffix through the
+  /// same batch paths that produced the original epochs, and log every
+  /// subsequent batch before acknowledging it. A fresh directory yields
+  /// an empty durable store under \p P. The single-writer contract of
+  /// this store extends to the durable form: batch sequence numbers are
+  /// derived from the install stamp.
+  explicit VersionedGraphT(const DurabilityOptions &O,
+                           typename EdgeSet::BuildParams P = {})
+      : Versions(GraphSnapshotT<EdgeSet>(P)), Digests(FlatReplayMaxEpochs),
+        Durable(std::make_unique<DurabilityEngine>(O)) {
+    const RecoveredState &R = Durable->recovered();
+    if (R.Ckpt) {
+      if (R.Ckpt->ShardStreams.size() != 1)
+        throw CorruptCheckpoint("versioned store expects one shard stream");
+      ByteReader Rd(R.Ckpt->ShardStreams[0].data(),
+                    R.Ckpt->ShardStreams[0].size());
+      Versions.set(deserializeSnapshot<EdgeSet>(Rd, P));
+      if (Durable->options().PrimeFlatOnRecover) {
+        // Build the hot flat from the checkpoint *before* replay: the
+        // replayed batches record digests, so the first user
+        // acquireFlat() catches up O(touched) instead of rebuilding.
+        auto H = Versions.acquire();
+        CachedFlat = std::make_shared<Flat>(H.value());
+        CachedStamp = H.stamp();
+        ++Stats.Rebuilds;
+      }
+    }
+    for (const WalReplayRecord &RR : R.Replay) {
+      std::vector<EdgePair> Edges = RR.Edges; // span paths sort in place
+      GraphSnapshotT<EdgeSet> Next = currentCopy();
+      std::vector<VertexId> Touched;
+      auto G = RR.Kind == WalKind::InsertBatch
+                   ? Next.insertEdgesSpan(Edges.data(), Edges.size(),
+                                          &Touched)
+                   : Next.deleteEdgesSpan(Edges.data(), Edges.size(),
+                                          &Touched);
+      installWithDigest(std::move(G), std::move(Touched));
+    }
+    DurableSeqBase = R.MaxSeq - Versions.currentStamp();
+    Durable->dropRecoveredPayload();
+  }
+
   VersionedGraphT(const VersionedGraphT &) = delete;
   VersionedGraphT &operator=(const VersionedGraphT &) = delete;
 
@@ -102,20 +146,17 @@ public:
   /// Writer convenience: functionally insert a batch and publish. The
   /// owned batch routes through the span path (in-place sort, grouping
   /// in borrowed scratch — no input-sized heap allocation at steady
-  /// state), which also yields the epoch's touched-vertex digest.
+  /// state), which also yields the epoch's touched-vertex digest. On a
+  /// durable store the batch is WAL-logged before the in-place span
+  /// sort and group-committed before return: when this call returns,
+  /// the batch survives a crash.
   void insertEdgesBatch(std::vector<EdgePair> Edges) {
-    GraphSnapshotT<EdgeSet> Next = currentCopy();
-    std::vector<VertexId> Touched;
-    auto G = Next.insertEdgesSpan(Edges.data(), Edges.size(), &Touched);
-    installWithDigest(std::move(G), std::move(Touched));
+    applyOwnedBatch(std::move(Edges), /*Insert=*/true);
   }
 
   /// Writer convenience: functionally delete a batch and publish.
   void deleteEdgesBatch(std::vector<EdgePair> Edges) {
-    GraphSnapshotT<EdgeSet> Next = currentCopy();
-    std::vector<VertexId> Touched;
-    auto G = Next.deleteEdgesSpan(Edges.data(), Edges.size(), &Touched);
-    installWithDigest(std::move(G), std::move(Touched));
+    applyOwnedBatch(std::move(Edges), /*Insert=*/false);
   }
 
   /// Sequence number of the latest installed version (diagnostic).
@@ -178,11 +219,53 @@ public:
     return Stats;
   }
 
+  /// Durability engine of a durable store (nullptr on a memory-only
+  /// store). Diagnostics only — the store drives it internally.
+  const DurabilityEngine *durability() const { return Durable.get(); }
+
+  /// Serialize the latest version as a durable checkpoint, rotate the
+  /// WAL, and drop the log prefix it covers. Durable stores only.
+  /// Returns the checkpointed batch sequence number.
+  uint64_t checkpointNow() {
+    assert(Durable && "checkpointNow on a memory-only store");
+    auto H = Versions.acquire();
+    std::vector<std::vector<uint8_t>> Streams(1);
+    serializeSnapshot(H.value(), Streams[0]);
+    uint64_t Seq = H.stamp() + DurableSeqBase;
+    Durable->checkpoint(Seq, /*LogShards=*/0, Streams);
+    return Seq;
+  }
+
 private:
   /// Snapshot (refcount copy) of the current version for the writer.
   GraphSnapshotT<EdgeSet> currentCopy() {
     auto H = Versions.acquire();
     return H.value();
+  }
+
+  /// The shared batch pipeline: WAL append (durable stores; before the
+  /// span path's in-place sort consumes the buffer), functional merge,
+  /// install, group-commit ack, and the auto-checkpoint trigger.
+  void applyOwnedBatch(std::vector<EdgePair> Edges, bool Insert) {
+    DurabilityEngine::Ticket Tk;
+    if (Durable)
+      Tk = Durable->append(Insert ? WalKind::InsertBatch
+                                  : WalKind::DeleteBatch,
+                           Versions.currentStamp() + 1 + DurableSeqBase,
+                           Edges.data(), Edges.size());
+    GraphSnapshotT<EdgeSet> Next = currentCopy();
+    std::vector<VertexId> Touched;
+    auto G = Insert
+                 ? Next.insertEdgesSpan(Edges.data(), Edges.size(), &Touched)
+                 : Next.deleteEdgesSpan(Edges.data(), Edges.size(), &Touched);
+    installWithDigest(std::move(G), std::move(Touched));
+    if (Durable) {
+      Durable->sync(Tk); // acknowledged == durable
+      uint64_t Every = Durable->options().CheckpointEveryBatches;
+      if (Every && Versions.currentStamp() + DurableSeqBase >=
+                       Durable->lastCheckpointSeq() + Every)
+        checkpointNow();
+    }
   }
 
   /// Publish \p G and record its touched digest. A digest above the
@@ -202,6 +285,12 @@ private:
 
   List Versions;
   DeltaLogT<std::vector<VertexId>> Digests;
+
+  // Durability (nullptr on a memory-only store). WAL batch sequence =
+  // install stamp + DurableSeqBase: version-list stamps restart at zero
+  // per process, the base re-anchors them to the recovered log position.
+  std::unique_ptr<DurabilityEngine> Durable;
+  uint64_t DurableSeqBase = 0;
 
   mutable std::mutex FlatM;
   std::shared_ptr<const Flat> CachedFlat;

@@ -1,0 +1,508 @@
+//===- store/checkpoint.h - LSM-style epoch checkpoints -------------------===//
+//
+// Durable snapshots of one epoch (DESIGN.md Section 7). The C-tree
+// already stores adjacency data as immutable delta-compressed chunk
+// payloads, so a checkpoint is close to free in CPU terms: the sealed
+// chunks are written to disk *verbatim* — header (Count/Bytes/First/
+// Last) plus the encoded byte run — with no re-encoding, and recovery
+// rebuilds each vertex's C-tree by adopting the byte runs straight back
+// into payloads (sliceChunk) and buildSorted-ing the heads tree. The
+// live functional tree plays the LSM memtable; sealed checkpoint files
+// play the SSTables; the WAL (store/wal.h) covers the suffix between
+// them.
+//
+// File layout (ckpt-<seq>.aspen):
+//
+//   [data pages]      the concatenated per-shard serialization streams,
+//                     cut into CheckpointPageBytes-sized immutable pages
+//   [manifest]        seq, shard table, page table w/ per-page CRC32C
+//   [footer]          manifest length + CRC + magic (fixed size, at EOF)
+//
+// A reader validates footer magic -> manifest CRC -> every page CRC
+// before deserializing anything, so torn checkpoint writes and bit flips
+// surface as "this file is invalid" rather than undefined behavior; the
+// recovery driver then falls back to the next-newest checkpoint. Writes
+// go to a .tmp name and are renamed into place after fsync — a
+// checkpoint is either fully present under its final name or not
+// present at all.
+//
+// Edge sets that are not chunk-storage C-trees (UncompressedSet, the
+// hybrid classes) serialize through a representation-independent element
+// fallback and rebuild via EdgeSet::buildSorted under the store's
+// BuildParams.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_STORE_CHECKPOINT_H
+#define ASPEN_STORE_CHECKPOINT_H
+
+#include "graph/graph.h"
+#include "util/crc.h"
+#include "util/failpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fcntl.h>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <sys/stat.h>
+#include <type_traits>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+namespace aspen {
+
+inline constexpr uint64_t CkptManifestMagic = 0x314D4B43'4E505341ULL; // ASPNCKM1
+inline constexpr uint64_t CkptFooterMagic = 0x31464B43'4E505341ULL;   // ASPNCKF1
+
+/// Page granularity of the data section: each page carries its own
+/// CRC32C in the manifest, so corruption is localized and detected
+/// before any byte is interpreted.
+inline constexpr size_t CheckpointPageBytes = 256 * 1024;
+
+/// Thrown by the deserializers on structurally invalid input. The
+/// recovery driver treats the file as unusable and falls back.
+struct CorruptCheckpoint : std::runtime_error {
+  explicit CorruptCheckpoint(const char *What)
+      : std::runtime_error(std::string("corrupt checkpoint: ") + What) {}
+};
+
+//===----------------------------------------------------------------------===
+// Bounds-checked stream primitives.
+//===----------------------------------------------------------------------===
+
+class ByteWriter {
+public:
+  explicit ByteWriter(std::vector<uint8_t> &Out) : Out(Out) {}
+  template <class T> void put(const T &V) {
+    static_assert(std::is_trivially_copyable<T>::value, "raw put");
+    size_t At = Out.size();
+    Out.resize(At + sizeof(T));
+    std::memcpy(Out.data() + At, &V, sizeof(T));
+  }
+  void bytes(const void *P, size_t N) {
+    size_t At = Out.size();
+    Out.resize(At + N);
+    std::memcpy(Out.data() + At, P, N);
+  }
+
+private:
+  std::vector<uint8_t> &Out;
+};
+
+class ByteReader {
+public:
+  ByteReader(const uint8_t *P, size_t N) : P(P), End(P + N) {}
+  template <class T> T get() {
+    static_assert(std::is_trivially_copyable<T>::value, "raw get");
+    if (size_t(End - P) < sizeof(T))
+      throw CorruptCheckpoint("stream underflow");
+    T V;
+    std::memcpy(&V, P, sizeof(T));
+    P += sizeof(T);
+    return V;
+  }
+  const uint8_t *bytes(size_t N) {
+    if (size_t(End - P) < N)
+      throw CorruptCheckpoint("stream underflow");
+    const uint8_t *R = P;
+    P += N;
+    return R;
+  }
+  bool exhausted() const { return P == End; }
+
+private:
+  const uint8_t *P;
+  const uint8_t *End;
+};
+
+//===----------------------------------------------------------------------===
+// Edge-set serialization: chunk-verbatim for C-tree storage, element
+// fallback otherwise.
+//===----------------------------------------------------------------------===
+
+/// Detects the C-tree storage surface (heads tree + prefix chunk of
+/// ChunkPayloads). Matches CTreeSet; the hybrid and uncompressed sets
+/// fall back to element serialization.
+template <class ES, class = void> struct HasChunkStorage : std::false_type {};
+template <class ES>
+struct HasChunkStorage<
+    ES, std::void_t<decltype(std::declval<const ES &>().prefix()),
+                    decltype(std::declval<const ES &>().root()),
+                    typename ES::Payload>> : std::true_type {};
+template <class ES>
+inline constexpr bool HasChunkStorageV = HasChunkStorage<ES>::value;
+
+namespace detail {
+
+inline constexpr uint8_t SetFormatChunks = 1;
+inline constexpr uint8_t SetFormatElements = 2;
+/// Sanity cap against absurd counts in corrupt-but-CRC-colliding input.
+inline constexpr uint64_t CkptMaxCount = uint64_t(1) << 40;
+
+template <class K> void putChunk(ByteWriter &W, const ChunkPayload<K> *C) {
+  W.put<uint32_t>(C->Count);
+  W.put<uint32_t>(C->Bytes);
+  W.put<K>(C->First);
+  W.put<K>(C->Last);
+  W.bytes(C->data(), C->Bytes);
+}
+
+template <class K> ChunkPayload<K> *getChunk(ByteReader &R) {
+  uint32_t Count = R.get<uint32_t>();
+  uint32_t Bytes = R.get<uint32_t>();
+  K First = R.get<K>();
+  K Last = R.get<K>();
+  if (Count == 0 || First > Last)
+    throw CorruptCheckpoint("bad chunk header");
+  const uint8_t *Src = R.bytes(Bytes);
+  return sliceChunk<K>(First, Last, Count, Src, Bytes);
+}
+
+} // namespace detail
+
+/// Append the serialized form of \p S to \p Out: the verbatim sealed
+/// chunks of a C-tree set, or the element list otherwise.
+template <class EdgeSet>
+void serializeEdgeSet(const EdgeSet &S, ByteWriter &W) {
+  if constexpr (HasChunkStorageV<EdgeSet>) {
+    using K = typename std::decay_t<decltype(S.prefix()->First)>;
+    const auto *Pre = S.prefix();
+    W.put<uint8_t>(Pre != nullptr);
+    if (Pre)
+      detail::putChunk<K>(W, Pre);
+    // Heads in order; count them first (the tree knows only elements).
+    uint32_t Heads = 0;
+    EdgeSet::T::forEachSeq(S.root(),
+                           [&](const K &, const ChunkRef<K> &) { ++Heads; });
+    W.put<uint32_t>(Heads);
+    EdgeSet::T::forEachSeq(S.root(), [&](const K &Head,
+                                         const ChunkRef<K> &Tail) {
+      W.put<K>(Head);
+      W.put<uint8_t>(Tail.get() != nullptr);
+      if (Tail.get())
+        detail::putChunk<K>(W, Tail.get());
+    });
+  } else {
+    uint64_t N = 0;
+    S.view().forEachSeq([&](auto) { ++N; });
+    W.put<uint64_t>(N);
+    S.view().forEachSeq([&](auto V) { W.put(V); });
+  }
+}
+
+/// Inverse of serializeEdgeSet. \p P is the store's BuildParams lineage
+/// (chunk-storage sets adopt payload bytes verbatim and never re-derive
+/// heads, so only the fallback consults it).
+template <class EdgeSet>
+EdgeSet deserializeEdgeSet(ByteReader &R, typename EdgeSet::BuildParams P) {
+  if constexpr (HasChunkStorageV<EdgeSet>) {
+    using Node = typename EdgeSet::Node;
+    using K = typename std::decay_t<decltype(
+        std::declval<EdgeSet>().prefix()->First)>;
+    (void)P; // structure is stored, not re-derived
+    typename EdgeSet::Payload *Pre = nullptr;
+    ChunkRef<K> PreGuard;
+    if (R.get<uint8_t>()) {
+      Pre = detail::getChunk<K>(R);
+      PreGuard = ChunkRef<K>(Pre); // exception safety until adoption
+    }
+    uint32_t Heads = R.get<uint32_t>();
+    if (uint64_t(Heads) > detail::CkptMaxCount)
+      throw CorruptCheckpoint("absurd head count");
+    std::vector<std::pair<K, ChunkRef<K>>> Pairs;
+    Pairs.reserve(Heads);
+    for (uint32_t I = 0; I < Heads; ++I) {
+      K Head = R.get<K>();
+      if (I > 0 && Head <= Pairs.back().first)
+        throw CorruptCheckpoint("heads not strictly increasing");
+      ChunkRef<K> Tail;
+      if (R.get<uint8_t>())
+        Tail = ChunkRef<K>(detail::getChunk<K>(R));
+      if (Tail.get() && Tail.get()->First <= Head)
+        throw CorruptCheckpoint("tail not above head");
+      Pairs.emplace_back(Head, std::move(Tail));
+    }
+    Node *Root = EdgeSet::T::buildSorted(Pairs.data(), Pairs.size());
+    return EdgeSet(Root, PreGuard.take());
+  } else {
+    uint64_t N = R.get<uint64_t>();
+    if (N > detail::CkptMaxCount)
+      throw CorruptCheckpoint("absurd element count");
+    using K = VertexId;
+    std::vector<K> E(static_cast<size_t>(N));
+    for (uint64_t I = 0; I < N; ++I)
+      E[size_t(I)] = R.get<K>();
+    for (uint64_t I = 1; I < N; ++I)
+      if (E[size_t(I)] <= E[size_t(I - 1)])
+        throw CorruptCheckpoint("elements not strictly increasing");
+    return EdgeSet::buildSorted(E.data(), E.size(), P);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Snapshot (one shard) serialization: the in-order vertex entries.
+//===----------------------------------------------------------------------===
+
+template <class EdgeSet>
+void serializeSnapshot(const GraphSnapshotT<EdgeSet> &G,
+                       std::vector<uint8_t> &Out) {
+  using VT = typename GraphSnapshotT<EdgeSet>::VT;
+  ByteWriter W(Out);
+  W.put<uint8_t>(HasChunkStorageV<EdgeSet> ? detail::SetFormatChunks
+                                           : detail::SetFormatElements);
+  W.put<uint64_t>(uint64_t(G.numVertices()));
+  VT::forEachSeq(G.root(), [&](const VertexId &V, const EdgeSet &S) {
+    W.put<VertexId>(V);
+    serializeEdgeSet(S, W);
+  });
+}
+
+template <class EdgeSet>
+GraphSnapshotT<EdgeSet>
+deserializeSnapshot(ByteReader &R, typename EdgeSet::BuildParams P) {
+  using VT = typename GraphSnapshotT<EdgeSet>::VT;
+  uint8_t Format = R.get<uint8_t>();
+  if (Format != (HasChunkStorageV<EdgeSet> ? detail::SetFormatChunks
+                                           : detail::SetFormatElements))
+    throw CorruptCheckpoint("edge-set format mismatch");
+  uint64_t N = R.get<uint64_t>();
+  if (N > detail::CkptMaxCount)
+    throw CorruptCheckpoint("absurd vertex count");
+  std::vector<std::pair<VertexId, EdgeSet>> Pairs;
+  Pairs.reserve(size_t(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    VertexId V = R.get<VertexId>();
+    if (I > 0 && V <= Pairs.back().first)
+      throw CorruptCheckpoint("vertices not strictly increasing");
+    Pairs.emplace_back(V, deserializeEdgeSet<EdgeSet>(R, P));
+  }
+  typename VT::Node *Root = VT::buildSorted(Pairs.data(), Pairs.size());
+  return GraphSnapshotT<EdgeSet>(Root, P);
+}
+
+//===----------------------------------------------------------------------===
+// Checkpoint files: pages + checksummed manifest + footer, written to a
+// temp name and renamed into place.
+//===----------------------------------------------------------------------===
+
+namespace detail {
+
+struct CkptPageEntry {
+  uint64_t Offset; ///< into the file (data section starts at 0)
+  uint64_t Bytes;
+  uint32_t Crc;
+  uint32_t Pad = 0;
+};
+
+struct CkptFooter {
+  uint64_t ManifestBytes;
+  uint32_t ManifestCrc;
+  uint32_t Pad = 0;
+  uint64_t Magic;
+};
+static_assert(sizeof(CkptFooter) == 24, "packed footer");
+
+inline std::string ckptFileName(uint64_t Seq) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "ckpt-%016llx.aspen",
+                static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+/// Seq encoded in a checkpoint file name, or nullopt.
+inline std::optional<uint64_t> ckptSeqOfName(const std::string &Name) {
+  unsigned long long Seq;
+  if (Name.size() == 27 &&
+      std::sscanf(Name.c_str(), "ckpt-%16llx.aspen", &Seq) == 1)
+    return uint64_t(Seq);
+  return std::nullopt;
+}
+
+} // namespace detail
+
+/// A validated, loaded checkpoint: the per-shard serialization streams
+/// ready for deserializeSnapshot.
+struct LoadedCheckpoint {
+  uint64_t Seq = 0;
+  uint32_t LogShards = 0;
+  std::vector<std::vector<uint8_t>> ShardStreams;
+};
+
+/// Write `Dir/ckpt-<seq>.aspen` from the given shard streams. All I/O is
+/// failpoint-instrumented ("ckpt.page.write", "ckpt.manifest.write",
+/// "ckpt.fsync", "ckpt.rename.before/after"). Returns the final path.
+/// Throws on I/O failure (the temp file is left behind; recovery ignores
+/// .tmp files and open() cleanup removes them).
+inline std::string
+writeCheckpointFile(const std::string &Dir, uint64_t Seq, uint32_t LogShards,
+                    const std::vector<std::vector<uint8_t>> &ShardStreams,
+                    bool Fsync) {
+  using namespace detail;
+  std::string Final = Dir + "/" + ckptFileName(Seq);
+  std::string Tmp = Final + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    throw std::runtime_error("cannot create checkpoint temp " + Tmp);
+  struct FdCloser {
+    int Fd;
+    ~FdCloser() { ::close(Fd); }
+  } Closer{Fd};
+
+  // Data section: the concatenated shard streams, cut into pages.
+  std::vector<CkptPageEntry> Pages;
+  uint64_t Off = 0;
+  for (const auto &Stream : ShardStreams) {
+    size_t At = 0;
+    while (At < Stream.size()) {
+      size_t N = std::min(CheckpointPageBytes, Stream.size() - At);
+      CkptPageEntry E;
+      E.Offset = Off;
+      E.Bytes = N;
+      E.Crc = crc32c(Stream.data() + At, N);
+      fpWrite(Fd, Stream.data() + At, N, "ckpt.page.write");
+      Pages.push_back(E);
+      At += N;
+      Off += N;
+    }
+    if (Stream.empty()) {
+      // Keep one (empty) page per empty shard so the shard table and
+      // page table stay trivially consistent.
+      Pages.push_back(CkptPageEntry{Off, 0, crc32c(nullptr, 0)});
+    }
+  }
+
+  // Manifest.
+  std::vector<uint8_t> Manifest;
+  {
+    ByteWriter W(Manifest);
+    W.put<uint64_t>(CkptManifestMagic);
+    W.put<uint64_t>(Seq);
+    W.put<uint32_t>(uint32_t(ShardStreams.size()));
+    W.put<uint32_t>(LogShards);
+    W.put<uint32_t>(uint32_t(Pages.size()));
+    for (const CkptPageEntry &E : Pages)
+      W.put(E);
+    for (const auto &Stream : ShardStreams)
+      W.put<uint64_t>(Stream.size());
+  }
+  fpWrite(Fd, Manifest.data(), Manifest.size(), "ckpt.manifest.write");
+  CkptFooter F;
+  F.ManifestBytes = Manifest.size();
+  F.ManifestCrc = crc32c(Manifest.data(), Manifest.size());
+  F.Pad = 0;
+  F.Magic = CkptFooterMagic;
+  fpWrite(Fd, &F, sizeof(F), "ckpt.manifest.write");
+  if (Fsync && !fpFsync(Fd, "ckpt.fsync"))
+    throw std::runtime_error("checkpoint fsync failed");
+
+  ASPEN_FAILPOINT("ckpt.rename.before");
+  if (::rename(Tmp.c_str(), Final.c_str()) != 0)
+    throw std::runtime_error("checkpoint rename failed");
+  ASPEN_FAILPOINT("ckpt.rename.after");
+  if (Fsync) {
+    int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      (void)fpFsync(DirFd, "ckpt.dirsync");
+      ::close(DirFd);
+    }
+  }
+  return Final;
+}
+
+/// Read and fully validate a checkpoint file: footer magic, manifest
+/// CRC, shape, and every page CRC. Returns nullopt on any mismatch (a
+/// torn write or corruption — the caller falls back to older files).
+inline std::optional<LoadedCheckpoint>
+readCheckpointFile(const std::string &Path) {
+  using namespace detail;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return std::nullopt;
+  std::vector<uint8_t> Buf;
+  {
+    struct stat St;
+    if (::fstat(Fd, &St) != 0 || St.st_size < off_t(sizeof(CkptFooter))) {
+      ::close(Fd);
+      return std::nullopt;
+    }
+    Buf.resize(size_t(St.st_size));
+    size_t Done = 0;
+    while (Done < Buf.size()) {
+      ssize_t N = ::read(Fd, Buf.data() + Done, Buf.size() - Done);
+      if (N <= 0)
+        break;
+      Done += size_t(N);
+    }
+    ::close(Fd);
+    if (Done != Buf.size())
+      return std::nullopt;
+  }
+
+  CkptFooter F;
+  std::memcpy(&F, Buf.data() + Buf.size() - sizeof(F), sizeof(F));
+  if (F.Magic != CkptFooterMagic ||
+      F.ManifestBytes > Buf.size() - sizeof(F))
+    return std::nullopt;
+  size_t ManifestOff = Buf.size() - sizeof(F) - size_t(F.ManifestBytes);
+  if (crc32c(Buf.data() + ManifestOff, size_t(F.ManifestBytes)) !=
+      F.ManifestCrc)
+    return std::nullopt;
+
+  LoadedCheckpoint Out;
+  std::vector<CkptPageEntry> Pages;
+  std::vector<uint64_t> ShardBytes;
+  try {
+    ByteReader R(Buf.data() + ManifestOff, size_t(F.ManifestBytes));
+    if (R.get<uint64_t>() != CkptManifestMagic)
+      return std::nullopt;
+    Out.Seq = R.get<uint64_t>();
+    uint32_t NumShards = R.get<uint32_t>();
+    Out.LogShards = R.get<uint32_t>();
+    uint32_t NumPages = R.get<uint32_t>();
+    if (NumShards > (1u << 20) || NumPages > (1u << 28))
+      return std::nullopt;
+    Pages.resize(NumPages);
+    for (uint32_t I = 0; I < NumPages; ++I)
+      Pages[I] = R.get<CkptPageEntry>();
+    ShardBytes.resize(NumShards);
+    for (uint32_t I = 0; I < NumShards; ++I)
+      ShardBytes[I] = R.get<uint64_t>();
+    if (!R.exhausted())
+      return std::nullopt;
+  } catch (const CorruptCheckpoint &) {
+    return std::nullopt;
+  }
+
+  // Page table must tile the data section exactly, and every page CRC
+  // must hold.
+  uint64_t Off = 0;
+  for (const CkptPageEntry &E : Pages) {
+    if (E.Offset != Off || E.Offset + E.Bytes > ManifestOff)
+      return std::nullopt;
+    if (crc32c(Buf.data() + E.Offset, size_t(E.Bytes)) != E.Crc)
+      return std::nullopt;
+    Off += E.Bytes;
+  }
+  uint64_t TotalShardBytes = 0;
+  for (uint64_t B : ShardBytes)
+    TotalShardBytes += B;
+  if (Off != TotalShardBytes || Off > ManifestOff)
+    return std::nullopt;
+
+  // Split the (validated) data section back into per-shard streams.
+  Out.ShardStreams.resize(ShardBytes.size());
+  uint64_t At = 0;
+  for (size_t S = 0; S < ShardBytes.size(); ++S) {
+    Out.ShardStreams[S].assign(Buf.data() + At,
+                               Buf.data() + At + ShardBytes[S]);
+    At += ShardBytes[S];
+  }
+  return Out;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_STORE_CHECKPOINT_H

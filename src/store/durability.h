@@ -1,0 +1,325 @@
+//===- store/durability.h - WAL + checkpoint orchestration ----------------===//
+//
+// Ties the redo log (store/wal.h) and the epoch checkpoints
+// (store/checkpoint.h) into one durable directory that the stores open
+// behind an opt-in DurabilityOptions (DESIGN.md Section 7):
+//
+//   <dir>/wal-<gen>.log        append-only WAL segments, generation-named
+//   <dir>/ckpt-<seq>.aspen     immutable checkpoint files
+//   <dir>/*.tmp                in-flight checkpoint writes (removed on open)
+//
+// Invariants the engine maintains:
+//
+//   * Exactly one *active* WAL segment accepts appends; every earlier
+//     generation is sealed and immutable. Open always starts a fresh
+//     generation, so a torn tail can only ever sit at the end of one
+//     (now sealed, truncated-on-scan) segment.
+//   * checkpoint(S) first makes ckpt-<S> durable (tmp + fsync + rename),
+//     then flushes and seals the active segment, opens generation+1, and
+//     only then unlinks sealed segments whose records are all covered
+//     (maxSeq <= S). A crash anywhere in that sequence leaves either the
+//     old checkpoint + full WAL, or the new checkpoint + a superset of
+//     the WAL suffix it needs — both recover to the same store.
+//   * Sealing flushes the old segment's pending group before the swap,
+//     so across segments the record sequence has no holes: recovery can
+//     insist on contiguous sequence numbers and treat any gap as the end
+//     of the usable log.
+//
+// Recovery (performed in the constructor) = newest checkpoint file that
+// validates end-to-end, plus the contiguous run of WAL records with
+// sequence numbers above it, in order. The stores replay those records
+// through the same insertEdgesSpan/deleteEdgesSpan batch paths that
+// produced the original epochs — by chunk-boundary determinism (DESIGN.md
+// Section 2) the result is byte-identical to the uncrashed store.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_STORE_DURABILITY_H
+#define ASPEN_STORE_DURABILITY_H
+
+#include "store/checkpoint.h"
+#include "store/wal.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <dirent.h>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+namespace aspen {
+
+/// Opt-in durability configuration for the stores. A default-constructed
+/// store stays memory-only; passing DurabilityOptions at construction
+/// opens (and if needed recovers) the directory and makes every
+/// acknowledged batch crash-safe.
+struct DurabilityOptions {
+  std::string Dir; ///< directory holding WAL segments + checkpoints
+
+  /// fsync on every group commit (the durability guarantee). Turning
+  /// this off keeps the record/checkpoint formats and recovery logic but
+  /// trades acknowledged-batch durability for speed — useful for tests
+  /// and for workloads content with OS-crash-only durability.
+  bool FsyncOnCommit = true;
+
+  /// Take a checkpoint automatically every N acknowledged batches
+  /// (0 = only when the caller asks via checkpointNow()).
+  uint64_t CheckpointEveryBatches = 0;
+
+  /// After recovering from a checkpoint, build the hot flat cache from
+  /// the checkpoint state before replaying the WAL, so the first
+  /// acquireFlat() after recovery takes the O(touched) refresh path
+  /// instead of a full rebuild (the replayed batches record digests).
+  bool PrimeFlatOnRecover = true;
+
+  /// Checkpoint files retained as fallbacks beyond the newest.
+  size_t KeepCheckpoints = 2;
+};
+
+/// One WAL record recovered for replay (payload owned).
+struct WalReplayRecord {
+  WalKind Kind;
+  uint64_t Seq;
+  std::vector<EdgePair> Edges;
+};
+
+/// Everything recovery found in the directory.
+struct RecoveredState {
+  std::optional<LoadedCheckpoint> Ckpt; ///< newest fully-valid checkpoint
+  std::vector<WalReplayRecord> Replay;  ///< contiguous suffix above Ckpt
+  uint64_t MaxSeq = 0; ///< highest recovered batch sequence number
+  bool SeqGap = false; ///< log ended at a sequence hole (diagnostic)
+};
+
+/// The per-store durability orchestrator: owns the directory, the active
+/// WAL segment, segment rotation/trimming, and checkpoint retention.
+/// Thread-safe; the stores call append() under their install ordering
+/// and sync() free-threaded.
+class DurabilityEngine {
+  struct SealedSegment {
+    uint64_t Gen;
+    std::string Path;
+    uint64_t MaxSeq; ///< highest valid record sequence, 0 when empty
+  };
+
+public:
+  explicit DurabilityEngine(DurabilityOptions O) : Opts(std::move(O)) {
+    if (::mkdir(Opts.Dir.c_str(), 0755) != 0 && errno != EEXIST)
+      throw std::runtime_error("cannot create durability dir " + Opts.Dir);
+
+    // Inventory the directory: checkpoint seqs, WAL generations, and
+    // leftover temp files from a checkpoint interrupted mid-write.
+    std::vector<uint64_t> WalGens;
+    {
+      DIR *D = ::opendir(Opts.Dir.c_str());
+      if (!D)
+        throw std::runtime_error("cannot open durability dir " + Opts.Dir);
+      while (struct dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name.size() > 4 && Name.rfind(".tmp") == Name.size() - 4) {
+          (void)::unlink((Opts.Dir + "/" + Name).c_str());
+          continue;
+        }
+        if (auto S = detail::ckptSeqOfName(Name))
+          CkptSeqs.push_back(*S);
+        else if (auto G = walGenOfName(Name))
+          WalGens.push_back(*G);
+      }
+      ::closedir(D);
+    }
+    std::sort(CkptSeqs.begin(), CkptSeqs.end());
+    std::sort(WalGens.begin(), WalGens.end());
+
+    // Newest checkpoint that validates end-to-end wins; invalid ones
+    // (torn writes that still got renamed somehow, bit rot) fall back.
+    for (size_t I = CkptSeqs.size(); I-- > 0;) {
+      if (auto L = readCheckpointFile(Opts.Dir + "/" +
+                                      detail::ckptFileName(CkptSeqs[I]))) {
+        Rec.Ckpt = std::move(*L);
+        break;
+      }
+    }
+    uint64_t CkptSeq = Rec.Ckpt ? Rec.Ckpt->Seq : 0;
+    LastCkptSeqV.store(CkptSeq, std::memory_order_relaxed);
+    Rec.MaxSeq = CkptSeq;
+
+    // Scan WAL generations in order, truncating torn tails, collecting
+    // the contiguous record run above the checkpoint. A hole ends the
+    // usable log: nothing past it can have been acknowledged (sealing
+    // flushes, so acknowledged prefixes are hole-free by construction).
+    uint64_t Expected = CkptSeq;
+    for (uint64_t Gen : WalGens) {
+      std::string Path = segmentPath(Gen);
+      WalScanResult R =
+          walScanSegment(Path, /*TruncateTorn=*/true,
+                         [&](const WalRecordView &V) {
+                           if (Rec.SeqGap || V.Seq <= Expected)
+                             return;
+                           if (V.Seq != Expected + 1) {
+                             Rec.SeqGap = true;
+                             return;
+                           }
+                           WalReplayRecord RR;
+                           RR.Kind = V.Kind;
+                           RR.Seq = V.Seq;
+                           RR.Edges.assign(V.Edges, V.Edges + V.NumEdges);
+                           Rec.Replay.push_back(std::move(RR));
+                           Expected = V.Seq;
+                         });
+      Sealed.push_back(SealedSegment{Gen, Path, R.MaxSeq});
+    }
+    Rec.MaxSeq = Expected;
+
+    // Appends always go to a fresh generation: sealed segments stay
+    // immutable, and a recovered-from torn tail can never be appended
+    // past.
+    ActiveGen = (WalGens.empty() ? 0 : WalGens.back()) + 1;
+    Active = std::make_shared<WalLog>(segmentPath(ActiveGen),
+                                      Opts.FsyncOnCommit, Rec.MaxSeq + 1);
+  }
+
+  DurabilityEngine(const DurabilityEngine &) = delete;
+  DurabilityEngine &operator=(const DurabilityEngine &) = delete;
+
+  const DurabilityOptions &options() const { return Opts; }
+
+  /// What recovery found (the store consumes this once, at open).
+  const RecoveredState &recovered() const { return Rec; }
+
+  /// Free the recovered replay payloads after the store has applied them.
+  void dropRecoveredPayload() {
+    Rec.Replay.clear();
+    Rec.Replay.shrink_to_fit();
+    if (Rec.Ckpt) {
+      Rec.Ckpt->ShardStreams.clear();
+      Rec.Ckpt->ShardStreams.shrink_to_fit();
+    }
+  }
+
+  /// A pending group commit: sync() against the exact segment the record
+  /// went to (rotation may swap the active segment in between).
+  struct Ticket {
+    std::shared_ptr<WalLog> Log;
+    uint64_t Seq = 0;
+  };
+
+  /// Append one batch record. Must be called in increasing-Seq order
+  /// (the store's install ordering provides this). Does not block on
+  /// I/O; the batch is acknowledged only after sync() returns.
+  Ticket append(WalKind K, uint64_t Seq, const EdgePair *Edges, size_t N) {
+    std::lock_guard<std::mutex> Lock(WalM);
+    Active->enqueue(K, Seq, Edges, N);
+    return Ticket{Active, Seq};
+  }
+
+  /// Block until the ticket's record is durable (group commit: the first
+  /// syncing thread flushes everyone's pending records).
+  void sync(const Ticket &T) {
+    if (T.Log)
+      T.Log->sync(T.Seq);
+  }
+
+  /// Make ckpt-<Seq> durable from the serialized shard streams, then
+  /// rotate the WAL and drop segments + old checkpoints it obsoletes.
+  /// Serialized against concurrent checkpoint() calls; concurrent
+  /// append()/sync() proceed (they only contend on the rotation swap).
+  void checkpoint(uint64_t Seq, uint32_t LogShards,
+                  const std::vector<std::vector<uint8_t>> &ShardStreams) {
+    std::lock_guard<std::mutex> CkLock(CkptM);
+    if (Seq <= LastCkptSeqV.load(std::memory_order_relaxed))
+      return; // a concurrent caller already covered this epoch
+    writeCheckpointFile(Opts.Dir, Seq, LogShards, ShardStreams,
+                        Opts.FsyncOnCommit);
+    LastCkptSeqV.store(Seq, std::memory_order_relaxed);
+    CkptSeqs.push_back(Seq);
+
+    // Seal the active segment: flush its whole pending group (so the
+    // sealed file is hole-free) and open the next generation.
+    std::vector<SealedSegment> Trim;
+    {
+      std::lock_guard<std::mutex> Lock(WalM);
+      uint64_t Mx = Active->seqRange().second;
+      Active->sync(Mx);
+      Sealed.push_back(SealedSegment{ActiveGen, Active->path(), Mx});
+      ++ActiveGen;
+      Active = std::make_shared<WalLog>(segmentPath(ActiveGen),
+                                        Opts.FsyncOnCommit, Seq + 1);
+      // Segments fully covered by the checkpoint are garbage. (A sealed
+      // segment with records above Seq — a batch that committed while
+      // the checkpoint was being written — stays until the next one.)
+      auto Mid = std::stable_partition(
+          Sealed.begin(), Sealed.end(),
+          [&](const SealedSegment &S) { return S.MaxSeq > Seq; });
+      Trim.assign(Mid, Sealed.end());
+      Sealed.erase(Mid, Sealed.end());
+    }
+    ASPEN_FAILPOINT("wal.trim.before");
+    for (const SealedSegment &S : Trim) {
+      (void)::unlink(S.Path.c_str());
+      ASPEN_FAILPOINT("wal.trim.mid");
+    }
+    ASPEN_FAILPOINT("wal.trim.after");
+
+    // Checkpoint retention: newest + KeepCheckpoints-1 fallbacks.
+    while (CkptSeqs.size() > std::max<size_t>(1, Opts.KeepCheckpoints)) {
+      (void)::unlink(
+          (Opts.Dir + "/" + detail::ckptFileName(CkptSeqs.front())).c_str());
+      CkptSeqs.erase(CkptSeqs.begin());
+    }
+  }
+
+  /// Sequence of the newest durable checkpoint (0 when none).
+  uint64_t lastCheckpointSeq() const {
+    return LastCkptSeqV.load(std::memory_order_relaxed);
+  }
+
+  /// Highest sequence known durable in the active segment.
+  uint64_t durableSeq() const {
+    std::lock_guard<std::mutex> Lock(WalM);
+    return Active->durableSeq();
+  }
+
+  /// Commit statistics of the active segment (bench/test diagnostics).
+  WalStats walStats() const {
+    std::lock_guard<std::mutex> Lock(WalM);
+    return Active->stats();
+  }
+
+private:
+  std::string segmentPath(uint64_t Gen) const {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "wal-%016llx.log",
+                  static_cast<unsigned long long>(Gen));
+    return Opts.Dir + "/" + Buf;
+  }
+
+  /// Generation encoded in a WAL segment file name, or nullopt.
+  static std::optional<uint64_t> walGenOfName(const std::string &Name) {
+    unsigned long long Gen;
+    if (Name.size() == 24 &&
+        std::sscanf(Name.c_str(), "wal-%16llx.log", &Gen) == 1)
+      return uint64_t(Gen);
+    return std::nullopt;
+  }
+
+  DurabilityOptions Opts;
+  RecoveredState Rec;
+  std::vector<uint64_t> CkptSeqs; ///< on-disk checkpoints, ascending
+
+  mutable std::mutex WalM; ///< guards Active/ActiveGen/Sealed
+  std::shared_ptr<WalLog> Active;
+  uint64_t ActiveGen = 1;
+  std::vector<SealedSegment> Sealed;
+
+  std::mutex CkptM; ///< serializes checkpoint()
+  std::atomic<uint64_t> LastCkptSeqV{0};
+};
+
+} // namespace aspen
+
+#endif // ASPEN_STORE_DURABILITY_H

@@ -47,10 +47,12 @@
 
 #include "graph/graph.h"
 #include "graph/versioned_graph.h" // FlatMaintenanceStats + flat tuning
+#include "store/durability.h"
 #include "store/version_list.h"
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -109,7 +111,7 @@ public:
   /// materialized with an empty edge set in its owning shard, matching
   /// GraphSnapshotT::fromEdges.
   explicit ShardedGraphStoreT(size_t NumShards, VertexId N = 0)
-      : ShardedGraphStoreT(NumShards, N, {}) {}
+      : ShardedGraphStoreT(NumShards, N, std::vector<EdgePair>{}) {}
 
   /// BuildGraph counterpart: a sharded store over vertices [0, N)
   /// containing \p Edges, partitioned by shardOf(). All shards build
@@ -122,6 +124,18 @@ public:
         Mask(VertexId((size_t(1) << LogShards) - 1)), Params(P),
         ShardLocks(new std::mutex[size_t(1) << LogShards]),
         Versions(initialEpoch(LogShards, N, std::move(Edges), P)) {}
+
+  /// Durable open (opt-in; DESIGN.md Section 7): recover the newest
+  /// valid checkpoint from \p O.Dir, replay the WAL suffix through the
+  /// normal batch pipeline, and WAL-log + group-commit every subsequent
+  /// batch before acknowledging it. A checkpoint's shard count is
+  /// authoritative — \p NumShards only shapes a fresh directory (the
+  /// hash partition must match the one the checkpointed shards were
+  /// built under).
+  ShardedGraphStoreT(const DurabilityOptions &O, size_t NumShards,
+                     VertexId N, typename EdgeSet::BuildParams P = {})
+      : ShardedGraphStoreT(std::make_unique<DurabilityEngine>(O), NumShards,
+                           N, P) {}
 
   ShardedGraphStoreT(const ShardedGraphStoreT &) = delete;
   ShardedGraphStoreT &operator=(const ShardedGraphStoreT &) = delete;
@@ -404,7 +418,99 @@ public:
     return Stats;
   }
 
+  /// Durability engine of a durable store (nullptr on a memory-only
+  /// store). Diagnostics only — the store drives it internally.
+  const DurabilityEngine *durability() const { return Durable.get(); }
+
+  /// Serialize the current epoch as a durable checkpoint, rotate the
+  /// WAL, and drop the log prefix it covers. Durable stores only; safe
+  /// under concurrent ingest — the checkpoint is one acquired epoch's
+  /// consistent cut, and only WAL records it covers are trimmed.
+  uint64_t checkpointNow() {
+    assert(Durable && "checkpointNow on a memory-only store");
+    Ref E = acquire();
+    size_t S = numShards();
+    std::vector<std::vector<uint8_t>> Streams(S);
+    parallelFor(0, S, [&](size_t Sh) {
+      serializeSnapshot(E.shard(Sh), Streams[Sh]);
+    }, 1);
+    Durable->checkpoint(E.batchSeq(), uint32_t(LogShards), Streams);
+    return E.batchSeq();
+  }
+
 private:
+  /// Durable-open worker: shard geometry comes from the recovered
+  /// checkpoint when one exists (the partition hash must match the one
+  /// the checkpointed shards were built under).
+  ShardedGraphStoreT(std::unique_ptr<DurabilityEngine> Eng, size_t NumShards,
+                     VertexId N, typename EdgeSet::BuildParams P)
+      : LogShards(Eng->recovered().Ckpt
+                      ? size_t(Eng->recovered().Ckpt->LogShards)
+                      : log2Ceil(NumShards)),
+        Mask(VertexId((size_t(1) << LogShards) - 1)), Params(P),
+        ShardLocks(new std::mutex[size_t(1) << LogShards]),
+        Versions(initialEpoch(LogShards, N, {}, P)),
+        Durable(std::move(Eng)) {
+    const RecoveredState &R = Durable->recovered();
+    size_t S = numShards();
+    if (R.Ckpt) {
+      if (R.Ckpt->ShardStreams.size() != S)
+        throw CorruptCheckpoint("sharded checkpoint shard-count mismatch");
+      Epoch E;
+      E.Shards.resize(S);
+      std::vector<std::exception_ptr> Errs(S);
+      parallelFor(0, S, [&](size_t Sh) {
+        try {
+          ByteReader Rd(R.Ckpt->ShardStreams[Sh].data(),
+                        R.Ckpt->ShardStreams[Sh].size());
+          E.Shards[Sh] = deserializeSnapshot<EdgeSet>(Rd, Params);
+        } catch (...) {
+          Errs[Sh] = std::current_exception();
+        }
+      }, 1);
+      for (std::exception_ptr &Ep : Errs)
+        if (Ep)
+          std::rethrow_exception(Ep);
+      E.BatchSeq = R.Ckpt->Seq;
+      finalizeAggregates(E, N);
+      Versions.set(std::move(E));
+      if (Durable->options().PrimeFlatOnRecover)
+        primeFlatFromCurrent();
+    }
+    // Replay the WAL suffix through the normal pipeline (Recovering
+    // gates the WAL re-append); the digests it records keep the primed
+    // flat cache refreshable.
+    Recovering = true;
+    for (const WalReplayRecord &RR : R.Replay) {
+      uint64_t Seq = applyBatch(RR.Edges.data(), RR.Edges.size(),
+                                RR.Kind == WalKind::InsertBatch);
+      (void)Seq;
+      assert(Seq == RR.Seq && "replay must reproduce the batch sequence");
+    }
+    Recovering = false;
+    Durable->dropRecoveredPayload();
+  }
+
+  /// Recovery priming: build the hot flat cache from the current
+  /// (checkpoint) epoch so the first post-recovery acquireFlat() takes
+  /// the O(touched) refresh path over the replayed batches' digests.
+  void primeFlatFromCurrent() {
+    size_t S = numShards();
+    std::lock_guard<std::mutex> Lock(FlatM);
+    Ref E = acquire();
+    auto New = std::make_shared<FlatEpoch>();
+    New->Flats.resize(S);
+    parallelFor(0, S, [&](size_t Sh) {
+      New->Flats[Sh] = Flat(E.shard(Sh), unsigned(LogShards));
+    }, 1);
+    New->BatchSeq = E.batchSeq();
+    New->NumEdges = E.numEdges();
+    New->Universe = E.epoch().Universe;
+    New->LogShards = LogShards;
+    CachedFlat = New;
+    ++Stats.Rebuilds;
+  }
+
   /// Per-epoch touched digest: (shard, ascending touched vertex ids) for
   /// every shard the batch touched.
   using ShardDigest = std::vector<std::pair<uint32_t, std::vector<VertexId>>>;
@@ -587,7 +693,8 @@ private:
     // concurrent disjoint-shard writers never serialize behind it.
     uint64_t Seq;
     Ref Latest;
-    {
+    DurabilityEngine::Ticket Tk;
+    try {
       std::lock_guard<std::mutex> Lock(CommitM);
       Latest = acquire();
       Epoch Next;
@@ -598,6 +705,14 @@ private:
       Next.BatchSeq = Latest.epoch().BatchSeq + 1;
       finalizeAggregates(Next, Latest.epoch().Universe);
       Seq = Next.BatchSeq;
+      // WAL append under the commit lock: file order = install order,
+      // and the record carries the original (unsorted, unsplit) batch
+      // so replay reruns the very pipeline that produced this epoch.
+      // The group commit itself happens after the locks are released.
+      if (Durable && !Recovering)
+        Tk = Durable->append(Insert ? WalKind::InsertBatch
+                                    : WalKind::DeleteBatch,
+                             Seq, Edges, K);
       uint64_t DigestCap =
           uint64_t(Next.Universe) / FlatRefreshDenominator;
       Versions.set(std::move(Next));
@@ -615,6 +730,16 @@ private:
         Digests.record(Seq, std::move(Digest));
       else
         Digests.clear();
+    } catch (...) {
+      // A poisoned WAL (or an injected crash) must not strand the shard
+      // locks or leak the merged snapshots: unwind cleanly, without
+      // installing, and let the caller see the failure.
+      for (size_t Sh = 0; Sh < S; ++Sh)
+        Merged[Sh].~Snapshot();
+      for (size_t Sh = S; Sh-- > 0;)
+        if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+          ShardLocks[Sh].unlock();
+      throw;
     }
     for (size_t Sh = 0; Sh < S; ++Sh)
       Merged[Sh].~Snapshot();
@@ -624,7 +749,25 @@ private:
     // Superseded-epoch reclamation outside every lock.
     Base.reset();
     Latest.reset();
+    if (Tk.Log) {
+      Durable->sync(Tk); // acknowledged == durable
+      maybeCheckpoint(Seq);
+    }
     return Seq;
+  }
+
+  /// Auto-checkpoint trigger (CheckpointEveryBatches): at most one
+  /// ingest thread checkpoints at a time; the rest skip — the next
+  /// acknowledged batch re-arms the trigger.
+  void maybeCheckpoint(uint64_t Seq) {
+    uint64_t Every = Durable->options().CheckpointEveryBatches;
+    if (!Every || Seq < Durable->lastCheckpointSeq() + Every)
+      return;
+    if (!CkptTriggerM.try_lock())
+      return;
+    std::lock_guard<std::mutex> G(CkptTriggerM, std::adopt_lock);
+    if (batchSeq() >= Durable->lastCheckpointSeq() + Every)
+      checkpointNow();
   }
 
   size_t LogShards;
@@ -633,6 +776,12 @@ private:
   std::unique_ptr<std::mutex[]> ShardLocks;
   std::mutex CommitM;
   VersionListT<Epoch> Versions;
+
+  // Durability (nullptr on a memory-only store); Recovering gates the
+  // WAL re-append while the constructor replays the recovered log.
+  std::unique_ptr<DurabilityEngine> Durable;
+  bool Recovering = false;
+  std::mutex CkptTriggerM;
 
   // Hot-flat maintenance state (DESIGN.md Section 4). The digest log is
   // keyed by BatchSeq (contiguous under the commit lock); the cached

@@ -1,0 +1,85 @@
+//===- util/crc.h - CRC32C (Castagnoli) checksums -------------------------===//
+//
+// The checksum behind every durable byte this library writes: WAL record
+// headers+payloads, checkpoint pages and manifests (store/wal.h,
+// store/checkpoint.h), and the checksummed binary edge-list format
+// (gen/graph_io.h). CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78)
+// is the iSCSI/ext4/LevelDB polynomial: strong burst-error detection and
+// a hardware instruction on x86, though the portable slice-by-8 table
+// walk below is fast enough for our commit-path record sizes (~1 GB/s)
+// and keeps the build dependency-free.
+//
+// crc32c() is incremental: feed it the previous return value as \p Seed
+// to extend a checksum across discontiguous spans (the WAL checksums a
+// record header and its payload in two calls). Values are stored in
+// *finalized* form (the conventional ~crc post-inversion), so equal
+// stored values mean equal streams.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_UTIL_CRC_H
+#define ASPEN_UTIL_CRC_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aspen {
+
+namespace detail {
+
+/// Slice-by-8 tables, built once on first use (thread-safe local static).
+struct Crc32cTables {
+  uint32_t T[8][256];
+
+  Crc32cTables() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int B = 0; B < 8; ++B)
+        C = (C >> 1) ^ ((C & 1) ? 0x82F63B78u : 0);
+      T[0][I] = C;
+    }
+    for (uint32_t I = 0; I < 256; ++I)
+      for (int S = 1; S < 8; ++S)
+        T[S][I] = (T[S - 1][I] >> 8) ^ T[0][T[S - 1][I] & 0xFF];
+  }
+};
+
+inline const Crc32cTables &crc32cTables() {
+  static const Crc32cTables Tables;
+  return Tables;
+}
+
+} // namespace detail
+
+/// CRC32C of \p N bytes at \p Data. Pass a previous (finalized) result as
+/// \p Seed to extend the checksum across multiple spans; 0 starts fresh.
+inline uint32_t crc32c(const void *Data, size_t N, uint32_t Seed = 0) {
+  const auto &Tb = detail::crc32cTables();
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  // Head: align to 8 bytes.
+  while (N && (reinterpret_cast<uintptr_t>(P) & 7)) {
+    C = (C >> 8) ^ Tb.T[0][(C ^ *P++) & 0xFF];
+    --N;
+  }
+  // Body: slice-by-8.
+  while (N >= 8) {
+    uint64_t W;
+    __builtin_memcpy(&W, P, 8);
+    W ^= C;
+    C = Tb.T[7][W & 0xFF] ^ Tb.T[6][(W >> 8) & 0xFF] ^
+        Tb.T[5][(W >> 16) & 0xFF] ^ Tb.T[4][(W >> 24) & 0xFF] ^
+        Tb.T[3][(W >> 32) & 0xFF] ^ Tb.T[2][(W >> 40) & 0xFF] ^
+        Tb.T[1][(W >> 48) & 0xFF] ^ Tb.T[0][(W >> 56) & 0xFF];
+    P += 8;
+    N -= 8;
+  }
+  // Tail.
+  while (N--)
+    C = (C >> 8) ^ Tb.T[0][(C ^ *P++) & 0xFF];
+  return ~C;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_UTIL_CRC_H

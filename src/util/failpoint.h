@@ -1,0 +1,227 @@
+//===- util/failpoint.h - Fault injection for the durability layer --------===//
+//
+// A tiny failpoint registry that lets tests force the failure modes a
+// real storage stack sees — torn (short) writes, fsync errors, bit flips
+// on the way to disk, and process death at chosen points — without
+// actually killing the process. All durable I/O in store/wal.h and
+// store/checkpoint.h routes through the fp*() wrappers below, and the
+// commit protocols mark their interesting transitions with named
+// ASPEN_FAILPOINT sites ("wal.append.before", "ckpt.rename.after", ...).
+//
+// A test arms a site with an action and a hit index:
+//
+//   failpoints().arm("wal.record.write", FailAction::shortWrite(7), 2);
+//   // the 3rd write at that site persists only 7 bytes, then "crashes"
+//
+// "Crashing" throws SimulatedCrash. The durability code is exception-
+// safe in the narrow sense the tests need: whatever bytes were written
+// before the throw stay in the files (exactly like a kill -9 after a
+// partial write), in-flight group commits are poisoned so concurrent
+// appenders also unwind, and the test then drops the store object and
+// re-opens the directory to exercise recovery.
+//
+// When nothing is armed the hot-path cost is one relaxed atomic load of
+// a global counter (zero branches taken), so the wrappers are left in
+// release builds — the differential recovery suite runs against the
+// exact binaries that ship.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_UTIL_FAILPOINT_H
+#define ASPEN_UTIL_FAILPOINT_H
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+#include <unordered_map>
+#include <vector>
+
+namespace aspen {
+
+/// Thrown at an armed crash point: simulated process death. Tests catch
+/// it, destroy the store, and re-open from the durable directory.
+struct SimulatedCrash : std::runtime_error {
+  explicit SimulatedCrash(const std::string &Site)
+      : std::runtime_error("simulated crash at failpoint: " + Site) {}
+};
+
+/// What an armed failpoint does when its hit index comes up.
+struct FailAction {
+  enum Kind : uint8_t {
+    Crash,      ///< throw SimulatedCrash before the operation
+    ShortWrite, ///< persist only Arg bytes of the write, then crash
+    FailFsync,  ///< fail the fsync with EIO (no crash; caller handles)
+    BitFlip,    ///< flip bit Arg of the written bytes (persists corrupt)
+  };
+  Kind K = Crash;
+  uint64_t Arg = 0;
+
+  static FailAction crash() { return {Crash, 0}; }
+  static FailAction shortWrite(uint64_t Bytes) { return {ShortWrite, Bytes}; }
+  static FailAction failFsync() { return {FailFsync, 0}; }
+  static FailAction bitFlip(uint64_t Bit) { return {BitFlip, Bit}; }
+};
+
+/// Global failpoint registry. Sites are arbitrary strings; arming is
+/// cheap and test-scoped (see FailpointGuard). Thread-safe.
+class FailpointRegistry {
+  struct Armed {
+    FailAction Action;
+    uint64_t HitIndex;   ///< trigger on the (HitIndex+1)-th hit
+    uint64_t Hits = 0;   ///< hits observed so far
+    bool Spent = false;  ///< one-shot: triggered already
+  };
+
+public:
+  /// Arm \p Site to trigger \p A on its (\p HitIndex + 1)-th hit.
+  /// Re-arming a site replaces its previous action and resets its count.
+  void arm(const std::string &Site, FailAction A, uint64_t HitIndex = 0) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(Site);
+    if (It == Map.end()) {
+      Map.emplace(Site, Armed{A, HitIndex});
+      NumArmed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      It->second = Armed{A, HitIndex};
+    }
+  }
+
+  void disarm(const std::string &Site) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Map.erase(Site))
+      NumArmed.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Disarm everything (test teardown).
+  void reset() {
+    std::lock_guard<std::mutex> Lock(M);
+    Map.clear();
+    NumArmed.store(0, std::memory_order_relaxed);
+  }
+
+  /// Number of hits a site has observed (armed sites only).
+  uint64_t hits(const std::string &Site) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(Site);
+    return It == Map.end() ? 0 : It->second.Hits;
+  }
+
+  /// Called by instrumented code. Returns the action to apply at this
+  /// hit, or false. One atomic load when nothing is armed anywhere.
+  bool check(const char *Site, FailAction &Out) {
+    if (NumArmed.load(std::memory_order_relaxed) == 0)
+      return false;
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(Site);
+    if (It == Map.end())
+      return false;
+    Armed &A = It->second;
+    uint64_t Hit = A.Hits++;
+    if (A.Spent || Hit != A.HitIndex)
+      return false;
+    A.Spent = true; // one-shot: recovery re-runs the same sites cleanly
+    Out = A.Action;
+    return true;
+  }
+
+private:
+  std::mutex M;
+  std::unordered_map<std::string, Armed> Map;
+  std::atomic<uint64_t> NumArmed{0};
+};
+
+inline FailpointRegistry &failpoints() {
+  static FailpointRegistry R;
+  return R;
+}
+
+/// RAII arm/disarm-all for tests: every guard resets the whole registry
+/// on destruction, so a throwing test cannot leak armed sites.
+struct FailpointGuard {
+  FailpointGuard() = default;
+  FailpointGuard(const std::string &Site, FailAction A,
+                 uint64_t HitIndex = 0) {
+    failpoints().arm(Site, A, HitIndex);
+  }
+  ~FailpointGuard() { failpoints().reset(); }
+  FailpointGuard(const FailpointGuard &) = delete;
+  FailpointGuard &operator=(const FailpointGuard &) = delete;
+};
+
+/// Pure crash site (no I/O attached): throws if armed with any action.
+inline void failpointHit(const char *Site) {
+  FailAction A;
+  if (failpoints().check(Site, A))
+    throw SimulatedCrash(Site);
+}
+
+#define ASPEN_FAILPOINT(SiteLiteral) ::aspen::failpointHit(SiteLiteral)
+
+/// write(2) wrapper honoring ShortWrite / BitFlip / Crash at \p Site.
+/// Loops over partial writes; throws std::runtime_error on real I/O
+/// errors and SimulatedCrash on injected ones. A short-write injection
+/// persists the prefix (torn tail on disk) before crashing; a bit flip
+/// corrupts one bit of this call's bytes and then writes normally —
+/// modeling media corruption the checksums must catch.
+inline void fpWrite(int Fd, const void *Buf, size_t N, const char *Site) {
+  const uint8_t *P = static_cast<const uint8_t *>(Buf);
+  std::vector<uint8_t> Flipped; // only on BitFlip injection
+  FailAction A;
+  size_t Persist = N;
+  bool CrashAfter = false;
+  if (failpoints().check(Site, A)) {
+    switch (A.K) {
+    case FailAction::Crash:
+      throw SimulatedCrash(Site);
+    case FailAction::ShortWrite:
+      Persist = A.Arg < N ? size_t(A.Arg) : N;
+      CrashAfter = true;
+      break;
+    case FailAction::BitFlip:
+      Flipped.assign(P, P + N);
+      if (N)
+        Flipped[size_t(A.Arg / 8) % N] ^= uint8_t(1u << (A.Arg % 8));
+      P = Flipped.data();
+      break;
+    case FailAction::FailFsync:
+      break; // not meaningful on a write site
+    }
+  }
+  size_t Done = 0;
+  while (Done < Persist) {
+    ssize_t W = ::write(Fd, P + Done, Persist - Done);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      throw std::runtime_error(std::string("write failed: ") +
+                               std::strerror(errno));
+    }
+    Done += size_t(W);
+  }
+  if (CrashAfter)
+    throw SimulatedCrash(Site);
+}
+
+/// fsync(2) wrapper honoring FailFsync / Crash at \p Site. Returns false
+/// on an (injected or real) fsync failure; the caller decides whether
+/// that poisons the log or fails the checkpoint.
+inline bool fpFsync(int Fd, const char *Site) {
+  FailAction A;
+  if (failpoints().check(Site, A)) {
+    if (A.K == FailAction::Crash)
+      throw SimulatedCrash(Site);
+    if (A.K == FailAction::FailFsync)
+      return false;
+  }
+  return ::fsync(Fd) == 0;
+}
+
+} // namespace aspen
+
+#endif // ASPEN_UTIL_FAILPOINT_H

@@ -232,3 +232,124 @@ TEST(VersionedGraph, LeakFreeReclamation) {
   EXPECT_EQ(liveCountedBytes(), BaseBytes);
   EXPECT_EQ(totalPoolLiveBytes(), BaseNodes);
 }
+
+//===----------------------------------------------------------------------===//
+// DeltaLogT edge cases: the bounded digest window behind acquireFlat()'s
+// incremental refresh. Wraparound past MaxEntries, gap/clear semantics,
+// and replay-after-clear recovery of the incremental path.
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaLog, ReplayCoversContiguousSpansOnly) {
+  DeltaLogT<int> Log;
+  for (uint64_t S = 1; S <= 5; ++S)
+    Log.record(S, int(S) * 10);
+  std::vector<int> Got;
+  EXPECT_TRUE(Log.replay(0, 5, [&](int D) { Got.push_back(D); }));
+  EXPECT_EQ(Got, (std::vector<int>{10, 20, 30, 40, 50}));
+  Got.clear();
+  EXPECT_TRUE(Log.replay(2, 4, [&](int D) { Got.push_back(D); }));
+  EXPECT_EQ(Got, (std::vector<int>{30, 40}));
+  // Degenerate spans: empty span is trivially covered, reversed is not.
+  EXPECT_TRUE(Log.replay(3, 3, [&](int) { FAIL(); }));
+  EXPECT_FALSE(Log.replay(4, 2, [&](int) { FAIL(); }));
+  // Spans beyond the recorded history are not covered.
+  EXPECT_FALSE(Log.replay(0, 6, [&](int) { FAIL(); }));
+}
+
+TEST(DeltaLog, NonSuccessorRecordClearsHistory) {
+  DeltaLogT<int> Log;
+  Log.record(1, 10);
+  Log.record(2, 20);
+  Log.record(5, 50); // stamps 3 and 4 went unrecorded: history is invalid
+  EXPECT_EQ(Log.size(), 1u);
+  EXPECT_FALSE(Log.replay(0, 5, [&](int) { FAIL(); }));
+  std::vector<int> Got;
+  EXPECT_TRUE(Log.replay(4, 5, [&](int D) { Got.push_back(D); }));
+  EXPECT_EQ(Got, (std::vector<int>{50}));
+}
+
+TEST(DeltaLog, BoundedWindowEvictsOldestOnWraparound) {
+  DeltaLogT<int> Log; // default bound: 64 entries
+  for (uint64_t S = 1; S <= 80; ++S)
+    Log.record(S, int(S));
+  EXPECT_EQ(Log.size(), 64u);
+  // Oldest surviving stamp is 17: a consumer pinned before that rebuilds.
+  EXPECT_FALSE(Log.replay(15, 80, [&](int) { FAIL(); }));
+  size_t Count = 0;
+  EXPECT_TRUE(Log.replay(16, 80, [&](int) { ++Count; }));
+  EXPECT_EQ(Count, 64u);
+  Count = 0;
+  EXPECT_TRUE(Log.replay(70, 80, [&](int) { ++Count; }));
+  EXPECT_EQ(Count, 10u);
+}
+
+TEST(DeltaLog, ReplayAfterClearRequiresFreshHistory) {
+  DeltaLogT<int> Log;
+  for (uint64_t S = 1; S <= 4; ++S)
+    Log.record(S, int(S));
+  Log.clear();
+  EXPECT_EQ(Log.size(), 0u);
+  EXPECT_FALSE(Log.replay(0, 4, [&](int) { FAIL(); }));
+  // Recording resumes cleanly; only the new span is covered.
+  Log.record(5, 500);
+  Log.record(6, 600);
+  EXPECT_FALSE(Log.replay(3, 6, [&](int) { FAIL(); }));
+  std::vector<int> Got;
+  EXPECT_TRUE(Log.replay(4, 6, [&](int D) { Got.push_back(D); }));
+  EXPECT_EQ(Got, (std::vector<int>{500, 600}));
+}
+
+TEST(VersionedGraph, FlatRebuildsWhenDigestWindowExceeded) {
+  const VertexId N = 4096;
+  VersionedGraph VG(Graph::fromEdges(N, randomEdgeBatch(500, N, 21)));
+  (void)VG.acquireFlat(); // initial full build
+  ASSERT_EQ(VG.flatStats().Rebuilds, 1u);
+  // Within the 64-epoch window and under the touched cap: refresh.
+  for (int I = 0; I < 10; ++I)
+    VG.insertEdgesBatch(randomEdgeBatch(8, N, 300 + I));
+  (void)VG.acquireFlat();
+  EXPECT_EQ(VG.flatStats().Refreshes, 1u);
+  EXPECT_EQ(VG.flatStats().Rebuilds, 1u);
+  // 70 further epochs without an acquire: the bounded log wraps past the
+  // cached stamp, so the next acquire must take the full rebuild path.
+  for (int I = 0; I < 70; ++I)
+    VG.insertEdgesBatch(randomEdgeBatch(8, N, 400 + I));
+  (void)VG.acquireFlat();
+  EXPECT_EQ(VG.flatStats().Rebuilds, 2u);
+  EXPECT_EQ(VG.flatStats().Refreshes, 1u);
+}
+
+TEST(VersionedGraph, OversizeDigestClearsThenIncrementalPathRecovers) {
+  const VertexId N = 64; // touched cap = N / FlatRefreshDenominator = 8
+  VersionedGraph VG(Graph::fromEdges(N, {}));
+  (void)VG.acquireFlat();
+  ASSERT_EQ(VG.flatStats().Rebuilds, 1u);
+  // A batch touching far more than N/8 distinct vertices records no
+  // digest (refreshing would cost as much as rebuilding), clearing the
+  // log: the next acquire rebuilds.
+  std::vector<EdgePair> Wide;
+  for (VertexId U = 0; U < 40; ++U)
+    Wide.push_back({U, VertexId((U + 1) % N)});
+  VG.insertEdgesBatch(std::move(Wide));
+  (void)VG.acquireFlat();
+  EXPECT_EQ(VG.flatStats().Rebuilds, 2u);
+  EXPECT_EQ(VG.flatStats().Refreshes, 0u);
+  // A subsequent narrow batch restarts the digest history from the
+  // rebuilt flat's stamp: incremental refresh works again.
+  VG.insertEdgesBatch({{3, 5}, {3, 7}});
+  (void)VG.acquireFlat();
+  EXPECT_EQ(VG.flatStats().Refreshes, 1u);
+  EXPECT_EQ(VG.flatStats().Rebuilds, 2u);
+}
+
+TEST(VersionedGraph, RawSetFallsBackToRebuild) {
+  const VertexId N = 256;
+  VersionedGraph VG(Graph::fromEdges(N, {}));
+  (void)VG.acquireFlat();
+  VG.insertEdgesBatch({{1, 2}});
+  // set() records no digest, so the span across it is not covered.
+  VG.set(Graph::fromEdges(N, {{5, 6}, {6, 5}}));
+  (void)VG.acquireFlat();
+  EXPECT_EQ(VG.flatStats().Rebuilds, 2u);
+  EXPECT_EQ(VG.flatStats().Refreshes, 0u);
+}
