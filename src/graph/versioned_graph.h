@@ -30,6 +30,7 @@
 #include "store/durability.h"
 #include "store/version_list.h"
 
+#include <atomic>
 #include <cassert>
 #include <memory>
 #include <mutex>
@@ -108,8 +109,10 @@ public:
         // replayed batches record digests, so the first user
         // acquireFlat() catches up O(touched) instead of rebuilding.
         auto H = Versions.acquire();
-        CachedFlat = std::make_shared<Flat>(H.value());
-        CachedStamp = H.stamp();
+        auto Primed = std::make_shared<StampedFlat>();
+        Primed->F = Flat(H.value());
+        Primed->Stamp = H.stamp();
+        CachedFlat = std::move(Primed); // ctor: no concurrent readers yet
         ++Stats.Rebuilds;
       }
     }
@@ -171,24 +174,46 @@ public:
   /// O(touched) page-repair work; otherwise a full parallel rebuild
   /// runs. The returned snapshot is immutable and keeps its source
   /// version alive; hold the shared_ptr for as long as the view is used.
-  /// Callers serialize on an internal mutex for the duration of the
-  /// catch-up work (readers of an unchanged epoch only pay a lock/copy).
+  /// Callers serialize on an internal mutex only for the catch-up work;
+  /// a reader of an unchanged epoch takes a lock-free fast path (one
+  /// atomic stamp load + one atomic shared_ptr load).
   std::shared_ptr<const Flat> acquireFlat() {
+    // Lock-free fast path: the stamp is read FIRST; if the cached entry
+    // then matches it, that flat rendered the version current at the
+    // instant of the stamp read (the cache never regresses, and a newer
+    // entry carries a larger stamp, failing the compare) — exactly the
+    // freshness the mutex path promises. The flat and its stamp live in
+    // one StampedFlat node behind a single atomic pointer, so the pair
+    // is read consistently without the mutex.
+    {
+      uint64_t S = Versions.currentStamp();
+      std::shared_ptr<const StampedFlat> Hot = std::atomic_load_explicit(
+          &CachedFlat, std::memory_order_acquire);
+      if (Hot && Hot->Stamp == S) {
+        FlatHitsV.fetch_add(1, std::memory_order_relaxed);
+        const Flat *FP = &Hot->F;
+        return {std::move(Hot), FP};
+      }
+    }
+
     std::lock_guard<std::mutex> Lock(FlatM);
     // Acquired under FlatM: every cache entry was built from a version
-    // acquired while holding this lock, so S >= CachedStamp always and
+    // acquired while holding this lock, so S >= Cached->Stamp always and
     // the cache can never regress to an older version.
     auto H = Versions.acquire();
     uint64_t S = H.stamp();
-    if (CachedFlat && CachedStamp == S) {
+    std::shared_ptr<const StampedFlat> Cached =
+        std::atomic_load_explicit(&CachedFlat, std::memory_order_acquire);
+    if (Cached && Cached->Stamp == S) {
       ++Stats.Hits;
-      return CachedFlat;
+      const Flat *FP = &Cached->F;
+      return {std::move(Cached), FP};
     }
-    std::shared_ptr<const Flat> New;
-    if (CachedFlat) {
+    std::shared_ptr<StampedFlat> New;
+    if (Cached) {
       std::vector<VertexId> Touched;
       bool Covered = Digests.replay(
-          CachedStamp, S, [&](const std::vector<VertexId> &D) {
+          Cached->Stamp, S, [&](const std::vector<VertexId> &D) {
             Touched.insert(Touched.end(), D.begin(), D.end());
           });
       if (Covered) {
@@ -198,25 +223,34 @@ public:
         VertexId U = H.value().vertexUniverse();
         if (uint64_t(Touched.size()) * FlatRefreshDenominator <=
             uint64_t(U)) {
-          New = std::make_shared<Flat>(Flat::refresh(
-              *CachedFlat, H.value(), Touched.data(), Touched.size()));
+          New = std::make_shared<StampedFlat>();
+          New->F = Flat::refresh(Cached->F, H.value(), Touched.data(),
+                                 Touched.size());
           ++Stats.Refreshes;
         }
       }
     }
     if (!New) {
-      New = std::make_shared<Flat>(H.value());
+      New = std::make_shared<StampedFlat>();
+      New->F = Flat(H.value());
       ++Stats.Rebuilds;
     }
-    CachedFlat = New;
-    CachedStamp = S;
-    return New;
+    New->Stamp = S;
+    std::shared_ptr<const StampedFlat> Pub = std::move(New);
+    // Atomic publish pairs with the fast path's lock-free load.
+    std::atomic_store_explicit(&CachedFlat, Pub,
+                               std::memory_order_release);
+    const Flat *FP = &Pub->F;
+    return {std::move(Pub), FP};
   }
 
   /// Rebuild/refresh/hit counters of acquireFlat() (diagnostics, tests).
+  /// Hits counts both mutex-path and lock-free fast-path hits.
   FlatMaintenanceStats flatStats() const {
     std::lock_guard<std::mutex> Lock(FlatM);
-    return Stats;
+    FlatMaintenanceStats R = Stats;
+    R.Hits += FlatHitsV.load(std::memory_order_relaxed);
+    return R;
   }
 
   /// Durability engine of a durable store (nullptr on a memory-only
@@ -292,10 +326,19 @@ private:
   std::unique_ptr<DurabilityEngine> Durable;
   uint64_t DurableSeqBase = 0;
 
+  /// The hot-flat cache entry: the flat and the stamp it renders travel
+  /// in one node behind a single atomic shared_ptr, so the lock-free
+  /// fast path reads a consistent (flat, stamp) pair. acquireFlat()
+  /// hands out aliasing shared_ptrs to F that keep the node alive.
+  struct StampedFlat {
+    Flat F;
+    uint64_t Stamp = 0;
+  };
+
   mutable std::mutex FlatM;
-  std::shared_ptr<const Flat> CachedFlat;
-  uint64_t CachedStamp = 0;
+  std::shared_ptr<const StampedFlat> CachedFlat;
   FlatMaintenanceStats Stats;
+  mutable std::atomic<uint64_t> FlatHitsV{0};
 };
 
 using VersionedGraph = VersionedGraphT<CTreeSet<VertexId, DeltaByteCodec>>;

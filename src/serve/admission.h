@@ -1,0 +1,145 @@
+//===- serve/admission.h - Bounded two-class admission queue --------------===//
+//
+// Admission control + backpressure for the snapshot server (DESIGN.md
+// Section 8). Requests are classed as reads (queries) or writes (ingest
+// batches) and admitted into bounded FIFO queues; a full queue REJECTS
+// the request (tryPush returns false) instead of blocking the client, so
+// overload degrades to load shedding with bounded queueing delay for
+// admitted requests rather than unbounded latency collapse.
+//
+// The consumer side is weighted-fair: when both classes are waiting,
+// workers serve ReadsPerWrite reads per write, so a query flood cannot
+// starve ingest (epoch lag stays bounded) and a writer burst cannot
+// starve queries. When one class is empty, the other is served
+// unconditionally (work conserving — credits only throttle against
+// actual waiting work).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_SERVE_ADMISSION_H
+#define ASPEN_SERVE_ADMISSION_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace aspen {
+
+enum class RequestClass : uint8_t { Read, Write };
+
+/// Admit/shed counters of an AdmissionQueueT (request-type independent).
+struct AdmissionStats {
+  uint64_t AdmittedReads = 0;
+  uint64_t AdmittedWrites = 0;
+  uint64_t ShedReads = 0;
+  uint64_t ShedWrites = 0;
+};
+
+/// Bounded two-class MPMC admission queue with weighted-fair pops.
+template <class Req> class AdmissionQueueT {
+public:
+  struct Options {
+    size_t ReadCap = 1024;      ///< max queued reads before shedding
+    size_t WriteCap = 64;       ///< max queued writes before shedding
+    unsigned ReadsPerWrite = 8; ///< fairness ratio when both classes wait
+  };
+
+  using Stats = AdmissionStats;
+
+  explicit AdmissionQueueT(Options O = {}) : O(O) {
+    if (!this->O.ReadsPerWrite)
+      this->O.ReadsPerWrite = 1;
+    Credit = this->O.ReadsPerWrite;
+  }
+
+  AdmissionQueueT(const AdmissionQueueT &) = delete;
+  AdmissionQueueT &operator=(const AdmissionQueueT &) = delete;
+
+  /// Admit or shed: false when the class's queue is at capacity (or the
+  /// queue is stopped). Never blocks.
+  bool tryPush(RequestClass C, Req R) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      std::deque<Req> &Q = C == RequestClass::Read ? Reads : Writes;
+      size_t Cap = C == RequestClass::Read ? O.ReadCap : O.WriteCap;
+      if (Stopped || Q.size() >= Cap) {
+        ++(C == RequestClass::Read ? St.ShedReads : St.ShedWrites);
+        return false;
+      }
+      Q.push_back(std::move(R));
+      ++(C == RequestClass::Read ? St.AdmittedReads : St.AdmittedWrites);
+    }
+    CV.notify_one();
+    return true;
+  }
+
+  /// Blocking weighted-fair pop. Returns nullopt only when the queue is
+  /// stopped AND drained — admitted requests are always served.
+  std::optional<std::pair<RequestClass, Req>> pop() {
+    std::unique_lock<std::mutex> L(M);
+    CV.wait(L,
+            [&] { return Stopped || !Reads.empty() || !Writes.empty(); });
+    if (Reads.empty() && Writes.empty())
+      return std::nullopt; // stopped and drained
+
+    bool TakeWrite;
+    if (Writes.empty())
+      TakeWrite = false;
+    else if (Reads.empty())
+      TakeWrite = true;
+    else
+      TakeWrite = Credit == 0; // both waiting: spend read credit first
+    if (TakeWrite) {
+      Credit = O.ReadsPerWrite;
+      Req R = std::move(Writes.front());
+      Writes.pop_front();
+      return std::make_pair(RequestClass::Write, std::move(R));
+    }
+    if (!Writes.empty() && Credit)
+      --Credit; // only charge credit while a write actually waits
+    Req R = std::move(Reads.front());
+    Reads.pop_front();
+    return std::make_pair(RequestClass::Read, std::move(R));
+  }
+
+  /// Stop admitting; wake all poppers. Already-admitted requests still
+  /// drain through pop().
+  void stop() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stopped = true;
+    }
+    CV.notify_all();
+  }
+
+  bool stopped() const {
+    std::lock_guard<std::mutex> L(M);
+    return Stopped;
+  }
+
+  size_t depth(RequestClass C) const {
+    std::lock_guard<std::mutex> L(M);
+    return (C == RequestClass::Read ? Reads : Writes).size();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> L(M);
+    return St;
+  }
+
+private:
+  Options O;
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<Req> Reads, Writes;
+  unsigned Credit = 0;
+  bool Stopped = false;
+  Stats St;
+};
+
+} // namespace aspen
+
+#endif // ASPEN_SERVE_ADMISSION_H

@@ -1,0 +1,244 @@
+//===- serve/server.h - Multi-tenant snapshot server ----------------------===//
+//
+// The end-to-end serving assembly (DESIGN.md Section 8): a worker pool
+// over a sharded store that serves pinned-snapshot queries concurrently
+// with coalesced, pipelined ingest.
+//
+//   requests -> AdmissionQueueT (bounded, weighted-fair, load-shedding)
+//     reads  -> SessionPool lease -> QueryContext (lazy snapshot pin)
+//     writes -> IngestFrontT (coalescing + pipelining into the store)
+//
+// Every query runs on a leased AlgoContext (allocation-free at steady
+// state) and pins at most one tree epoch (acquire) and one flat epoch
+// (acquireFlat) for its own lifetime — epoch-consistent reads while the
+// writer streams. Epoch lag — how many batches landed between a query's
+// admission and its execution — is tracked per query; bounded queues
+// keep it bounded under overload (shed, don't stall).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_SERVE_SERVER_H
+#define ASPEN_SERVE_SERVER_H
+
+#include "serve/admission.h"
+#include "serve/ingest_front.h"
+#include "serve/session.h"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace aspen {
+
+/// Multi-tenant snapshot server over a sharded store.
+template <class Store> class SnapshotServerT {
+public:
+  struct Options {
+    size_t Workers = 4;           ///< worker threads (= pooled contexts)
+    size_t ReadQueueCap = 1024;   ///< queued queries before shedding
+    size_t WriteQueueCap = 64;    ///< queued batches before shedding
+    unsigned ReadsPerWrite = 8;   ///< fairness ratio under saturation
+    size_t MaxCoalesce = 32;      ///< ingest-front group bound
+    size_t CtxRetainBytes = 0;    ///< per-context retain limit (0 = off)
+  };
+
+  /// Per-query execution context: the leased workspace plus lazily
+  /// pinned snapshots. Pins live exactly as long as the query runs.
+  class QueryContext {
+  public:
+    AlgoContext &ctx() { return Ctx; }
+
+    /// Tree-epoch pin (first call acquires; later calls reuse).
+    const typename Store::Ref &snapshot() {
+      if (!Pinned.valid())
+        Pinned = S.acquire();
+      return Pinned;
+    }
+
+    /// Flat-epoch pin (first call acquires; later calls reuse). Cache
+    /// hits take the store's lock-free fast path.
+    const std::shared_ptr<const typename Store::FlatEpoch> &flat() {
+      if (!FlatPin)
+        FlatPin = S.acquireFlat();
+      return FlatPin;
+    }
+
+  private:
+    friend class SnapshotServerT;
+    QueryContext(Store &S, AlgoContext &Ctx) : S(S), Ctx(Ctx) {}
+    Store &S;
+    AlgoContext &Ctx;
+    typename Store::Ref Pinned;
+    std::shared_ptr<const typename Store::FlatEpoch> FlatPin;
+  };
+
+  using Query = std::function<void(QueryContext &)>;
+
+  struct Stats {
+    uint64_t QueriesDone = 0;
+    uint64_t WritesDone = 0;
+    uint64_t QueryErrors = 0;
+    uint64_t WriteErrors = 0;
+    uint64_t EpochLagSum = 0; ///< batches landed while queries queued
+    uint64_t EpochLagMax = 0;
+    AdmissionStats Admission;                  ///< shed/admit counts
+    typename IngestFrontT<Store>::Stats Front; ///< coalescing stats
+    uint64_t SessionWaits = 0;
+  };
+
+  SnapshotServerT(Store &S, Options O = {})
+      : S(S), O(O), Front(S, O.MaxCoalesce),
+        Pool(O.Workers ? O.Workers : 1, O.CtxRetainBytes),
+        Queue({O.ReadQueueCap, O.WriteQueueCap, O.ReadsPerWrite}) {
+    Threads.reserve(this->O.Workers ? this->O.Workers : 1);
+    for (size_t I = 0, N = this->O.Workers ? this->O.Workers : 1; I < N;
+         ++I)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+
+  SnapshotServerT(const SnapshotServerT &) = delete;
+  SnapshotServerT &operator=(const SnapshotServerT &) = delete;
+  ~SnapshotServerT() { stop(); }
+
+  /// Admit a query; false = shed (read queue full). The query runs on a
+  /// worker with a leased context and may pin snapshots via its
+  /// QueryContext.
+  bool submitQuery(Query Q) {
+    Item It;
+    It.Q = std::move(Q);
+    It.SubmitSeq = S.batchSeq();
+    return push(RequestClass::Read, std::move(It));
+  }
+
+  /// Admit an insert batch; false = shed (write queue full). The batch
+  /// routes through the coalescing ingest front.
+  bool submitInsert(std::vector<EdgePair> Edges) {
+    Item It;
+    It.Edges = std::move(Edges);
+    It.Insert = true;
+    return push(RequestClass::Write, std::move(It));
+  }
+
+  /// Admit a delete batch; false = shed.
+  bool submitDelete(std::vector<EdgePair> Edges) {
+    Item It;
+    It.Edges = std::move(Edges);
+    It.Insert = false;
+    return push(RequestClass::Write, std::move(It));
+  }
+
+  /// Block until every admitted request has completed.
+  void drain() {
+    std::unique_lock<std::mutex> L(DrainM);
+    DrainCV.wait(L, [&] { return InFlight == 0; });
+  }
+
+  /// Stop admitting, drain admitted work, join the workers. Idempotent.
+  void stop() {
+    Queue.stop();
+    for (std::thread &T : Threads)
+      if (T.joinable())
+        T.join();
+    Threads.clear();
+  }
+
+  Stats stats() const {
+    Stats R;
+    R.QueriesDone = QueriesDone.load(std::memory_order_relaxed);
+    R.WritesDone = WritesDone.load(std::memory_order_relaxed);
+    R.QueryErrors = QueryErrors.load(std::memory_order_relaxed);
+    R.WriteErrors = WriteErrors.load(std::memory_order_relaxed);
+    R.EpochLagSum = EpochLagSum.load(std::memory_order_relaxed);
+    R.EpochLagMax = EpochLagMax.load(std::memory_order_relaxed);
+    R.Admission = Queue.stats();
+    R.Front = Front.stats();
+    R.SessionWaits = Pool.waitCount();
+    return R;
+  }
+
+  Store &store() { return S; }
+  IngestFrontT<Store> &front() { return Front; }
+
+private:
+  struct Item {
+    Query Q;                     // reads
+    std::vector<EdgePair> Edges; // writes (owned until installed)
+    bool Insert = false;
+    uint64_t SubmitSeq = 0;
+  };
+
+  bool push(RequestClass C, Item It) {
+    {
+      std::lock_guard<std::mutex> L(DrainM);
+      ++InFlight; // optimistic: rolled back on shed
+    }
+    if (Queue.tryPush(C, std::move(It)))
+      return true;
+    finishOne();
+    return false;
+  }
+
+  void finishOne() {
+    {
+      std::lock_guard<std::mutex> L(DrainM);
+      --InFlight;
+    }
+    DrainCV.notify_all();
+  }
+
+  void workerLoop() {
+    while (auto Popped = Queue.pop()) {
+      Item &It = Popped->second;
+      if (Popped->first == RequestClass::Read) {
+        try {
+          SessionPool::Lease Lease = Pool.lease();
+          QueryContext QC(S, Lease.ctx());
+          It.Q(QC);
+        } catch (...) {
+          QueryErrors.fetch_add(1, std::memory_order_relaxed);
+        }
+        uint64_t Lag = S.batchSeq() - It.SubmitSeq;
+        EpochLagSum.fetch_add(Lag, std::memory_order_relaxed);
+        uint64_t Prev = EpochLagMax.load(std::memory_order_relaxed);
+        while (Lag > Prev && !EpochLagMax.compare_exchange_weak(
+                                 Prev, Lag, std::memory_order_relaxed))
+          ;
+        QueriesDone.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        try {
+          if (It.Insert)
+            Front.insertBatch(It.Edges);
+          else
+            Front.deleteBatch(It.Edges);
+        } catch (...) {
+          WriteErrors.fetch_add(1, std::memory_order_relaxed);
+        }
+        WritesDone.fetch_add(1, std::memory_order_relaxed);
+      }
+      finishOne();
+    }
+  }
+
+  Store &S;
+  Options O;
+  IngestFrontT<Store> Front;
+  SessionPool Pool;
+  AdmissionQueueT<Item> Queue;
+  std::vector<std::thread> Threads;
+
+  std::atomic<uint64_t> QueriesDone{0}, WritesDone{0};
+  std::atomic<uint64_t> QueryErrors{0}, WriteErrors{0};
+  std::atomic<uint64_t> EpochLagSum{0}, EpochLagMax{0};
+
+  std::mutex DrainM; ///< admitted-but-unfinished accounting
+  std::condition_variable DrainCV;
+  uint64_t InFlight = 0;
+};
+
+/// Default serving configuration: degree-adaptive hybrid shards (the
+/// serving benchmark's default store).
+using SnapshotServer = SnapshotServerT<HybridShardedGraphStore>;
+
+} // namespace aspen
+
+#endif // ASPEN_SERVE_SERVER_H

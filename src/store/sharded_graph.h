@@ -10,23 +10,33 @@
 // so per-shard edge counts always sum to a batch boundary and no reader
 // ever observes a torn batch.
 //
-// Ingest is a pipeline (DESIGN.md Section 3):
-//   1. Split: the incoming span is partitioned by shard with
-//      filterIndexInto into borrowed scratch (zero steady-state heap
-//      allocation, per the AlgoContext contract).
-//   2. Merge (phase one): the touched shards' writer locks are taken in
-//      ascending order, then per-shard functional merges run in parallel
-//      — one writer per shard. Each shard groups its sub-batch with a
-//      counting sort over *local* vertex ids (the hash partition
+// Ingest is a pipeline (DESIGN.md Sections 3 and 8):
+//   1. Prepare (no locks): the incoming spans are concatenated into one
+//      merged span, partitioned by shard with filterIndexInto into
+//      borrowed scratch (zero steady-state heap allocation, per the
+//      AlgoContext contract), and each shard's sub-span is grouped with
+//      a counting sort over *local* vertex ids (the hash partition
 //      compresses a shard's id space by S, so the counter array stays
 //      cache-resident — this is what makes grouping cheaper than the
-//      single store's comparison sort) and multiInserts the grouped
-//      pairs.
-//   3. Install (phase two): under the commit lock, a new epoch is formed
-//      from the latest published epoch with the touched shards replaced,
-//      and published atomically via the version list. Writers whose
-//      batches touch disjoint shards merge concurrently and serialize
-//      only for the O(S) pointer-copy install.
+//      single store's comparison sort). Because the grouping depends
+//      only on the batch, not on the base epoch, this whole phase runs
+//      before any writer lock is taken: batch N+1's group/sort overlaps
+//      batch N's merge/install instead of serializing behind it.
+//   2. Merge: the touched shards' writer locks are taken in ascending
+//      order, then per-shard functional merges multiInsert the prepared
+//      groups in parallel — one writer per shard.
+//   3. Install: under the commit lock, a new epoch is formed from the
+//      latest published epoch with the touched shards replaced, and
+//      published atomically via the version list. Writers whose batches
+//      touch disjoint shards merge concurrently and serialize only for
+//      the O(S) pointer-copy install.
+//
+// A prepared group may carry SEVERAL submitted batches (EdgeSpans) at
+// once: serve/ingest_front.h coalesces same-kind batches queued behind a
+// busy shard into one merged span, which this store installs as a single
+// epoch advancing BatchSeq by the number of coalesced batches (each
+// batch keeps its own WAL record). Set semantics make the result
+// byte-identical to one-at-a-time ingest (DESIGN.md Section 8).
 //
 // Readers compose the per-shard snapshots behind ShardedGraphView, which
 // implements the same graph-view concept (numVertices / numEdges / degree
@@ -51,6 +61,7 @@
 #include "store/version_list.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <exception>
 #include <memory>
@@ -61,6 +72,14 @@
 #include <vector>
 
 namespace aspen {
+
+/// A borrowed, immutable view of one submitted batch's edges. Spans
+/// alias caller memory: the edges must stay alive until the apply (or
+/// commit) call that consumes the span returns.
+struct EdgeSpan {
+  const EdgePair *Data = nullptr;
+  size_t Size = 0;
+};
 
 /// Hash-partitioned versioned graph store over \p EdgeSet shards.
 template <class EdgeSet> class ShardedGraphStoreT {
@@ -158,15 +177,20 @@ public:
   /// pointer swap; the returned cut is always a whole-batch boundary.
   Ref acquire() { return Ref(Versions.acquire()); }
 
-  /// Number of complete batches applied so far.
-  uint64_t batchSeq() { return Versions.acquire().value().BatchSeq; }
+  /// Number of complete batches applied so far (one atomic load; the
+  /// mirror is published under the commit lock).
+  uint64_t batchSeq() const {
+    return PublishedSeqV.load(std::memory_order_acquire);
+  }
 
   /// Atomically apply an insert batch (see class comment for the
   /// pipeline); returns the new epoch's batch sequence number. Many
   /// threads may call concurrently; batches touching disjoint shards
-  /// merge in parallel.
+  /// merge in parallel, and same-shard writers overlap their group/sort
+  /// phase with the predecessor's merge/install.
   uint64_t insertBatch(const EdgePair *Edges, size_t K) {
-    return applyBatch(Edges, K, /*Insert=*/true);
+    EdgeSpan S{Edges, K};
+    return applySpans(&S, 1, /*Insert=*/true);
   }
   uint64_t insertBatch(const std::vector<EdgePair> &Edges) {
     return insertBatch(Edges.data(), Edges.size());
@@ -174,10 +198,130 @@ public:
 
   /// Atomically apply a delete batch.
   uint64_t deleteBatch(const EdgePair *Edges, size_t K) {
-    return applyBatch(Edges, K, /*Insert=*/false);
+    EdgeSpan S{Edges, K};
+    return applySpans(&S, 1, /*Insert=*/false);
   }
   uint64_t deleteBatch(const std::vector<EdgePair> &Edges) {
     return deleteBatch(Edges.data(), Edges.size());
+  }
+
+  //===--------------------------------------------------------------------===
+  // Coalesced / pipelined ingest (DESIGN.md Section 8). EdgeSpans borrow
+  // their edges from the caller, which must keep them alive until the
+  // apply/commit call returns.
+  //===--------------------------------------------------------------------===
+
+  /// Atomically apply \p N same-kind batches as ONE merged span and ONE
+  /// installed epoch: BatchSeq advances by N (every submitted batch keeps
+  /// its own sequence number and, on a durable store, its own WAL
+  /// record), and the final state is byte-identical to applying the
+  /// batches one at a time. Returns the LAST batch's sequence number.
+  uint64_t applySpans(const EdgeSpan *Spans, size_t N, bool Insert) {
+    if (N == 0)
+      return batchSeq();
+    if (PipelinedV.load(std::memory_order_relaxed))
+      return commitPrepared(prepareSpans(Spans, N, Insert));
+    return applySerialized(Spans, N, Insert);
+  }
+
+  /// A batch group that finished its lock-free prepare phase (split by
+  /// shard + counting-sort grouping + per-group edge-set builds) and is
+  /// ready to merge/install. Produced by prepareSpans(), consumed by
+  /// commitPrepared(). Move-only; its grouped sets live in borrowed
+  /// worker-cache scratch, which migrates safely across threads on
+  /// release — though keeping prepare and commit on one thread (as the
+  /// ingest front does) preserves cache locality.
+  class PreparedIngest {
+  public:
+    PreparedIngest() = default;
+    PreparedIngest(PreparedIngest &&) = default;
+    PreparedIngest &operator=(PreparedIngest &&) = default;
+
+  private:
+    friend class ShardedGraphStoreT;
+    std::vector<std::optional<GroupedBatchT<EdgeSet>>> Groups; // per shard
+    std::vector<std::vector<VertexId>> Touched;                // per shard
+    std::vector<EdgeSpan> Spans; ///< original batches, for the WAL
+    bool Insert = false;
+  };
+
+  /// Prepare phase: coalesce \p N same-kind spans into one merged span,
+  /// split it by owning shard, and group every shard's sub-span. Takes
+  /// no locks — callers run it concurrently with a predecessor's
+  /// merge/install (the pipelining half of DESIGN.md Section 8).
+  PreparedIngest prepareSpans(const EdgeSpan *Spans, size_t N, bool Insert) {
+    size_t S = numShards();
+    PreparedIngest P;
+    P.Insert = Insert;
+    P.Spans.assign(Spans, Spans + N);
+    // Sized at construction (optional<GroupedBatchT> is not movable, so
+    // the vector must never reallocate; moving the vector itself is a
+    // buffer steal and stays legal).
+    P.Groups = std::vector<std::optional<GroupedBatchT<EdgeSet>>>(S);
+    P.Touched.resize(S);
+    size_t K = 0;
+    for (size_t I = 0; I < N; ++I)
+      K += Spans[I].Size;
+    if (K == 0)
+      return P;
+
+    // The coalesced span: a single batch aliases its caller's buffer; a
+    // group concatenates into scratch (this IS the "merged span").
+    std::optional<CtxArray<EdgePair>> AllStore;
+    const EdgePair *AllP = Spans[0].Data;
+    if (N > 1) {
+      AllStore.emplace(K);
+      EdgePair *Dst = AllStore->data();
+      size_t At = 0;
+      for (size_t I = 0; I < N; ++I) {
+        if (Spans[I].Size)
+          std::copy(Spans[I].Data, Spans[I].Data + Spans[I].Size, Dst + At);
+        At += Spans[I].Size;
+      }
+      AllP = Dst;
+    }
+
+    // Split by owning shard, then group each shard's sub-span (parallel
+    // across shards; the per-group set builds fan out further inside).
+    CtxArray<EdgePair> Parts(K);
+    EdgePair *PartsP = Parts.data();
+    CtxArray<size_t> ShardLo(S + 1);
+    size_t *ShardLoP = ShardLo.data();
+    splitByShard(AllP, K, PartsP, ShardLoP);
+    parallelFor(0, S, [&](size_t Sh) {
+      size_t Lo = ShardLoP[Sh], Hi = ShardLoP[Sh + 1];
+      if (Hi > Lo)
+        groupShard(Sh, PartsP + Lo, Hi - Lo, P.Groups[Sh], &P.Touched[Sh]);
+    }, 1);
+    return P;
+  }
+
+  /// Merge/install phase: lock the touched shards in ascending order,
+  /// tree-merge the prepared groups in parallel, and publish one epoch
+  /// advancing BatchSeq by the number of coalesced batches. Returns the
+  /// last batch's sequence number.
+  uint64_t commitPrepared(PreparedIngest P) {
+    size_t S = numShards();
+    CtxArray<uint8_t> TouchedSh(S);
+    uint8_t *TouchedShP = TouchedSh.data();
+    for (size_t Sh = 0; Sh < S; ++Sh)
+      TouchedShP[Sh] =
+          P.Groups[Sh].has_value() && P.Groups[Sh]->size() > 0;
+    for (size_t Sh = 0; Sh < S; ++Sh)
+      if (TouchedShP[Sh])
+        ShardLocks[Sh].lock();
+    return mergeInstall(P.Groups, P.Touched, TouchedShP, P.Spans.data(),
+                        P.Spans.size(), P.Insert);
+  }
+
+  /// Toggle the pipelined prepare phase (default on). When off, the
+  /// group/sort work runs under the shard locks — the pre-pipelining
+  /// ingest path, kept as the serving benchmark's A/B baseline.
+  void setPipelinedIngest(bool On) {
+    PipelinedV.store(On, std::memory_order_relaxed);
+  }
+  bool pipelinedIngest() const {
+    return PipelinedV.load(std::memory_order_relaxed);
   }
 
   //===--------------------------------------------------------------------===
@@ -343,23 +487,43 @@ public:
   /// never blocked by it. Hold the shared_ptr while using the view.
   std::shared_ptr<const FlatEpoch> acquireFlat() {
     size_t S = numShards();
+    // Lock-free fast path: one atomic seq load + one atomic shared_ptr
+    // load, no mutex. The seq is read FIRST; if the cached flat then
+    // matches it, that flat rendered the epoch current at the instant
+    // of the seq read (the cache never regresses, and a concurrently
+    // installed newer flat carries a larger seq, failing the compare) —
+    // exactly the freshness the mutex path promises. Under a session
+    // fan-out with a quiet writer, every reader hits here without
+    // serializing on FlatM.
+    {
+      uint64_t Seq = batchSeq();
+      std::shared_ptr<const FlatEpoch> Hot =
+          std::atomic_load_explicit(&CachedFlat, std::memory_order_acquire);
+      if (Hot && Hot->BatchSeq == Seq) {
+        FlatHitsV.fetch_add(1, std::memory_order_relaxed);
+        return Hot;
+      }
+    }
+
     std::lock_guard<std::mutex> Lock(FlatM);
     // Acquired under FlatM: every cache entry was built from an epoch
     // acquired while holding this lock, so Seq >= CachedFlat->BatchSeq
     // always and the cache can never regress to an older epoch.
     Ref E = acquire();
     uint64_t Seq = E.batchSeq();
-    if (CachedFlat && CachedFlat->BatchSeq == Seq) {
+    std::shared_ptr<const FlatEpoch> Cached =
+        std::atomic_load_explicit(&CachedFlat, std::memory_order_acquire);
+    if (Cached && Cached->BatchSeq == Seq) {
       ++Stats.Hits;
-      return CachedFlat;
+      return Cached;
     }
 
     std::shared_ptr<FlatEpoch> New;
-    if (CachedFlat) {
+    if (Cached) {
       // Union the replay span's digests per shard.
       std::vector<std::vector<VertexId>> Touched(S);
       bool Covered = Digests.replay(
-          CachedFlat->BatchSeq, Seq, [&](const ShardDigest &D) {
+          Cached->BatchSeq, Seq, [&](const ShardDigest &D) {
             for (const auto &P : D)
               Touched[P.first].insert(Touched[P.first].end(),
                                       P.second.begin(), P.second.end());
@@ -380,7 +544,7 @@ public:
           Total * FlatRefreshDenominator <= uint64_t(E.epoch().Universe)) {
         New = std::make_shared<FlatEpoch>();
         New->Flats.resize(S);
-        const FlatEpoch &Prev = *CachedFlat;
+        const FlatEpoch &Prev = *Cached;
         parallelFor(0, S, [&](size_t Sh) {
           const Snapshot &Cur = E.shard(Sh);
           // Root identity means the shard is bit-identical to the one
@@ -408,14 +572,20 @@ public:
     New->NumEdges = E.numEdges();
     New->Universe = E.epoch().Universe;
     New->LogShards = LogShards;
-    CachedFlat = New;
-    return CachedFlat;
+    // Atomic publish pairs with the fast path's lock-free load.
+    std::atomic_store_explicit(
+        &CachedFlat, std::shared_ptr<const FlatEpoch>(New),
+        std::memory_order_release);
+    return New;
   }
 
   /// Rebuild/refresh/hit counters of acquireFlat() (diagnostics, tests).
+  /// Hits counts both mutex-path and lock-free fast-path hits.
   FlatMaintenanceStats flatStats() const {
     std::lock_guard<std::mutex> Lock(FlatM);
-    return Stats;
+    FlatMaintenanceStats R = Stats;
+    R.Hits += FlatHitsV.load(std::memory_order_relaxed);
+    return R;
   }
 
   /// Durability engine of a durable store (nullptr on a memory-only
@@ -474,6 +644,7 @@ private:
       E.BatchSeq = R.Ckpt->Seq;
       finalizeAggregates(E, N);
       Versions.set(std::move(E));
+      PublishedSeqV.store(R.Ckpt->Seq, std::memory_order_release);
       if (Durable->options().PrimeFlatOnRecover)
         primeFlatFromCurrent();
     }
@@ -507,7 +678,9 @@ private:
     New->NumEdges = E.numEdges();
     New->Universe = E.epoch().Universe;
     New->LogShards = LogShards;
-    CachedFlat = New;
+    std::atomic_store_explicit(
+        &CachedFlat, std::shared_ptr<const FlatEpoch>(std::move(New)),
+        std::memory_order_release);
     ++Stats.Rebuilds;
   }
 
@@ -559,93 +732,11 @@ private:
     E.Universe = U;
   }
 
-  /// Group shard \p Sh's sub-span by source with a counting sort over
-  /// local ids and merge it into \p Base. \p Sub is mutable scratch.
-  ///
-  /// The grouping scratch (counters, scatter buffer) is scoped to return
-  /// to the per-worker cache before the tree merge runs: the merge's own
-  /// chunk-op scratch must not contend with input-sized blocks checked
-  /// out for the whole call (measurably slows the unions otherwise).
-  Snapshot mergeShard(const Snapshot &Base, size_t Sh, EdgePair *Sub,
-                      size_t K, bool Insert,
-                      std::vector<VertexId> *TouchedOut) const {
-    if (K == 0)
-      return Base;
-    std::optional<GroupedBatchT<EdgeSet>> Pairs;
-    {
-      // Dense local-id range of the batch (not of the shard): counters
-      // cover only ids the batch names.
-      VertexId MaxLocal = 0;
-      for (size_t I = 0; I < K; ++I)
-        MaxLocal = std::max(MaxLocal, localId(Sub[I].first));
-      size_t M = size_t(MaxLocal) + 1;
-
-      // Counting sort by local source id: Starts[l] = first slot of
-      // group l after the exclusive scan; Pos[] advances in the scatter.
-      CtxArray<uint32_t> Starts(M + 1);
-      uint32_t *StartsP = Starts.data();
-      std::memset(StartsP, 0, (M + 1) * sizeof(uint32_t));
-      for (size_t I = 0; I < K; ++I)
-        ++StartsP[localId(Sub[I].first) + 1];
-      for (size_t L = 0; L < M; ++L)
-        StartsP[L + 1] += StartsP[L];
-      CtxArray<uint32_t> Pos(M);
-      uint32_t *PosP = Pos.data();
-      std::memcpy(PosP, StartsP, M * sizeof(uint32_t));
-      CtxArray<VertexId> Dst(K);
-      VertexId *DstP = Dst.data();
-      for (size_t I = 0; I < K; ++I)
-        DstP[PosP[localId(Sub[I].first)]++] = Sub[I].second;
-
-      // One grouped pair per nonempty local id, in increasing id order
-      // (local order implies global order within a shard: global id =
-      // local << LogShards | shard). The per-group sort + set builds are
-      // independent, so they fill the grouped batch in parallel by
-      // index; a skewed batch into one shard then still fans out across
-      // cores instead of serializing behind this loop.
-      CtxArray<uint32_t> GroupIds(M);
-      uint32_t *GroupIdsP = GroupIds.data();
-      size_t Groups = filterIndexInto(
-          M, [](size_t L) { return uint32_t(L); },
-          [&](size_t L) { return StartsP[L + 1] > StartsP[L]; }, GroupIdsP);
-      Pairs.emplace(Groups);
-      Pairs->setSize(Groups);
-      VertexId ShardBits = VertexId(Sh);
-      parallelFor(0, Groups, [&](size_t G) {
-        uint32_t L = GroupIdsP[G];
-        uint32_t Lo = StartsP[L], Hi = StartsP[L + 1];
-        size_t Len = Hi - Lo;
-        if (Len >= 8192)
-          parallelSort(DstP + Lo, Len);
-        else
-          std::sort(DstP + Lo, DstP + Hi);
-        Len = size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
-        VertexId Global = (VertexId(L) << LogShards) | ShardBits;
-        Pairs->emplaceAt(G, Global,
-                         EdgeSet::buildSorted(DstP + Lo, Len, Params));
-      });
-      // The grouped keys double as the epoch's touched-vertex digest for
-      // this shard (ascending local order implies ascending global order
-      // within a shard).
-      if (TouchedOut) {
-        TouchedOut->resize(Groups);
-        VertexId *TP = TouchedOut->data();
-        parallelFor(0, Groups, [&](size_t G) {
-          TP[G] = Pairs->data()[G].first;
-        });
-      }
-    }
-    return Insert ? Base.insertGrouped(Pairs->data(), Pairs->size())
-                  : Base.deleteGrouped(Pairs->data(), Pairs->size());
-  }
-
-  uint64_t applyBatch(const EdgePair *Edges, size_t K, bool Insert) {
+  /// Partition \p K edges by owning shard into \p PartsP (stable within
+  /// a shard), with \p ShardLoP[S + 1] the per-shard slice bounds.
+  void splitByShard(const EdgePair *Edges, size_t K, EdgePair *PartsP,
+                    size_t *ShardLoP) const {
     size_t S = numShards();
-    // --- Split: partition the batch by owning shard into scratch. ---
-    CtxArray<EdgePair> Parts(K);
-    EdgePair *PartsP = Parts.data();
-    CtxArray<size_t> ShardLo(S + 1);
-    size_t *ShardLoP = ShardLo.data();
     size_t At = 0;
     for (size_t Sh = 0; Sh < S; ++Sh) {
       ShardLoP[Sh] = At;
@@ -656,13 +747,139 @@ private:
     }
     ShardLoP[S] = At;
     assert(At == K && "shard split must cover the batch");
+  }
 
-    // --- Merge (phase one): lock touched shards in ascending order, then
-    // run the per-shard functional merges in parallel (one writer per
-    // shard; concurrent batches on disjoint shards overlap fully). ---
+  /// Group shard \p Sh's sub-span by source with a counting sort over
+  /// local ids, building one (global id, sorted edge set) pair per
+  /// distinct source into \p Pairs. \p Sub is mutable scratch. Depends
+  /// only on the batch, never on the base epoch — this is the phase the
+  /// pipeline runs before any lock.
+  ///
+  /// The grouping scratch (counters, scatter buffer) is scoped to return
+  /// to the per-worker cache before the tree merge runs: the merge's own
+  /// chunk-op scratch must not contend with input-sized blocks checked
+  /// out for the whole call (measurably slows the unions otherwise).
+  void groupShard(size_t Sh, EdgePair *Sub, size_t K,
+                  std::optional<GroupedBatchT<EdgeSet>> &Pairs,
+                  std::vector<VertexId> *TouchedOut) const {
+    // Dense local-id range of the batch (not of the shard): counters
+    // cover only ids the batch names.
+    VertexId MaxLocal = 0;
+    for (size_t I = 0; I < K; ++I)
+      MaxLocal = std::max(MaxLocal, localId(Sub[I].first));
+    size_t M = size_t(MaxLocal) + 1;
+
+    // Counting sort by local source id: Starts[l] = first slot of
+    // group l after the exclusive scan; Pos[] advances in the scatter.
+    CtxArray<uint32_t> Starts(M + 1);
+    uint32_t *StartsP = Starts.data();
+    std::memset(StartsP, 0, (M + 1) * sizeof(uint32_t));
+    for (size_t I = 0; I < K; ++I)
+      ++StartsP[localId(Sub[I].first) + 1];
+    for (size_t L = 0; L < M; ++L)
+      StartsP[L + 1] += StartsP[L];
+    CtxArray<uint32_t> Pos(M);
+    uint32_t *PosP = Pos.data();
+    std::memcpy(PosP, StartsP, M * sizeof(uint32_t));
+    CtxArray<VertexId> Dst(K);
+    VertexId *DstP = Dst.data();
+    for (size_t I = 0; I < K; ++I)
+      DstP[PosP[localId(Sub[I].first)]++] = Sub[I].second;
+
+    // One grouped pair per nonempty local id, in increasing id order
+    // (local order implies global order within a shard: global id =
+    // local << LogShards | shard). The per-group sort + set builds are
+    // independent, so they fill the grouped batch in parallel by
+    // index; a skewed batch into one shard then still fans out across
+    // cores instead of serializing behind this loop.
+    CtxArray<uint32_t> GroupIds(M);
+    uint32_t *GroupIdsP = GroupIds.data();
+    size_t Groups = filterIndexInto(
+        M, [](size_t L) { return uint32_t(L); },
+        [&](size_t L) { return StartsP[L + 1] > StartsP[L]; }, GroupIdsP);
+    Pairs.emplace(Groups);
+    Pairs->setSize(Groups);
+    VertexId ShardBits = VertexId(Sh);
+    parallelFor(0, Groups, [&](size_t G) {
+      uint32_t L = GroupIdsP[G];
+      uint32_t Lo = StartsP[L], Hi = StartsP[L + 1];
+      size_t Len = Hi - Lo;
+      if (Len >= 8192)
+        parallelSort(DstP + Lo, Len);
+      else
+        std::sort(DstP + Lo, DstP + Hi);
+      Len = size_t(std::unique(DstP + Lo, DstP + Hi) - (DstP + Lo));
+      VertexId Global = (VertexId(L) << LogShards) | ShardBits;
+      Pairs->emplaceAt(G, Global,
+                       EdgeSet::buildSorted(DstP + Lo, Len, Params));
+    });
+    // The grouped keys double as the epoch's touched-vertex digest for
+    // this shard (ascending local order implies ascending global order
+    // within a shard).
+    if (TouchedOut) {
+      TouchedOut->resize(Groups);
+      VertexId *TP = TouchedOut->data();
+      parallelFor(0, Groups, [&](size_t G) {
+        TP[G] = Pairs->data()[G].first;
+      });
+    }
+  }
+
+  /// One-batch-at-a-time ingest with the group/sort phase under the
+  /// shard locks — the pre-pipelining path, retained for recovery
+  /// replay (batch-per-epoch reproduction) and as the serving
+  /// benchmark's serialized A/B baseline.
+  uint64_t applyBatch(const EdgePair *Edges, size_t K, bool Insert) {
+    size_t S = numShards();
+    // Split: partition the batch by owning shard into scratch.
+    CtxArray<EdgePair> Parts(K);
+    EdgePair *PartsP = Parts.data();
+    CtxArray<size_t> ShardLo(S + 1);
+    size_t *ShardLoP = ShardLo.data();
+    splitByShard(Edges, K, PartsP, ShardLoP);
+
+    // Lock touched shards in ascending order, then group + merge under
+    // the locks (one writer per shard; disjoint-shard batches overlap).
+    CtxArray<uint8_t> TouchedSh(S);
+    uint8_t *TouchedShP = TouchedSh.data();
     for (size_t Sh = 0; Sh < S; ++Sh)
-      if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+      TouchedShP[Sh] = ShardLoP[Sh + 1] > ShardLoP[Sh];
+    for (size_t Sh = 0; Sh < S; ++Sh)
+      if (TouchedShP[Sh])
         ShardLocks[Sh].lock();
+    std::vector<std::optional<GroupedBatchT<EdgeSet>>> Groups(S);
+    std::vector<std::vector<VertexId>> Touched(S);
+    parallelFor(0, S, [&](size_t Sh) {
+      size_t Lo = ShardLoP[Sh], Hi = ShardLoP[Sh + 1];
+      if (Hi > Lo)
+        groupShard(Sh, PartsP + Lo, Hi - Lo, Groups[Sh], &Touched[Sh]);
+    }, 1);
+    EdgeSpan Span{Edges, K};
+    return mergeInstall(Groups, Touched, TouchedShP, &Span, 1, Insert);
+  }
+
+  uint64_t applySerialized(const EdgeSpan *Spans, size_t N, bool Insert) {
+    uint64_t Seq = batchSeq();
+    for (size_t I = 0; I < N; ++I)
+      Seq = applyBatch(Spans[I].Data, Spans[I].Size, Insert);
+    return Seq;
+  }
+
+  /// Shared merge + install tail. Preconditions: the shards flagged in
+  /// \p TouchedShP are locked (ascending), \p Groups/\p Touched hold
+  /// their prepared groups and digests, and \p Spans are the \p NumSpans
+  /// original batches the groups coalesce (WAL payloads, one record
+  /// each). Publishes ONE epoch advancing BatchSeq by \p NumSpans and
+  /// returns the last batch's sequence number.
+  uint64_t
+  mergeInstall(std::vector<std::optional<GroupedBatchT<EdgeSet>>> &Groups,
+               std::vector<std::vector<VertexId>> &Touched,
+               const uint8_t *TouchedShP, const EdgeSpan *Spans,
+               size_t NumSpans, bool Insert) {
+    size_t S = numShards();
+    // --- Merge: per-shard functional merges of the prepared groups, in
+    // parallel (one writer per shard; concurrent batches on disjoint
+    // shards overlap fully). ---
     using PerShard = typename std::aligned_storage<sizeof(Snapshot),
                                                    alignof(Snapshot)>::type;
     CtxArray<PerShard> MergedMem(S);
@@ -673,24 +890,22 @@ private:
     // are dropped: releasing it earlier could make this writer reclaim a
     // superseded epoch while holding locks others wait on.
     Ref Base = acquire();
-    // Per-shard touched digests come out of the grouping for free; they
-    // are recorded under the commit lock so the digest log's stamp order
-    // matches the install order.
-    std::vector<std::vector<VertexId>> Touched(S);
     parallelFor(0, S, [&](size_t Sh) {
-      size_t Lo = ShardLoP[Sh], Hi = ShardLoP[Sh + 1];
       new (&Merged[Sh]) Snapshot(
-          Hi > Lo ? mergeShard(Base.shard(Sh), Sh, PartsP + Lo, Hi - Lo,
-                               Insert, &Touched[Sh])
-                  : Snapshot());
+          TouchedShP[Sh]
+              ? (Insert ? Base.shard(Sh).insertGrouped(Groups[Sh]->data(),
+                                                       Groups[Sh]->size())
+                        : Base.shard(Sh).deleteGrouped(Groups[Sh]->data(),
+                                                       Groups[Sh]->size()))
+              : Snapshot());
     }, 1);
 
-    // --- Install (phase two): publish a new epoch formed from the
-    // latest committed epoch with the touched shards replaced. Only the
-    // O(S) vector copy and pointer swap happen under the commit lock;
-    // the superseded epoch's reclamation (freeing the replaced shards'
-    // tree delta) is deferred until every lock is released, so
-    // concurrent disjoint-shard writers never serialize behind it.
+    // --- Install: publish a new epoch formed from the latest committed
+    // epoch with the touched shards replaced. Only the O(S) vector copy
+    // and pointer swap happen under the commit lock; the superseded
+    // epoch's reclamation (freeing the replaced shards' tree delta) is
+    // deferred until every lock is released, so concurrent
+    // disjoint-shard writers never serialize behind it. ---
     uint64_t Seq;
     Ref Latest;
     DurabilityEngine::Ticket Tk;
@@ -700,23 +915,31 @@ private:
       Epoch Next;
       Next.Shards = Latest.epoch().Shards;
       for (size_t Sh = 0; Sh < S; ++Sh)
-        if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+        if (TouchedShP[Sh])
           Next.Shards[Sh] = std::move(Merged[Sh]);
-      Next.BatchSeq = Latest.epoch().BatchSeq + 1;
+      uint64_t Prev = Latest.epoch().BatchSeq;
+      Next.BatchSeq = Prev + NumSpans;
       finalizeAggregates(Next, Latest.epoch().Universe);
       Seq = Next.BatchSeq;
-      // WAL append under the commit lock: file order = install order,
-      // and the record carries the original (unsorted, unsplit) batch
-      // so replay reruns the very pipeline that produced this epoch.
-      // The group commit itself happens after the locks are released.
+      // WAL appends under the commit lock: file order = install order,
+      // one record per coalesced batch carrying its original (unsorted,
+      // unsplit) edges, so replay — which runs batch-per-epoch —
+      // reproduces every acknowledged sequence number exactly. The
+      // group commit itself happens after the locks are released.
       if (Durable && !Recovering)
-        Tk = Durable->append(Insert ? WalKind::InsertBatch
-                                    : WalKind::DeleteBatch,
-                             Seq, Edges, K);
+        for (size_t I = 0; I < NumSpans; ++I)
+          Tk = Durable->append(Insert ? WalKind::InsertBatch
+                                      : WalKind::DeleteBatch,
+                               Prev + I + 1, Spans[I].Data, Spans[I].Size);
       uint64_t DigestCap =
           uint64_t(Next.Universe) / FlatRefreshDenominator;
       Versions.set(std::move(Next));
-      // Sparse per-shard digest (touched shards only). A digest above
+      // Sparse per-shard digest (touched shards only). The digest log
+      // is keyed by contiguous BatchSeq stamps, so a coalesced install
+      // records EMPTY digests at the intermediate sequence numbers
+      // (never published as epochs — no reader replays a span ending
+      // on one) and the union digest at the final one: any replay span
+      // crossing the group sees exactly its touched set. A digest above
       // the refresh threshold guarantees any span containing it
       // rebuilds; clearing skips the pointless replay on readers.
       ShardDigest Digest;
@@ -726,10 +949,14 @@ private:
           Total += Touched[Sh].size();
           Digest.emplace_back(uint32_t(Sh), std::move(Touched[Sh]));
         }
-      if (Total <= DigestCap)
+      if (Total <= DigestCap) {
+        for (size_t I = 1; I < NumSpans; ++I)
+          Digests.record(Prev + I, ShardDigest{});
         Digests.record(Seq, std::move(Digest));
-      else
+      } else {
         Digests.clear();
+      }
+      PublishedSeqV.store(Seq, std::memory_order_release);
     } catch (...) {
       // A poisoned WAL (or an injected crash) must not strand the shard
       // locks or leak the merged snapshots: unwind cleanly, without
@@ -737,37 +964,53 @@ private:
       for (size_t Sh = 0; Sh < S; ++Sh)
         Merged[Sh].~Snapshot();
       for (size_t Sh = S; Sh-- > 0;)
-        if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+        if (TouchedShP[Sh])
           ShardLocks[Sh].unlock();
       throw;
     }
     for (size_t Sh = 0; Sh < S; ++Sh)
       Merged[Sh].~Snapshot();
     for (size_t Sh = S; Sh-- > 0;)
-      if (ShardLoP[Sh + 1] > ShardLoP[Sh])
+      if (TouchedShP[Sh])
         ShardLocks[Sh].unlock();
     // Superseded-epoch reclamation outside every lock.
     Base.reset();
     Latest.reset();
     if (Tk.Log) {
-      Durable->sync(Tk); // acknowledged == durable
-      maybeCheckpoint(Seq);
+      Durable->sync(Tk); // acknowledged == durable (all coalesced seqs)
+      checkpointIfDue(Seq);
     }
     return Seq;
   }
 
   /// Auto-checkpoint trigger (CheckpointEveryBatches): at most one
-  /// ingest thread checkpoints at a time; the rest skip — the next
-  /// acknowledged batch re-arms the trigger.
-  void maybeCheckpoint(uint64_t Seq) {
+  /// ingest thread checkpoints at a time. A thread that finds the
+  /// trigger held does NOT skip the due checkpoint — it latches
+  /// CkptPending, and the holder drains the flag before quiescing (a
+  /// plain try_lock-and-skip could starve the trigger forever under
+  /// steady ingest: every acknowledger finds some peer holding the
+  /// mutex and no one checkpoints). Invariant at quiescence:
+  /// batchSeq() - lastCheckpointSeq() < CheckpointEveryBatches.
+  void checkpointIfDue(uint64_t Seq) {
     uint64_t Every = Durable->options().CheckpointEveryBatches;
     if (!Every || Seq < Durable->lastCheckpointSeq() + Every)
       return;
-    if (!CkptTriggerM.try_lock())
-      return;
-    std::lock_guard<std::mutex> G(CkptTriggerM, std::adopt_lock);
-    if (batchSeq() >= Durable->lastCheckpointSeq() + Every)
-      checkpointNow();
+    CkptPending.store(true, std::memory_order_release);
+    while (CkptTriggerM.try_lock()) {
+      {
+        std::lock_guard<std::mutex> G(CkptTriggerM, std::adopt_lock);
+        while (CkptPending.exchange(false, std::memory_order_acq_rel))
+          if (batchSeq() >= Durable->lastCheckpointSeq() + Every)
+            checkpointNow();
+      }
+      // A peer may have latched the flag after our drain but lost its
+      // try_lock to us: re-check now that the mutex is free, else its
+      // due checkpoint would wait for the next acknowledged batch.
+      if (!CkptPending.load(std::memory_order_acquire))
+        return;
+    }
+    // try_lock failed: the holder is inside the drain loop (or its own
+    // post-unlock re-check) and will observe our flag.
   }
 
   size_t LogShards;
@@ -776,21 +1019,29 @@ private:
   std::unique_ptr<std::mutex[]> ShardLocks;
   std::mutex CommitM;
   VersionListT<Epoch> Versions;
+  // Lock-free mirror of the published epoch's BatchSeq (stored under
+  // CommitM, read by batchSeq() and the acquireFlat fast path).
+  std::atomic<uint64_t> PublishedSeqV{0};
+  // Pipelined prepare phase on/off (serving benchmark A/B knob).
+  std::atomic<bool> PipelinedV{true};
 
   // Durability (nullptr on a memory-only store); Recovering gates the
   // WAL re-append while the constructor replays the recovered log.
   std::unique_ptr<DurabilityEngine> Durable;
   bool Recovering = false;
   std::mutex CkptTriggerM;
+  std::atomic<bool> CkptPending{false};
 
   // Hot-flat maintenance state (DESIGN.md Section 4). The digest log is
   // keyed by BatchSeq (contiguous under the commit lock); the cached
   // flat serializes its refreshers on FlatM without ever blocking
-  // writers.
+  // writers, and current-epoch hits bypass FlatM entirely via the
+  // atomic shared_ptr fast path.
   DeltaLogT<ShardDigest> Digests{FlatReplayMaxEpochs};
   mutable std::mutex FlatM;
   std::shared_ptr<const FlatEpoch> CachedFlat;
   FlatMaintenanceStats Stats;
+  mutable std::atomic<uint64_t> FlatHitsV{0};
 };
 
 /// Default Aspen configuration: C-tree shards with difference encoding.

@@ -10,6 +10,7 @@
 #include "algorithms/bfs.h"
 #include "gen/generators.h"
 #include "graph/versioned_graph.h"
+#include "serve/server.h"
 #include "store/sharded_graph.h"
 
 #include <gtest/gtest.h>
@@ -523,4 +524,67 @@ TEST(Concurrency, ChaseLevNestedParallelFor) {
   for (auto &T : Threads)
     T.join();
   EXPECT_EQ(Violations.load(), 0u);
+}
+
+TEST(Concurrency, ServingSessionsVersusIngestStress) {
+  // The full serving stack under TSan: external tenants flood the
+  // admission queue with queries (leased sessions, pinned tree + flat
+  // epochs, lock-free acquireFlat fast path) while others stream write
+  // batches through the coalescing ingest front. Every pinned epoch must
+  // stay self-consistent; shedding is the only allowed failure mode.
+  const VertexId N = 1 << 10;
+  auto Fixed = dedupEdges(symmetrize(uniformRandomEdges(N, 3000, 17)));
+  HybridShardedGraphStore Store(4, N, Fixed);
+  SnapshotServer::Options O;
+  O.Workers = 3;
+  O.ReadQueueCap = 256;
+  O.WriteQueueCap = 32;
+  O.ReadsPerWrite = 4;
+  SnapshotServer Server(Store, O);
+
+  std::atomic<uint64_t> Violations{0};
+  const size_t Tenants = 3, WriterThreads = 2;
+  const size_t QueriesPer = 40, WritesPer = 12;
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < Tenants; ++T)
+    Ts.emplace_back([&, T] {
+      for (size_t I = 0; I < QueriesPer; ++I) {
+        while (!Server.submitQuery([&](auto &QC) {
+          // Tree pin and flat pin are separate epochs, but each must be
+          // internally consistent (degree sum == its own edge count).
+          auto &R = QC.snapshot();
+          auto V = R.view();
+          uint64_t Sum = 0;
+          for (VertexId U = 0; U < N; ++U)
+            Sum += V.degree(U);
+          if (Sum != R.numEdges())
+            Violations.fetch_add(1);
+          auto F = QC.flat();
+          if (F->view().numEdges() != F->NumEdges)
+            Violations.fetch_add(1);
+        }))
+          std::this_thread::yield(); // shed: retry (bounded queue)
+      }
+    });
+  for (size_t W = 0; W < WriterThreads; ++W)
+    Ts.emplace_back([&, W] {
+      for (size_t I = 0; I < WritesPer; ++I) {
+        auto B = dedupEdges(symmetrize(
+            uniformRandomEdges(N, 150, 9000 + W * WritesPer + I)));
+        while (!(I % 2 ? Server.submitDelete(B) : Server.submitInsert(B)))
+          std::this_thread::yield();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  Server.drain();
+  Server.stop();
+
+  auto St = Server.stats();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_EQ(St.QueriesDone, Tenants * QueriesPer);
+  EXPECT_EQ(St.WritesDone, WriterThreads * WritesPer);
+  EXPECT_EQ(St.QueryErrors, 0u);
+  EXPECT_EQ(St.WriteErrors, 0u);
+  EXPECT_EQ(Store.batchSeq(), uint64_t(WriterThreads * WritesPer));
 }

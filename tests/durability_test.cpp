@@ -739,4 +739,52 @@ TEST(DurableSharded, ConcurrentIngestWithBackgroundCheckpoint) {
   EXPECT_EQ(Before, After);
 }
 
+TEST(DurableSharded, AutoCheckpointFiresExactlyOnSchedule) {
+  TempDir D;
+  const VertexId Universe = 1000;
+  const uint64_t Every = 3;
+  ShardedGraphStore St(optsFor(D.path(), Every), 4, Universe);
+  for (uint64_t B = 1; B <= 8; ++B) {
+    std::vector<EdgePair> E(50);
+    for (size_t I = 0; I < E.size(); ++I) {
+      uint64_t H = hashAt(7000 + B, I);
+      E[I] = {VertexId(H % Universe), VertexId((H >> 20) % Universe)};
+    }
+    St.insertBatch(E);
+    // The trigger is exact, not best-effort: last checkpoint covers the
+    // most recent multiple of Every, so the uncovered WAL suffix never
+    // reaches Every batches.
+    EXPECT_EQ(St.durability()->lastCheckpointSeq(), (B / Every) * Every)
+        << "batch " << B;
+  }
+}
+
+TEST(DurableSharded, AutoCheckpointNeverSkippedUnderContention) {
+  // Regression: checkpointIfDue used to bail when try_lock failed, so a
+  // writer crossing the threshold while a peer held the trigger lock
+  // silently skipped a due checkpoint. The pending latch re-checks after
+  // unlock, so at quiescence the uncovered suffix is always < Every.
+  TempDir D;
+  const VertexId Universe = 4000;
+  const uint64_t Every = 2; // aggressive: most batches cross a threshold
+  const size_t Threads = 4, PerThread = 8;
+  ShardedGraphStore St(optsFor(D.path(), Every), 8, Universe);
+  std::vector<std::thread> Ws;
+  for (size_t T = 0; T < Threads; ++T)
+    Ws.emplace_back([&, T] {
+      for (size_t B = 0; B < PerThread; ++B) {
+        std::vector<EdgePair> E(120);
+        for (size_t I = 0; I < E.size(); ++I) {
+          uint64_t H = hashAt(8000 + T * PerThread + B, I);
+          E[I] = {VertexId(H % Universe), VertexId((H >> 20) % Universe)};
+        }
+        St.insertBatch(E);
+      }
+    });
+  for (auto &W : Ws)
+    W.join();
+  ASSERT_EQ(St.batchSeq(), uint64_t(Threads * PerThread));
+  EXPECT_LT(St.batchSeq() - St.durability()->lastCheckpointSeq(), Every);
+}
+
 } // namespace

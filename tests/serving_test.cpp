@@ -1,0 +1,493 @@
+//===- tests/serving_test.cpp - Serving layer: coalescing + admission -----===//
+//
+// The multi-tenant serving subsystem (src/serve/, DESIGN.md Section 8):
+//
+//  - Coalesced/pipelined ingest is BYTE-IDENTICAL to one-at-a-time
+//    serialized ingest (chunk-level: checkpoint serialization memcmp),
+//    including through the concurrent IngestFrontT and across a durable
+//    close/reopen with per-batch WAL records inside coalesced installs.
+//  - AdmissionQueueT: queue-full rejection, FIFO within a class,
+//    weighted-fair scheduling under saturation, work conservation.
+//  - SessionPool: lease/return, exhaustion, warm reuse.
+//  - SnapshotServerT: queries under concurrent ingest see consistent
+//    epochs, overload sheds instead of stalling, epoch lag is tracked.
+//  - acquireFlat() lock-free fast path: repeated hits on an unchanged
+//    epoch are counted and all readers see the same flat.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/generators.h"
+#include "serve/server.h"
+#include "store/checkpoint.h"
+#include "store/sharded_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <dirent.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace aspen;
+
+namespace {
+
+std::vector<EdgePair> randomBatch(VertexId N, size_t K, uint64_t Seed) {
+  return dedupEdges(symmetrize(uniformRandomEdges(N, K, Seed)));
+}
+
+/// A batch whose sources all hash to shard 0 of an S-shard store — the
+/// hot-shard writer stream the coalescing front exists for.
+std::vector<EdgePair> oneShardBatch(VertexId N, size_t Shards, size_t K,
+                                    uint64_t Seed) {
+  std::vector<EdgePair> Out;
+  uint64_t X = Seed * 0x9E3779B97F4A7C15ull + 1;
+  auto Next = [&X] {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    return X;
+  };
+  Out.reserve(K);
+  for (size_t I = 0; I < K; ++I) {
+    VertexId Src = VertexId((Next() % (N / Shards)) * Shards); // shard 0
+    VertexId Dst = VertexId(Next() % N);
+    Out.push_back({Src, Dst});
+  }
+  return dedupEdges(std::move(Out));
+}
+
+/// Chunk-level bytes of every shard (checkpoint serialization is
+/// chunk-verbatim for C-tree sets).
+template <class Store>
+std::vector<std::vector<uint8_t>> storeBytes(Store &S) {
+  auto R = S.acquire();
+  std::vector<std::vector<uint8_t>> Out(R.numShards());
+  for (size_t Sh = 0; Sh < R.numShards(); ++Sh)
+    serializeSnapshot(R.shard(Sh), Out[Sh]);
+  return Out;
+}
+
+struct TempDir {
+  std::string P;
+  TempDir() {
+    char Buf[] = "/tmp/aspen-serve-XXXXXX";
+    const char *R = ::mkdtemp(Buf);
+    EXPECT_NE(R, nullptr);
+    P = Buf;
+  }
+  ~TempDir() {
+    if (DIR *D = ::opendir(P.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        std::string N = E->d_name;
+        if (N != "." && N != "..")
+          (void)::unlink((P + "/" + N).c_str());
+      }
+      ::closedir(D);
+      (void)::rmdir(P.c_str());
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Coalescing byte identity.
+//===----------------------------------------------------------------------===
+
+TEST(ServeCoalesce, ApplySpansMatchesOneAtATime) {
+  const VertexId N = 1 << 10;
+  const size_t Shards = 4;
+  // A mixed schedule: runs of inserts and deletes. Coalescing may only
+  // merge same-kind runs, so the grouped store splits each run into
+  // spans of up to 3 batches.
+  std::vector<std::pair<bool, std::vector<EdgePair>>> Sched;
+  for (int I = 0; I < 5; ++I)
+    Sched.push_back({true, randomBatch(N, 700, 100 + I)});
+  Sched.push_back({false, Sched[1].second}); // delete a prior batch
+  Sched.push_back({false, randomBatch(N, 400, 200)}); // partly absent
+  for (int I = 0; I < 4; ++I)
+    Sched.push_back({true, randomBatch(N, 500, 300 + I)});
+  Sched.push_back({false, randomBatch(N, 300, 400)});
+
+  ShardedGraphStore Serial(Shards, N), Grouped(Shards, N);
+  Serial.setPipelinedIngest(false); // group/sort under the shard locks
+  for (auto &B : Sched)
+    B.first ? Serial.insertBatch(B.second) : Serial.deleteBatch(B.second);
+
+  for (size_t I = 0; I < Sched.size();) {
+    size_t J = I;
+    while (J < Sched.size() && Sched[J].first == Sched[I].first &&
+           J - I < 3)
+      ++J;
+    std::vector<EdgeSpan> Spans;
+    for (size_t K = I; K < J; ++K)
+      Spans.push_back({Sched[K].second.data(), Sched[K].second.size()});
+    Grouped.applySpans(Spans.data(), Spans.size(), Sched[I].first);
+    I = J;
+  }
+
+  EXPECT_EQ(Serial.batchSeq(), Sched.size());
+  EXPECT_EQ(Grouped.batchSeq(), Sched.size());
+  auto A = storeBytes(Serial), B = storeBytes(Grouped);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t Sh = 0; Sh < A.size(); ++Sh) {
+    ASSERT_EQ(A[Sh].size(), B[Sh].size()) << "shard " << Sh;
+    EXPECT_EQ(std::memcmp(A[Sh].data(), B[Sh].data(), A[Sh].size()), 0)
+        << "shard " << Sh;
+  }
+}
+
+TEST(ServeCoalesce, PrepareCommitSplitMatchesDirectApply) {
+  const VertexId N = 1 << 9;
+  ShardedGraphStore A(4, N), B(4, N);
+  auto B1 = oneShardBatch(N, 4, 400, 1);
+  auto B2 = oneShardBatch(N, 4, 400, 2);
+  auto B3 = oneShardBatch(N, 4, 300, 3);
+  A.insertBatch(B1);
+  A.insertBatch(B2);
+  A.insertBatch(B3);
+
+  // Pipelined split: prepare the second group while nothing holds the
+  // locks, then commit both in order.
+  std::vector<EdgeSpan> G1{{B1.data(), B1.size()}, {B2.data(), B2.size()}};
+  auto P1 = B.prepareSpans(G1.data(), G1.size(), true);
+  std::vector<EdgeSpan> G2{{B3.data(), B3.size()}};
+  auto P2 = B.prepareSpans(G2.data(), G2.size(), true);
+  EXPECT_EQ(B.commitPrepared(std::move(P1)), 2u);
+  EXPECT_EQ(B.commitPrepared(std::move(P2)), 3u);
+
+  auto BA = storeBytes(A), BB = storeBytes(B);
+  for (size_t Sh = 0; Sh < BA.size(); ++Sh)
+    EXPECT_EQ(BA[Sh], BB[Sh]) << "shard " << Sh;
+}
+
+TEST(ServeCoalesce, IngestFrontConcurrentInsertIdentity) {
+  const VertexId N = 1 << 10;
+  const size_t Shards = 4, Writers = 4, PerWriter = 12;
+  // Insert-only workload: set union is order-independent, so the final
+  // state must match a sequential reference regardless of interleaving.
+  std::vector<std::vector<EdgePair>> Batches;
+  for (size_t W = 0; W < Writers; ++W)
+    for (size_t I = 0; I < PerWriter; ++I)
+      Batches.push_back(oneShardBatch(N, Shards, 300, 7 * W + 100 * I + 1));
+
+  ShardedGraphStore Ref(Shards, N);
+  for (auto &B : Batches)
+    Ref.insertBatch(B);
+
+  ShardedGraphStore S(Shards, N);
+  IngestFrontT<ShardedGraphStore> Front(S, /*MaxCoalesce=*/8);
+  std::vector<std::thread> Ts;
+  for (size_t W = 0; W < Writers; ++W)
+    Ts.emplace_back([&, W] {
+      for (size_t I = 0; I < PerWriter; ++I) {
+        uint64_t Seq = Front.insertBatch(Batches[W * PerWriter + I]);
+        EXPECT_GE(Seq, 1u);
+        EXPECT_LE(Seq, Batches.size());
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+
+  EXPECT_EQ(S.batchSeq(), Batches.size());
+  auto St = Front.stats();
+  EXPECT_EQ(St.Submitted, Batches.size());
+  EXPECT_LE(St.Installs, St.Submitted);
+  EXPECT_GE(St.MaxGroup, 1u);
+
+  auto A = storeBytes(Ref), B = storeBytes(S);
+  for (size_t Sh = 0; Sh < A.size(); ++Sh)
+    EXPECT_EQ(A[Sh], B[Sh]) << "shard " << Sh;
+}
+
+TEST(ServeCoalesce, IngestFrontMixedKindsKeepFIFO) {
+  const VertexId N = 512;
+  ShardedGraphStore S(2, N), Ref(2, N);
+  IngestFrontT<ShardedGraphStore> Front(S);
+  auto B1 = randomBatch(N, 800, 1);
+  auto B2 = randomBatch(N, 500, 2);
+  EXPECT_EQ(Front.insertBatch(B1), 1u);
+  EXPECT_EQ(Front.insertBatch(B2), 2u);
+  EXPECT_EQ(Front.deleteBatch(B1), 3u);
+  EXPECT_EQ(Front.insertBatch(B1), 4u);
+  Ref.insertBatch(B1);
+  Ref.insertBatch(B2);
+  Ref.deleteBatch(B1);
+  Ref.insertBatch(B1);
+  auto A = storeBytes(Ref), B = storeBytes(S);
+  for (size_t Sh = 0; Sh < A.size(); ++Sh)
+    EXPECT_EQ(A[Sh], B[Sh]) << "shard " << Sh;
+}
+
+TEST(ServeCoalesce, DurableCoalescedInstallReplays) {
+  const VertexId N = 512;
+  TempDir D;
+  DurabilityOptions O;
+  O.Dir = D.P;
+  O.FsyncOnCommit = false;
+  auto B1 = randomBatch(N, 600, 11);
+  auto B2 = randomBatch(N, 400, 12);
+  auto B3 = randomBatch(N, 300, 13);
+  std::vector<std::vector<uint8_t>> Before;
+  {
+    ShardedGraphStore S(O, 4, N);
+    // One coalesced install of three batches: three WAL records, one
+    // epoch, BatchSeq 3.
+    std::vector<EdgeSpan> G{{B1.data(), B1.size()},
+                            {B2.data(), B2.size()},
+                            {B3.data(), B3.size()}};
+    EXPECT_EQ(S.applySpans(G.data(), G.size(), true), 3u);
+    EXPECT_EQ(S.batchSeq(), 3u);
+    Before = storeBytes(S);
+  }
+  {
+    // Recovery replays the WAL batch-per-epoch; the acknowledged state
+    // must come back byte-identical with the same sequence number.
+    ShardedGraphStore S(O, 4, N);
+    EXPECT_EQ(S.batchSeq(), 3u);
+    auto After = storeBytes(S);
+    ASSERT_EQ(Before.size(), After.size());
+    for (size_t Sh = 0; Sh < Before.size(); ++Sh)
+      EXPECT_EQ(Before[Sh], After[Sh]) << "shard " << Sh;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Admission control.
+//===----------------------------------------------------------------------===
+
+TEST(ServeAdmission, RejectsWhenFull) {
+  AdmissionQueueT<int> Q({/*ReadCap=*/2, /*WriteCap=*/1, 4});
+  EXPECT_TRUE(Q.tryPush(RequestClass::Read, 1));
+  EXPECT_TRUE(Q.tryPush(RequestClass::Read, 2));
+  EXPECT_FALSE(Q.tryPush(RequestClass::Read, 3)); // shed
+  EXPECT_TRUE(Q.tryPush(RequestClass::Write, 10));
+  EXPECT_FALSE(Q.tryPush(RequestClass::Write, 11)); // shed
+  auto St = Q.stats();
+  EXPECT_EQ(St.AdmittedReads, 2u);
+  EXPECT_EQ(St.ShedReads, 1u);
+  EXPECT_EQ(St.AdmittedWrites, 1u);
+  EXPECT_EQ(St.ShedWrites, 1u);
+  // Admitted work drains FIFO within its class even after stop().
+  Q.stop();
+  EXPECT_FALSE(Q.tryPush(RequestClass::Read, 4));
+  std::vector<int> Reads;
+  int Writes = 0;
+  while (auto R = Q.pop())
+    (R->first == RequestClass::Read ? (void)Reads.push_back(R->second)
+                                    : (void)++Writes);
+  EXPECT_EQ(Reads, (std::vector<int>{1, 2}));
+  EXPECT_EQ(Writes, 1);
+}
+
+TEST(ServeAdmission, WeightedFairUnderSaturation) {
+  const unsigned RPW = 4;
+  AdmissionQueueT<int> Q({/*ReadCap=*/256, /*WriteCap=*/64, RPW});
+  for (int I = 0; I < 64; ++I)
+    ASSERT_TRUE(Q.tryPush(RequestClass::Read, I));
+  for (int I = 0; I < 8; ++I)
+    ASSERT_TRUE(Q.tryPush(RequestClass::Write, 1000 + I));
+  // With both classes saturated, the pop pattern is RPW reads : 1 write
+  // — a query flood cannot starve ingest.
+  for (int Round = 0; Round < 8; ++Round) {
+    for (unsigned I = 0; I < RPW; ++I) {
+      auto R = Q.pop();
+      ASSERT_TRUE(R.has_value());
+      EXPECT_EQ(R->first, RequestClass::Read) << "round " << Round;
+    }
+    auto W = Q.pop();
+    ASSERT_TRUE(W.has_value());
+    EXPECT_EQ(W->first, RequestClass::Write) << "round " << Round;
+    EXPECT_EQ(W->second, 1000 + Round); // writes drain FIFO
+  }
+}
+
+TEST(ServeAdmission, WorkConservingWhenOneClassIdle) {
+  AdmissionQueueT<int> Q({16, 16, 4});
+  // Writes only: served back-to-back, no read credit throttling.
+  for (int I = 0; I < 6; ++I)
+    ASSERT_TRUE(Q.tryPush(RequestClass::Write, I));
+  for (int I = 0; I < 6; ++I) {
+    auto R = Q.pop();
+    ASSERT_TRUE(R.has_value());
+    EXPECT_EQ(R->first, RequestClass::Write);
+    EXPECT_EQ(R->second, I);
+  }
+  // Reads only: credit is not charged while no write waits, so a later
+  // write doesn't inherit a stale exhausted credit.
+  for (int I = 0; I < 16; ++I)
+    ASSERT_TRUE(Q.tryPush(RequestClass::Read, I));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Q.pop()->first, RequestClass::Read);
+}
+
+//===----------------------------------------------------------------------===
+// Session pool.
+//===----------------------------------------------------------------------===
+
+TEST(ServeSession, LeaseExhaustReturnReuse) {
+  SessionPool Pool(2, /*RetainBytes=*/1 << 20);
+  EXPECT_EQ(Pool.capacity(), 2u);
+  EXPECT_EQ(Pool.available(), 2u);
+  AlgoContext *First;
+  {
+    auto L1 = Pool.lease();
+    First = &L1.ctx();
+    auto L2 = Pool.tryLease();
+    EXPECT_TRUE(bool(L2));
+    EXPECT_EQ(Pool.available(), 0u);
+    auto L3 = Pool.tryLease();
+    EXPECT_FALSE(bool(L3)); // exhausted: non-blocking lease fails
+  }
+  EXPECT_EQ(Pool.available(), 2u);
+  // LIFO reuse: the most recently returned (warmest) context first.
+  auto L = Pool.lease();
+  EXPECT_EQ(&L.ctx(), First);
+}
+
+TEST(ServeSession, WarmContextIsAllocationFree) {
+  SessionPool Pool(1);
+  const size_t N = 1 << 16;
+  auto Run = [&] {
+    auto L = Pool.lease();
+    CtxArray<uint64_t> A(&L.ctx(), N);
+    for (size_t I = 0; I < N; ++I)
+      A[I] = I;
+    return L->missCount();
+  };
+  Run(); // cold: populates the context cache
+  uint64_t MissesAfterWarm = Run();
+  EXPECT_EQ(Run(), MissesAfterWarm); // steady state: no new misses
+}
+
+//===----------------------------------------------------------------------===
+// Server end-to-end.
+//===----------------------------------------------------------------------===
+
+TEST(ServeServer, QueriesUnderConcurrentIngest) {
+  const VertexId N = 1 << 10;
+  HybridShardedGraphStore Store(4, N, randomBatch(N, 4000, 5));
+  SnapshotServer::Options O;
+  O.Workers = 4;
+  O.ReadQueueCap = 4096;
+  O.WriteQueueCap = 256;
+  SnapshotServer Server(Store, O);
+
+  std::atomic<uint64_t> Inconsistent{0};
+  size_t Queries = 200, Writes = 40;
+  for (size_t I = 0; I < Writes; ++I) {
+    ASSERT_TRUE(Server.submitInsert(randomBatch(N, 200, 1000 + I)));
+    for (size_t Q = 0; Q < Queries / Writes; ++Q)
+      ASSERT_TRUE(Server.submitQuery([&](auto &QC) {
+        // Epoch consistency: the pinned tree epoch and the pinned flat
+        // epoch each sum degrees to their own epoch's edge count.
+        auto &R = QC.snapshot();
+        auto V = R.view();
+        uint64_t Sum = 0;
+        for (VertexId U = 0; U < N; ++U)
+          Sum += V.degree(U);
+        if (Sum != R.numEdges())
+          Inconsistent.fetch_add(1);
+        auto F = QC.flat();
+        auto FV = F->view();
+        uint64_t FSum = 0;
+        for (VertexId U = 0; U < N; ++U)
+          FSum += FV.degree(U);
+        if (FSum != F->NumEdges)
+          Inconsistent.fetch_add(1);
+      }));
+  }
+  Server.drain();
+  auto St = Server.stats();
+  EXPECT_EQ(Inconsistent.load(), 0u);
+  EXPECT_EQ(St.QueriesDone, Queries);
+  EXPECT_EQ(St.WritesDone, Writes);
+  EXPECT_EQ(St.QueryErrors, 0u);
+  EXPECT_EQ(St.WriteErrors, 0u);
+  EXPECT_EQ(St.Front.Submitted, Writes);
+  EXPECT_EQ(Store.batchSeq(), Writes);
+  Server.stop();
+}
+
+TEST(ServeServer, OverloadShedsInsteadOfStalling) {
+  const VertexId N = 256;
+  HybridShardedGraphStore Store(2, N);
+  SnapshotServer::Options O;
+  O.Workers = 1;
+  O.ReadQueueCap = 2;
+  O.WriteQueueCap = 1;
+  SnapshotServer Server(Store, O);
+
+  // Saturate the single worker with slow queries; the bounded queue
+  // must shed the excess synchronously (no blocking, no collapse).
+  std::atomic<int> Running{0};
+  size_t Accepted = 0, Shed = 0;
+  for (int I = 0; I < 64; ++I) {
+    bool Ok = Server.submitQuery([&](auto &) {
+      ++Running;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    Ok ? ++Accepted : ++Shed;
+  }
+  EXPECT_GT(Shed, 0u);
+  Server.drain();
+  auto St = Server.stats();
+  EXPECT_EQ(St.QueriesDone, Accepted);
+  EXPECT_EQ(St.Admission.ShedReads, Shed);
+  EXPECT_EQ(size_t(Running.load()), Accepted);
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===
+// Lock-free flat fast path.
+//===----------------------------------------------------------------------===
+
+TEST(ServeFlat, FastPathHitsOnUnchangedEpoch) {
+  const VertexId N = 1 << 10;
+  ShardedGraphStore Store(4, N, randomBatch(N, 3000, 9));
+  auto F0 = Store.acquireFlat(); // cold: rebuild
+  const size_t Threads = 4, Iters = 50;
+  std::atomic<uint64_t> Mismatches{0};
+  std::vector<std::thread> Ts;
+  for (size_t T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (size_t I = 0; I < Iters; ++I) {
+        auto F = Store.acquireFlat();
+        if (F.get() != F0.get()) // unchanged epoch: same cached object
+          Mismatches.fetch_add(1);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+  auto St = Store.flatStats();
+  EXPECT_EQ(St.Rebuilds, 1u);
+  EXPECT_EQ(St.Refreshes, 0u);
+  EXPECT_EQ(St.Hits, Threads * Iters);
+  // After a batch, the next acquire refreshes and later hits resume.
+  Store.insertBatch(randomBatch(N, 100, 10));
+  auto F1 = Store.acquireFlat();
+  EXPECT_NE(F1.get(), F0.get());
+  EXPECT_EQ(Store.acquireFlat().get(), F1.get());
+  St = Store.flatStats();
+  EXPECT_EQ(St.Refreshes + St.Rebuilds, 2u);
+  EXPECT_EQ(St.Hits, Threads * Iters + 1);
+}
+
+TEST(ServeFlat, VersionedStoreFastPathHits) {
+  const VertexId N = 512;
+  VersionedGraph VG(Graph::fromEdges(N, randomBatch(N, 2000, 3)));
+  auto F0 = VG.acquireFlat();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(VG.acquireFlat().get(), F0.get());
+  auto St = VG.flatStats();
+  EXPECT_EQ(St.Rebuilds, 1u);
+  EXPECT_EQ(St.Hits, 10u);
+  VG.insertEdgesBatch(randomBatch(N, 20, 4)); // < N/8 touched: refresh
+  auto F1 = VG.acquireFlat();
+  EXPECT_NE(F1.get(), F0.get());
+  St = VG.flatStats();
+  EXPECT_EQ(St.Refreshes, 1u);
+}
