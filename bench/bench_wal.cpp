@@ -13,6 +13,11 @@
 //   wal/commit/*            group-commit latency percentiles
 //   wal/recover/replay<K>/* reopen time after K uncheckpointed batches
 //   wal/recover/ckpt/*      reopen time when a checkpoint truncated the log
+//   wal/ckpt/*              full vs incremental checkpoint bytes and time
+//                           (a 1-of-S-shards delta should write ~1/S)
+//   wal/ship/*              cold follower catch-up over the in-process
+//                           transport (bytes shipped per second)
+//   wal/scrub/*             one full scrubber verification pass
 //
 //   -json <path>    write every metric as flat JSON (BENCH_wal.json)
 //   -compare <path> annotate rows with before/after ratios vs a prior file
@@ -22,6 +27,7 @@
 #include "bench_common.h"
 
 #include "graph/versioned_graph.h"
+#include "store/replication.h"
 #include "store/sharded_graph.h"
 #include "util/hash.h"
 
@@ -80,6 +86,11 @@ void reportRatio(const std::string &Key, double Value) {
   recordMetric(Key, Value);
   std::printf("  %-40s %11.2fx%s\n", Key.c_str(), Value,
               compareSuffix(Key, Value).c_str());
+}
+
+double fileBytes(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? double(St.st_size) : 0.0;
 }
 
 std::vector<std::vector<EdgePair>> makeBatches(RMatGenerator &G,
@@ -224,6 +235,78 @@ int main(int Argc, char **Argv) {
         std::abort();
     });
     reportTime("wal/recover/ckpt/time_s", RecT);
+  }
+
+  //===------------------------------------------------------------------===
+  // Full vs incremental checkpoint cost.
+  //===------------------------------------------------------------------===
+
+  std::printf("\n== checkpoints: full vs 1-of-%zu-shards incremental ==\n",
+              Shards);
+  ScratchDir ShipDir; // stays populated: the ship + scrub sections reuse it
+  {
+    DurabilityOptions O;
+    O.Dir = ShipDir.Path;
+    ShardedGraphStore St(O, Shards, N);
+    for (auto &B : Batches)
+      St.insertBatch(B);
+    double FullT = timeIt([&] { St.checkpointNow(); });
+    uint64_t FullSeq = St.batchSeq();
+    double FullBytes =
+        fileBytes(ShipDir.Path + "/" + detail::ckptFileName(FullSeq));
+    // One delta confined to shard 0: endpoints folded onto multiples of
+    // the shard count, so exactly one root pointer moves.
+    std::vector<EdgePair> Delta = Stream.edges(24000000, 20000);
+    for (EdgePair &E : Delta) {
+      E.first &= ~VertexId(Shards - 1);
+      E.second &= ~VertexId(Shards - 1);
+    }
+    St.insertBatch(Delta);
+    double IncrT = timeIt([&] { St.checkpointNow(); });
+    double IncrBytes =
+        fileBytes(ShipDir.Path + "/" + detail::ckptFileName(FullSeq + 1));
+    reportTime("wal/ckpt/full_s", FullT);
+    reportRate("wal/ckpt/full_bytes", FullBytes, "bytes");
+    reportTime("wal/ckpt/incr_s", IncrT);
+    reportRate("wal/ckpt/incr_bytes", IncrBytes, "bytes");
+    reportRatio("wal/ckpt/incr_ratio", IncrBytes / FullBytes);
+  }
+
+  //===------------------------------------------------------------------===
+  // Snapshot shipping: cold follower catch-up.
+  //===------------------------------------------------------------------===
+
+  std::printf("\n== snapshot shipping: cold follower catch-up ==\n");
+  {
+    ScratchDir FollowerDir;
+    InProcessShipService Svc(ShipDir.Path);
+    Replicator R(FollowerDir.Path, Svc.connector());
+    double ShipT = timeIt([&] { R.catchUp(); });
+    const ReplicationStats &S = R.stats();
+    reportTime("wal/ship/time_s", ShipT);
+    reportRate("wal/ship/bytes_per_s", double(S.BytesFetched) / ShipT,
+               "B/s");
+    reportRate("wal/ship/files", double(S.FilesFetched), "files");
+  }
+
+  //===------------------------------------------------------------------===
+  // Scrubbing: one full verification pass.
+  //===------------------------------------------------------------------===
+
+  std::printf("\n== scrubber: one verification pass over the directory "
+              "==\n");
+  {
+    DurabilityOptions O;
+    O.Dir = ShipDir.Path;
+    DurabilityEngine E(O);
+    Scrubber Sc(E);
+    ScrubStats SS;
+    double ScrubT = timeIt([&] { SS = Sc.scrubOnce(); });
+    if (SS.CorruptFound)
+      std::abort(); // a clean directory must scrub clean
+    reportTime("wal/scrub/time_s", ScrubT);
+    reportRate("wal/scrub/bytes_per_s", double(SS.BytesVerified) / ScrubT,
+               "B/s");
   }
 
   recordMetric("machine/workers", double(numWorkers()));

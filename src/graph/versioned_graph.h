@@ -257,6 +257,10 @@ public:
   /// store). Diagnostics only — the store drives it internally.
   const DurabilityEngine *durability() const { return Durable.get(); }
 
+  /// Mutable engine access for the self-healing layer (scrubber,
+  /// replication drivers).
+  DurabilityEngine *durability() { return Durable.get(); }
+
   /// Serialize the latest version as a durable checkpoint, rotate the
   /// WAL, and drop the log prefix it covers. Durable stores only.
   /// Returns the checkpointed batch sequence number.

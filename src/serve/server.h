@@ -13,7 +13,12 @@
 // (acquireFlat) for its own lifetime — epoch-consistent reads while the
 // writer streams. Epoch lag — how many batches landed between a query's
 // admission and its execution — is tracked per query; bounded queues
-// keep it bounded under overload (shed, don't stall).
+// keep it bounded under overload (shed, don't stall). When MaxReaderLag
+// is set, the writer path additionally throttles itself: a batch briefly
+// waits (bounded by ThrottleMaxWaitMs, so a busy pool can never deadlock
+// on itself) while the oldest still-queued read has already fallen
+// further behind than that — trading a little ingest latency for a hard
+// ceiling on how stale an admitted query can get.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +30,11 @@
 #include "serve/session.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
+#include <mutex>
+#include <set>
 #include <thread>
 
 namespace aspen {
@@ -40,6 +49,15 @@ public:
     unsigned ReadsPerWrite = 8;   ///< fairness ratio under saturation
     size_t MaxCoalesce = 32;      ///< ingest-front group bound
     size_t CtxRetainBytes = 0;    ///< per-context retain limit (0 = off)
+
+    /// Throttle a write while the oldest still-queued read already lags
+    /// the store by more than this many batches (0 = no throttling).
+    uint64_t MaxReaderLag = 0;
+    /// Upper bound on one batch's throttle wait. Keeps the writer
+    /// live when the read backlog is not draining (e.g. every worker
+    /// is the one holding the write) — throttling is back-pressure,
+    /// never a lock.
+    unsigned ThrottleMaxWaitMs = 5;
   };
 
   /// Per-query execution context: the leased workspace plus lazily
@@ -81,6 +99,7 @@ public:
     uint64_t WriteErrors = 0;
     uint64_t EpochLagSum = 0; ///< batches landed while queries queued
     uint64_t EpochLagMax = 0;
+    uint64_t WriteThrottleWaits = 0; ///< writes delayed by MaxReaderLag
     AdmissionStats Admission;                  ///< shed/admit counts
     typename IngestFrontT<Store>::Stats Front; ///< coalescing stats
     uint64_t SessionWaits = 0;
@@ -150,6 +169,8 @@ public:
     R.WriteErrors = WriteErrors.load(std::memory_order_relaxed);
     R.EpochLagSum = EpochLagSum.load(std::memory_order_relaxed);
     R.EpochLagMax = EpochLagMax.load(std::memory_order_relaxed);
+    R.WriteThrottleWaits =
+        WriteThrottleWaits.load(std::memory_order_relaxed);
     R.Admission = Queue.stats();
     R.Front = Front.stats();
     R.SessionWaits = Pool.waitCount();
@@ -168,13 +189,23 @@ private:
   };
 
   bool push(RequestClass C, Item It) {
+    uint64_t Seq = It.SubmitSeq;
     {
       std::lock_guard<std::mutex> L(DrainM);
       ++InFlight; // optimistic: rolled back on shed
+      if (C == RequestClass::Read)
+        QueuedReads.insert(Seq);
     }
     if (Queue.tryPush(C, std::move(It)))
       return true;
-    finishOne();
+    {
+      std::lock_guard<std::mutex> L(DrainM);
+      --InFlight;
+      if (C == RequestClass::Read)
+        QueuedReads.erase(QueuedReads.find(Seq));
+    }
+    DrainCV.notify_all();
+    ThrottleCV.notify_all();
     return false;
   }
 
@@ -190,6 +221,14 @@ private:
     while (auto Popped = Queue.pop()) {
       Item &It = Popped->second;
       if (Popped->first == RequestClass::Read) {
+        // This read is now executing (it pins a fresh epoch), so it no
+        // longer counts toward the queued-reader lag the writer path
+        // throttles on.
+        {
+          std::lock_guard<std::mutex> L(DrainM);
+          QueuedReads.erase(QueuedReads.find(It.SubmitSeq));
+        }
+        ThrottleCV.notify_all();
         try {
           SessionPool::Lease Lease = Pool.lease();
           QueryContext QC(S, Lease.ctx());
@@ -205,6 +244,19 @@ private:
           ;
         QueriesDone.fetch_add(1, std::memory_order_relaxed);
       } else {
+        if (O.MaxReaderLag) {
+          std::unique_lock<std::mutex> L(DrainM);
+          auto LagTooBig = [&] {
+            return !QueuedReads.empty() &&
+                   S.batchSeq() - *QueuedReads.begin() > O.MaxReaderLag;
+          };
+          if (LagTooBig()) {
+            WriteThrottleWaits.fetch_add(1, std::memory_order_relaxed);
+            ThrottleCV.wait_for(
+                L, std::chrono::milliseconds(O.ThrottleMaxWaitMs),
+                [&] { return !LagTooBig(); });
+          }
+        }
         try {
           if (It.Insert)
             Front.insertBatch(It.Edges);
@@ -229,10 +281,15 @@ private:
   std::atomic<uint64_t> QueriesDone{0}, WritesDone{0};
   std::atomic<uint64_t> QueryErrors{0}, WriteErrors{0};
   std::atomic<uint64_t> EpochLagSum{0}, EpochLagMax{0};
+  std::atomic<uint64_t> WriteThrottleWaits{0};
 
-  std::mutex DrainM; ///< admitted-but-unfinished accounting
+  std::mutex DrainM; ///< admitted-but-unfinished accounting + QueuedReads
   std::condition_variable DrainCV;
   uint64_t InFlight = 0;
+  /// SubmitSeqs of admitted-but-not-yet-executing reads; the writer
+  /// throttle watches the oldest (begin()).
+  std::multiset<uint64_t> QueuedReads;
+  std::condition_variable ThrottleCV;
 };
 
 /// Default serving configuration: degree-adaptive hybrid shards (the

@@ -15,7 +15,8 @@
 //
 //   [data pages]      the concatenated per-shard serialization streams,
 //                     cut into CheckpointPageBytes-sized immutable pages
-//   [manifest]        seq, shard table, page table w/ per-page CRC32C
+//   [manifest]        seq, base seq, shard presence + byte table, page
+//                     table w/ per-page CRC32C
 //   [footer]          manifest length + CRC + magic (fixed size, at EOF)
 //
 // A reader validates footer magic -> manifest CRC -> every page CRC
@@ -25,6 +26,17 @@
 // go to a .tmp name and are renamed into place after fsync — a
 // checkpoint is either fully present under its final name or not
 // present at all.
+//
+// Incremental checkpoints (DESIGN.md Section 9): the manifest's BaseSeq
+// field chains a checkpoint back to an earlier generation. A shard whose
+// presence flag is clear has no pages in this file — its stream lives in
+// the base (or the base's base, transitively). Because shard roots are
+// immutable refcounted trees, the writer decides presence with one
+// pointer comparison per shard, and a 1-of-S-shards update checkpoints
+// in ~1/S the bytes. resolveCheckpointChain() walks the chain and
+// materializes the full per-shard stream set; any missing or invalid
+// link invalidates the head, and recovery falls back to an older head
+// whose chain still resolves (plus a longer WAL replay).
 //
 // Edge sets that are not chunk-storage C-trees (UncompressedSet, the
 // hybrid classes) serialize through a representation-independent element
@@ -54,7 +66,7 @@
 
 namespace aspen {
 
-inline constexpr uint64_t CkptManifestMagic = 0x314D4B43'4E505341ULL; // ASPNCKM1
+inline constexpr uint64_t CkptManifestMagic = 0x324D4B43'4E505341ULL; // ASPNCKM2
 inline constexpr uint64_t CkptFooterMagic = 0x31464B43'4E505341ULL;   // ASPNCKF1
 
 /// Page granularity of the data section: each page carries its own
@@ -324,23 +336,40 @@ inline std::optional<uint64_t> ckptSeqOfName(const std::string &Name) {
 } // namespace detail
 
 /// A validated, loaded checkpoint: the per-shard serialization streams
-/// ready for deserializeSnapshot.
+/// ready for deserializeSnapshot. For an incremental file (BaseSeq != 0)
+/// straight off readCheckpointFile, only shards with ShardPresent[S]
+/// carry a stream; resolveCheckpointChain() fills the rest from the base
+/// chain and returns a fully-present result.
 struct LoadedCheckpoint {
   uint64_t Seq = 0;
+  uint64_t BaseSeq = 0; ///< chain link (0 = full checkpoint)
   uint32_t LogShards = 0;
+  std::vector<uint8_t> ShardPresent; ///< 1 = stream stored in this file
   std::vector<std::vector<uint8_t>> ShardStreams;
 };
 
 /// Write `Dir/ckpt-<seq>.aspen` from the given shard streams. All I/O is
 /// failpoint-instrumented ("ckpt.page.write", "ckpt.manifest.write",
-/// "ckpt.fsync", "ckpt.rename.before/after"). Returns the final path.
-/// Throws on I/O failure (the temp file is left behind; recovery ignores
-/// .tmp files and open() cleanup removes them).
+/// "ckpt.fsync", "ckpt.rename.before/after", "ckpt.dirsync"). Returns
+/// the final path. Throws on I/O failure (the temp file is left behind;
+/// recovery ignores .tmp files and open() cleanup removes them).
+///
+/// An incremental checkpoint passes the covering generation as \p
+/// BaseSeq and a per-shard \p Present mask; only shards with
+/// (*Present)[S] != 0 have their stream written (the others' entries in
+/// \p ShardStreams are ignored and should be empty).
 inline std::string
 writeCheckpointFile(const std::string &Dir, uint64_t Seq, uint32_t LogShards,
                     const std::vector<std::vector<uint8_t>> &ShardStreams,
-                    bool Fsync) {
+                    bool Fsync, uint64_t BaseSeq = 0,
+                    const std::vector<uint8_t> *Present = nullptr) {
   using namespace detail;
+  if (BaseSeq != 0 &&
+      (BaseSeq >= Seq || !Present || Present->size() != ShardStreams.size()))
+    throw std::logic_error("bad incremental checkpoint arguments");
+  auto shardPresent = [&](size_t S) {
+    return BaseSeq == 0 || (*Present)[S] != 0;
+  };
   std::string Final = Dir + "/" + ckptFileName(Seq);
   std::string Tmp = Final + ".tmp";
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -351,10 +380,14 @@ writeCheckpointFile(const std::string &Dir, uint64_t Seq, uint32_t LogShards,
     ~FdCloser() { ::close(Fd); }
   } Closer{Fd};
 
-  // Data section: the concatenated shard streams, cut into pages.
+  // Data section: the concatenated present-shard streams, cut into
+  // pages. Absent (base-covered) shards contribute nothing.
   std::vector<CkptPageEntry> Pages;
   uint64_t Off = 0;
-  for (const auto &Stream : ShardStreams) {
+  for (size_t S = 0; S < ShardStreams.size(); ++S) {
+    if (!shardPresent(S))
+      continue;
+    const auto &Stream = ShardStreams[S];
     size_t At = 0;
     while (At < Stream.size()) {
       size_t N = std::min(CheckpointPageBytes, Stream.size() - At);
@@ -368,8 +401,8 @@ writeCheckpointFile(const std::string &Dir, uint64_t Seq, uint32_t LogShards,
       Off += N;
     }
     if (Stream.empty()) {
-      // Keep one (empty) page per empty shard so the shard table and
-      // page table stay trivially consistent.
+      // Keep one (empty) page per empty present shard so the shard
+      // table and page table stay trivially consistent.
       Pages.push_back(CkptPageEntry{Off, 0, crc32c(nullptr, 0)});
     }
   }
@@ -380,13 +413,16 @@ writeCheckpointFile(const std::string &Dir, uint64_t Seq, uint32_t LogShards,
     ByteWriter W(Manifest);
     W.put<uint64_t>(CkptManifestMagic);
     W.put<uint64_t>(Seq);
+    W.put<uint64_t>(BaseSeq);
     W.put<uint32_t>(uint32_t(ShardStreams.size()));
     W.put<uint32_t>(LogShards);
     W.put<uint32_t>(uint32_t(Pages.size()));
     for (const CkptPageEntry &E : Pages)
       W.put(E);
-    for (const auto &Stream : ShardStreams)
-      W.put<uint64_t>(Stream.size());
+    for (size_t S = 0; S < ShardStreams.size(); ++S)
+      W.put<uint8_t>(shardPresent(S) ? 1 : 0);
+    for (size_t S = 0; S < ShardStreams.size(); ++S)
+      W.put<uint64_t>(shardPresent(S) ? ShardStreams[S].size() : 0);
   }
   fpWrite(Fd, Manifest.data(), Manifest.size(), "ckpt.manifest.write");
   CkptFooter F;
@@ -459,19 +495,31 @@ readCheckpointFile(const std::string &Path) {
     if (R.get<uint64_t>() != CkptManifestMagic)
       return std::nullopt;
     Out.Seq = R.get<uint64_t>();
+    Out.BaseSeq = R.get<uint64_t>();
     uint32_t NumShards = R.get<uint32_t>();
     Out.LogShards = R.get<uint32_t>();
     uint32_t NumPages = R.get<uint32_t>();
     if (NumShards > (1u << 20) || NumPages > (1u << 28))
       return std::nullopt;
+    if (Out.BaseSeq != 0 && Out.BaseSeq >= Out.Seq)
+      return std::nullopt; // chain must point strictly backwards
     Pages.resize(NumPages);
     for (uint32_t I = 0; I < NumPages; ++I)
       Pages[I] = R.get<CkptPageEntry>();
+    Out.ShardPresent.resize(NumShards);
+    for (uint32_t I = 0; I < NumShards; ++I)
+      Out.ShardPresent[I] = R.get<uint8_t>();
     ShardBytes.resize(NumShards);
     for (uint32_t I = 0; I < NumShards; ++I)
       ShardBytes[I] = R.get<uint64_t>();
     if (!R.exhausted())
       return std::nullopt;
+    for (uint32_t I = 0; I < NumShards; ++I) {
+      if (!Out.ShardPresent[I] && ShardBytes[I] != 0)
+        return std::nullopt; // absent shards store no bytes
+      if (Out.BaseSeq == 0 && !Out.ShardPresent[I])
+        return std::nullopt; // a full checkpoint covers every shard
+    }
   } catch (const CorruptCheckpoint &) {
     return std::nullopt;
   }
@@ -492,13 +540,102 @@ readCheckpointFile(const std::string &Path) {
   if (Off != TotalShardBytes || Off > ManifestOff)
     return std::nullopt;
 
-  // Split the (validated) data section back into per-shard streams.
+  // Split the (validated) data section back into per-shard streams
+  // (absent shards keep an empty stream; the presence flags say so).
   Out.ShardStreams.resize(ShardBytes.size());
   uint64_t At = 0;
   for (size_t S = 0; S < ShardBytes.size(); ++S) {
     Out.ShardStreams[S].assign(Buf.data() + At,
                                Buf.data() + At + ShardBytes[S]);
     At += ShardBytes[S];
+  }
+  return Out;
+}
+
+/// Cheap checkpoint identity probe: validates the footer and manifest
+/// CRC (not the data pages) and returns the chain fields. Used for
+/// directory inventory, retention bookkeeping, and the replication
+/// listing — anywhere the page payloads are not needed.
+struct CheckpointMeta {
+  uint64_t Seq = 0;
+  uint64_t BaseSeq = 0;
+  uint32_t NumShards = 0;
+  uint32_t LogShards = 0;
+};
+
+inline std::optional<CheckpointMeta>
+peekCheckpointMeta(const std::string &Path) {
+  using namespace detail;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return std::nullopt;
+  struct FdCloser {
+    int Fd;
+    ~FdCloser() { ::close(Fd); }
+  } Closer{Fd};
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || St.st_size < off_t(sizeof(CkptFooter)))
+    return std::nullopt;
+  CkptFooter F;
+  if (::pread(Fd, &F, sizeof(F), St.st_size - off_t(sizeof(F))) !=
+      ssize_t(sizeof(F)))
+    return std::nullopt;
+  if (F.Magic != CkptFooterMagic ||
+      F.ManifestBytes > uint64_t(St.st_size) - sizeof(F))
+    return std::nullopt;
+  std::vector<uint8_t> Manifest(size_t(F.ManifestBytes));
+  off_t MOff = St.st_size - off_t(sizeof(F)) - off_t(F.ManifestBytes);
+  if (::pread(Fd, Manifest.data(), Manifest.size(), MOff) !=
+      ssize_t(Manifest.size()))
+    return std::nullopt;
+  if (crc32c(Manifest.data(), Manifest.size()) != F.ManifestCrc)
+    return std::nullopt;
+  try {
+    ByteReader R(Manifest.data(), Manifest.size());
+    if (R.get<uint64_t>() != CkptManifestMagic)
+      return std::nullopt;
+    CheckpointMeta M;
+    M.Seq = R.get<uint64_t>();
+    M.BaseSeq = R.get<uint64_t>();
+    M.NumShards = R.get<uint32_t>();
+    M.LogShards = R.get<uint32_t>();
+    return M;
+  } catch (const CorruptCheckpoint &) {
+    return std::nullopt;
+  }
+}
+
+/// Load ckpt-<HeadSeq> and materialize its full shard-stream set by
+/// walking the BaseSeq chain, newest link first. Every link must exist
+/// in \p Dir and validate end-to-end; nullopt on any missing/invalid
+/// link or inconsistent chain geometry — the caller falls back to an
+/// older head (whose WAL suffix the trim barrier kept replayable).
+inline std::optional<LoadedCheckpoint>
+resolveCheckpointChain(const std::string &Dir, uint64_t HeadSeq) {
+  auto Head = readCheckpointFile(Dir + "/" + detail::ckptFileName(HeadSeq));
+  if (!Head || Head->Seq != HeadSeq)
+    return std::nullopt;
+  LoadedCheckpoint Out = std::move(*Head);
+  uint64_t Base = Out.BaseSeq;
+  size_t Missing = 0;
+  for (uint8_t P : Out.ShardPresent)
+    Missing += !P;
+  while (Missing > 0) {
+    if (Base == 0)
+      return std::nullopt; // chain ended with shards still uncovered
+    auto Link = readCheckpointFile(Dir + "/" + detail::ckptFileName(Base));
+    if (!Link || Link->Seq != Base || Link->LogShards != Out.LogShards ||
+        Link->ShardStreams.size() != Out.ShardStreams.size())
+      return std::nullopt;
+    for (size_t S = 0; S < Out.ShardStreams.size(); ++S) {
+      if (Out.ShardPresent[S] || !Link->ShardPresent[S])
+        continue;
+      Out.ShardStreams[S] = std::move(Link->ShardStreams[S]);
+      Out.ShardPresent[S] = 1;
+      --Missing;
+    }
+    Base = Link->BaseSeq; // readCheckpointFile enforces Base < Seq,
+                          // so the walk strictly descends (no cycles)
   }
   return Out;
 }

@@ -6,7 +6,10 @@
 //
 //   <dir>/wal-<gen>.log        append-only WAL segments, generation-named
 //   <dir>/ckpt-<seq>.aspen     immutable checkpoint files
-//   <dir>/*.tmp                in-flight checkpoint writes (removed on open)
+//   <dir>/*.tmp, *.part        in-flight checkpoint writes / replication
+//                              transfers (removed on open)
+//   <dir>/*.quarantine         corrupt files set aside by the scrubber
+//                              (ignored by recovery)
 //
 // Invariants the engine maintains:
 //
@@ -16,17 +19,27 @@
 //     (now sealed, truncated-on-scan) segment.
 //   * checkpoint(S) first makes ckpt-<S> durable (tmp + fsync + rename),
 //     then flushes and seals the active segment, opens generation+1, and
-//     only then unlinks sealed segments whose records are all covered
-//     (maxSeq <= S). A crash anywhere in that sequence leaves either the
-//     old checkpoint + full WAL, or the new checkpoint + a superset of
-//     the WAL suffix it needs — both recover to the same store.
+//     only then unlinks sealed segments whose records all fall at or
+//     below the *trim barrier* — the oldest checkpoint generation any
+//     retained chain still references. Falling back past the newest
+//     head therefore never loses acknowledged batches: the WAL suffix
+//     above every retained head is still on disk. A crash anywhere in
+//     that sequence leaves either the old checkpoint + full WAL, or the
+//     new checkpoint + a superset of the WAL suffix it needs — both
+//     recover to the same store.
+//   * An incremental checkpoint (DESIGN.md Section 9) chains onto the
+//     engine's current newest generation via BaseSeq. The chain length
+//     is bounded by MaxIncrementalChain; a quarantined or otherwise
+//     lost generation forces the next checkpoint to be full, so a
+//     broken chain can never grow.
 //   * Sealing flushes the old segment's pending group before the swap,
 //     so across segments the record sequence has no holes: recovery can
 //     insist on contiguous sequence numbers and treat any gap as the end
 //     of the usable log.
 //
-// Recovery (performed in the constructor) = newest checkpoint file that
-// validates end-to-end, plus the contiguous run of WAL records with
+// Recovery (performed in the constructor) = newest checkpoint head whose
+// base chain fully resolves (resolveCheckpointChain — every link
+// validates end-to-end), plus the contiguous run of WAL records with
 // sequence numbers above it, in order. The stores replay those records
 // through the same insertEdgesSpan/deleteEdgesSpan batch paths that
 // produced the original epochs — by chunk-boundary determinism (DESIGN.md
@@ -44,9 +57,11 @@
 #include <atomic>
 #include <cstdint>
 #include <dirent.h>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -79,6 +94,12 @@ struct DurabilityOptions {
 
   /// Checkpoint files retained as fallbacks beyond the newest.
   size_t KeepCheckpoints = 2;
+
+  /// Incremental checkpoints chained onto a full one before the next
+  /// is forced full (0 disables incremental chaining entirely). Longer
+  /// chains write fewer bytes per checkpoint but retain more files and
+  /// WAL (the trim barrier follows the oldest referenced generation).
+  size_t MaxIncrementalChain = 8;
 };
 
 /// One WAL record recovered for replay (payload owned).
@@ -113,7 +134,9 @@ public:
       throw std::runtime_error("cannot create durability dir " + Opts.Dir);
 
     // Inventory the directory: checkpoint seqs, WAL generations, and
-    // leftover temp files from a checkpoint interrupted mid-write.
+    // leftovers from interrupted work — .tmp (mid-write checkpoints)
+    // and .part (mid-transfer replication fetches) are removed;
+    // .quarantine files (scrubber-confirmed corruption) are ignored.
     std::vector<uint64_t> WalGens;
     {
       DIR *D = ::opendir(Opts.Dir.c_str());
@@ -121,25 +144,30 @@ public:
         throw std::runtime_error("cannot open durability dir " + Opts.Dir);
       while (struct dirent *E = ::readdir(D)) {
         std::string Name = E->d_name;
-        if (Name.size() > 4 && Name.rfind(".tmp") == Name.size() - 4) {
+        if ((Name.size() > 4 && Name.rfind(".tmp") == Name.size() - 4) ||
+            (Name.size() > 5 && Name.rfind(".part") == Name.size() - 5)) {
           (void)::unlink((Opts.Dir + "/" + Name).c_str());
           continue;
         }
-        if (auto S = detail::ckptSeqOfName(Name))
-          CkptSeqs.push_back(*S);
-        else if (auto G = walGenOfName(Name))
+        if (auto S = detail::ckptSeqOfName(Name)) {
+          // Record the chain link for retention; a file whose manifest
+          // no longer validates keeps a 0 base — it can never resolve
+          // as a head, and any chain through it fails full validation.
+          auto M = peekCheckpointMeta(Opts.Dir + "/" + Name);
+          CkptBaseOf[*S] = M ? M->BaseSeq : 0;
+        } else if (auto G = walGenOfName(Name)) {
           WalGens.push_back(*G);
+        }
       }
       ::closedir(D);
     }
-    std::sort(CkptSeqs.begin(), CkptSeqs.end());
     std::sort(WalGens.begin(), WalGens.end());
 
-    // Newest checkpoint that validates end-to-end wins; invalid ones
-    // (torn writes that still got renamed somehow, bit rot) fall back.
-    for (size_t I = CkptSeqs.size(); I-- > 0;) {
-      if (auto L = readCheckpointFile(Opts.Dir + "/" +
-                                      detail::ckptFileName(CkptSeqs[I]))) {
+    // Newest checkpoint head whose base chain fully resolves wins;
+    // invalid heads and broken chains (torn writes that still got
+    // renamed somehow, bit rot, quarantined links) fall back.
+    for (auto It = CkptBaseOf.rbegin(); It != CkptBaseOf.rend(); ++It) {
+      if (auto L = resolveCheckpointChain(Opts.Dir, It->first)) {
         Rec.Ckpt = std::move(*L);
         break;
       }
@@ -147,6 +175,15 @@ public:
     uint64_t CkptSeq = Rec.Ckpt ? Rec.Ckpt->Seq : 0;
     LastCkptSeqV.store(CkptSeq, std::memory_order_relaxed);
     Rec.MaxSeq = CkptSeq;
+    // Resume the incremental chain-length budget where the head left it
+    // (so a restart cannot extend a chain past MaxIncrementalChain).
+    for (uint64_t S = CkptSeq; S != 0;) {
+      auto It = CkptBaseOf.find(S);
+      if (It == CkptBaseOf.end() || It->second == 0)
+        break;
+      ++ChainLen;
+      S = It->second;
+    }
 
     // Scan WAL generations in order, truncating torn tails, collecting
     // the contiguous record run above the checkpoint. A hole ends the
@@ -225,18 +262,66 @@ public:
   }
 
   /// Make ckpt-<Seq> durable from the serialized shard streams, then
-  /// rotate the WAL and drop segments + old checkpoints it obsoletes.
-  /// Serialized against concurrent checkpoint() calls; concurrent
-  /// append()/sync() proceed (they only contend on the rotation swap).
-  void checkpoint(uint64_t Seq, uint32_t LogShards,
-                  const std::vector<std::vector<uint8_t>> &ShardStreams) {
+  /// rotate the WAL and drop segments + checkpoint generations no
+  /// retained chain references. Serialized against concurrent
+  /// checkpoint() calls; concurrent append()/sync() proceed (they only
+  /// contend on the rotation swap).
+  ///
+  /// An incremental caller passes the base generation it serialized
+  /// against (from incrementalBaseFor()) plus the per-shard present
+  /// mask. Returns true when the checkpoint was written; false when a
+  /// concurrent caller already covered this epoch, or when the base went
+  /// stale (quarantined / forced-full in the meantime) — the store then
+  /// retries with a full checkpoint.
+  bool checkpoint(uint64_t Seq, uint32_t LogShards,
+                  const std::vector<std::vector<uint8_t>> &ShardStreams,
+                  uint64_t BaseSeq = 0,
+                  const std::vector<uint8_t> *Present = nullptr) {
     std::lock_guard<std::mutex> CkLock(CkptM);
     if (Seq <= LastCkptSeqV.load(std::memory_order_relaxed))
-      return; // a concurrent caller already covered this epoch
+      return false; // a concurrent caller already covered this epoch
+    if (BaseSeq != 0 &&
+        (ForceFullNext || !Opts.MaxIncrementalChain ||
+         ChainLen >= Opts.MaxIncrementalChain ||
+         BaseSeq != LastCkptSeqV.load(std::memory_order_relaxed) ||
+         CkptBaseOf.find(BaseSeq) == CkptBaseOf.end()))
+      return false; // stale base: caller falls back to a full checkpoint
     writeCheckpointFile(Opts.Dir, Seq, LogShards, ShardStreams,
-                        Opts.FsyncOnCommit);
+                        Opts.FsyncOnCommit, BaseSeq, Present);
     LastCkptSeqV.store(Seq, std::memory_order_relaxed);
-    CkptSeqs.push_back(Seq);
+    CkptBaseOf[Seq] = BaseSeq;
+    if (BaseSeq != 0) {
+      ++ChainLen;
+    } else {
+      ChainLen = 0;
+      ForceFullNext = false;
+    }
+
+    // Retention: keep the chain closures of the newest KeepCheckpoints
+    // heads; everything else is garbage. The trim barrier is the oldest
+    // generation any retained chain references — WAL records above it
+    // stay on disk so falling back to ANY retained head (or chain link)
+    // still replays to the acknowledged frontier.
+    std::set<uint64_t> Referenced;
+    {
+      size_t Keep = std::max<size_t>(1, Opts.KeepCheckpoints);
+      auto It = CkptBaseOf.rbegin();
+      for (size_t H = 0; H < Keep && It != CkptBaseOf.rend(); ++H, ++It)
+        for (uint64_t S = It->first; S != 0 && Referenced.insert(S).second;) {
+          auto B = CkptBaseOf.find(S);
+          S = B == CkptBaseOf.end() ? 0 : B->second;
+        }
+    }
+    for (auto It = CkptBaseOf.begin(); It != CkptBaseOf.end();) {
+      if (Referenced.count(It->first)) {
+        ++It;
+        continue;
+      }
+      (void)::unlink(
+          (Opts.Dir + "/" + detail::ckptFileName(It->first)).c_str());
+      It = CkptBaseOf.erase(It);
+    }
+    uint64_t Barrier = Referenced.empty() ? Seq : *Referenced.begin();
 
     // Seal the active segment: flush its whole pending group (so the
     // sealed file is hole-free) and open the next generation.
@@ -249,12 +334,13 @@ public:
       ++ActiveGen;
       Active = std::make_shared<WalLog>(segmentPath(ActiveGen),
                                         Opts.FsyncOnCommit, Seq + 1);
-      // Segments fully covered by the checkpoint are garbage. (A sealed
-      // segment with records above Seq — a batch that committed while
-      // the checkpoint was being written — stays until the next one.)
+      // Segments fully below the trim barrier are garbage. (A sealed
+      // segment with records above it — a batch that committed while
+      // the checkpoint was being written, or the replay suffix of an
+      // older retained chain — stays until retention lets it go.)
       auto Mid = std::stable_partition(
           Sealed.begin(), Sealed.end(),
-          [&](const SealedSegment &S) { return S.MaxSeq > Seq; });
+          [&](const SealedSegment &S) { return S.MaxSeq > Barrier; });
       Trim.assign(Mid, Sealed.end());
       Sealed.erase(Mid, Sealed.end());
     }
@@ -264,18 +350,55 @@ public:
       ASPEN_FAILPOINT("wal.trim.mid");
     }
     ASPEN_FAILPOINT("wal.trim.after");
+    return true;
+  }
 
-    // Checkpoint retention: newest + KeepCheckpoints-1 fallbacks.
-    while (CkptSeqs.size() > std::max<size_t>(1, Opts.KeepCheckpoints)) {
-      (void)::unlink(
-          (Opts.Dir + "/" + detail::ckptFileName(CkptSeqs.front())).c_str());
-      CkptSeqs.erase(CkptSeqs.begin());
-    }
+  /// Base generation an incremental checkpoint may chain onto right
+  /// now, or nullopt when the next checkpoint must be full (no prior
+  /// checkpoint, chain budget spent, incremental disabled, or a
+  /// scrubber quarantine invalidated the newest generation).
+  std::optional<uint64_t> incrementalBaseFor() const {
+    std::lock_guard<std::mutex> CkLock(CkptM);
+    uint64_t Last = LastCkptSeqV.load(std::memory_order_relaxed);
+    if (Last == 0 || ForceFullNext || Opts.MaxIncrementalChain == 0 ||
+        ChainLen >= Opts.MaxIncrementalChain ||
+        CkptBaseOf.find(Last) == CkptBaseOf.end())
+      return std::nullopt;
+    return Last;
+  }
+
+  /// Scrubber hook: move a corrupt checkpoint generation aside
+  /// (recovery, retention and replication ignore *.quarantine) and
+  /// force the next checkpoint full so no new incremental chains onto
+  /// the hole. Returns false when the file was already gone.
+  bool quarantineCheckpoint(uint64_t Seq) {
+    std::lock_guard<std::mutex> CkLock(CkptM);
+    std::string P = Opts.Dir + "/" + detail::ckptFileName(Seq);
+    bool Renamed = ::rename(P.c_str(), (P + ".quarantine").c_str()) == 0;
+    CkptBaseOf.erase(Seq);
+    ForceFullNext = true;
+    return Renamed;
+  }
+
+  /// Scrubber hook after a verified re-fetch from the replica restored
+  /// ckpt-<Seq>: put the generation back into retention bookkeeping.
+  /// (The next checkpoint stays forced-full — cheap insurance after
+  /// any confirmed corruption.)
+  void noteCheckpointRepaired(uint64_t Seq, uint64_t BaseSeq) {
+    std::lock_guard<std::mutex> CkLock(CkptM);
+    CkptBaseOf[Seq] = BaseSeq;
   }
 
   /// Sequence of the newest durable checkpoint (0 when none).
   uint64_t lastCheckpointSeq() const {
     return LastCkptSeqV.load(std::memory_order_relaxed);
+  }
+
+  /// Path of the segment currently accepting appends (the scrubber
+  /// treats it leniently: an in-flight tail is not corruption).
+  std::string activeSegmentPath() const {
+    std::lock_guard<std::mutex> Lock(WalM);
+    return Active->path();
   }
 
   /// Highest sequence known durable in the active segment.
@@ -298,7 +421,9 @@ private:
     return Opts.Dir + "/" + Buf;
   }
 
-  /// Generation encoded in a WAL segment file name, or nullopt.
+public:
+  /// Generation encoded in a WAL segment file name, or nullopt. (The
+  /// replication layer and the scrubber parse directory listings too.)
   static std::optional<uint64_t> walGenOfName(const std::string &Name) {
     unsigned long long Gen;
     if (Name.size() == 24 &&
@@ -307,16 +432,21 @@ private:
     return std::nullopt;
   }
 
+private:
   DurabilityOptions Opts;
   RecoveredState Rec;
-  std::vector<uint64_t> CkptSeqs; ///< on-disk checkpoints, ascending
+  /// On-disk checkpoint generations -> their base (0 = full). The key
+  /// set doubles as the retention inventory.
+  std::map<uint64_t, uint64_t> CkptBaseOf;
+  size_t ChainLen = 0;       ///< incremental links since the last full
+  bool ForceFullNext = false; ///< latched by quarantineCheckpoint()
 
   mutable std::mutex WalM; ///< guards Active/ActiveGen/Sealed
   std::shared_ptr<WalLog> Active;
   uint64_t ActiveGen = 1;
   std::vector<SealedSegment> Sealed;
 
-  std::mutex CkptM; ///< serializes checkpoint()
+  mutable std::mutex CkptM; ///< serializes checkpoint() + chain state
   std::atomic<uint64_t> LastCkptSeqV{0};
 };
 

@@ -592,19 +592,63 @@ public:
   /// store). Diagnostics only — the store drives it internally.
   const DurabilityEngine *durability() const { return Durable.get(); }
 
+  /// Mutable engine access for the self-healing layer: the scrubber and
+  /// the replication drivers (store/replication.h) attach here.
+  DurabilityEngine *durability() { return Durable.get(); }
+
   /// Serialize the current epoch as a durable checkpoint, rotate the
   /// WAL, and drop the log prefix it covers. Durable stores only; safe
   /// under concurrent ingest — the checkpoint is one acquired epoch's
   /// consistent cut, and only WAL records it covers are trimmed.
+  ///
+  /// Incremental (DESIGN.md Section 9): shard snapshots are immutable
+  /// functional trees, so "changed since the last checkpoint" is one
+  /// root-pointer comparison against the pinned last-checkpoint epoch.
+  /// When the engine offers a base generation, only changed shards are
+  /// serialized and written; the manifest chains back to the base.
   uint64_t checkpointNow() {
     assert(Durable && "checkpointNow on a memory-only store");
+    std::lock_guard<std::mutex> G(CkptStateM);
     Ref E = acquire();
     size_t S = numShards();
     std::vector<std::vector<uint8_t>> Streams(S);
-    parallelFor(0, S, [&](size_t Sh) {
-      serializeSnapshot(E.shard(Sh), Streams[Sh]);
-    }, 1);
-    Durable->checkpoint(E.batchSeq(), uint32_t(LogShards), Streams);
+    std::optional<uint64_t> Base = Durable->incrementalBaseFor();
+    bool Wrote = false;
+    if (Base && CkptEpoch.valid() && CkptEpochSeq == *Base) {
+      std::vector<uint8_t> Present(S, 0);
+      for (size_t Sh = 0; Sh < S; ++Sh)
+        Present[Sh] = E.shard(Sh).root() != CkptEpoch.shard(Sh).root();
+      parallelFor(0, S, [&](size_t Sh) {
+        if (Present[Sh])
+          serializeSnapshot(E.shard(Sh), Streams[Sh]);
+      }, 1);
+      Wrote = Durable->checkpoint(E.batchSeq(), uint32_t(LogShards),
+                                  Streams, *Base, &Present);
+      if (!Wrote) {
+        // The base went stale under us (e.g. the scrubber quarantined
+        // it); flush the missing shards and retry as a full checkpoint.
+        parallelFor(0, S, [&](size_t Sh) {
+          if (!Present[Sh])
+            serializeSnapshot(E.shard(Sh), Streams[Sh]);
+        }, 1);
+        Wrote = Durable->checkpoint(E.batchSeq(), uint32_t(LogShards),
+                                    Streams);
+      }
+    } else {
+      parallelFor(0, S, [&](size_t Sh) {
+        serializeSnapshot(E.shard(Sh), Streams[Sh]);
+      }, 1);
+      Wrote = Durable->checkpoint(E.batchSeq(), uint32_t(LogShards),
+                                  Streams);
+    }
+    if (Wrote) {
+      // Pin this epoch until the next checkpoint: the pin keeps the
+      // shard roots alive, so pointer identity against them stays
+      // sound (structural sharing bounds the pinned delta).
+      CkptEpochSeq = E.batchSeq();
+      CkptEpoch = std::move(E);
+      return CkptEpochSeq;
+    }
     return E.batchSeq();
   }
 
@@ -645,6 +689,11 @@ private:
       finalizeAggregates(E, N);
       Versions.set(std::move(E));
       PublishedSeqV.store(R.Ckpt->Seq, std::memory_order_release);
+      // Pin the checkpoint epoch before replay: the first post-recovery
+      // checkpoint can then be incremental against the recovered base
+      // (untouched shards share these exact roots across replay).
+      CkptEpoch = acquire();
+      CkptEpochSeq = R.Ckpt->Seq;
       if (Durable->options().PrimeFlatOnRecover)
         primeFlatFromCurrent();
     }
@@ -1024,6 +1073,13 @@ private:
   std::atomic<uint64_t> PublishedSeqV{0};
   // Pipelined prepare phase on/off (serving benchmark A/B knob).
   std::atomic<bool> PipelinedV{true};
+
+  // Incremental-checkpoint state (guarded by CkptStateM): the epoch of
+  // the last written checkpoint, pinned so shard-root pointer identity
+  // against it stays sound until the next checkpoint replaces the pin.
+  std::mutex CkptStateM;
+  Ref CkptEpoch;
+  uint64_t CkptEpochSeq = 0;
 
   // Durability (nullptr on a memory-only store); Recovering gates the
   // WAL re-append while the constructor replays the recovered log.

@@ -205,6 +205,25 @@ inline WalScanResult walScanSegment(const std::string &Path,
   return walScanSegment(Path, TruncateTorn, [](const WalRecordView &) {});
 }
 
+/// Read-only integrity verdict on a segment, for the scrubber
+/// (store/replication.h): a sealed segment is clean iff its header
+/// validates and every byte is covered by valid records (sealing flushes
+/// the whole group and open() truncates torn tails, so trailing garbage
+/// on a sealed file can only be bit rot). The active segment may carry
+/// an in-flight tail; it is clean as long as the valid record prefix
+/// reaches \p MinDurableSeq (the durable watermark sampled before the
+/// scan — anything less means a checksummed, acknowledged record no
+/// longer verifies).
+inline bool walSegmentClean(const std::string &Path, bool Sealed,
+                            uint64_t MinDurableSeq = 0) {
+  WalScanResult R = walScanSegment(Path, /*TruncateTorn=*/false);
+  if (!R.HeaderValid)
+    return false;
+  if (Sealed)
+    return !R.Torn;
+  return R.MaxSeq >= MinDurableSeq;
+}
+
 /// Commit statistics (bench_wal and the recovery tests read these).
 struct WalStats {
   uint64_t Appends = 0;      ///< records enqueued

@@ -2,11 +2,13 @@
 //
 // A tiny failpoint registry that lets tests force the failure modes a
 // real storage stack sees — torn (short) writes, fsync errors, bit flips
-// on the way to disk, and process death at chosen points — without
-// actually killing the process. All durable I/O in store/wal.h and
-// store/checkpoint.h routes through the fp*() wrappers below, and the
-// commit protocols mark their interesting transitions with named
-// ASPEN_FAILPOINT sites ("wal.append.before", "ckpt.rename.after", ...).
+// on the way to disk, dropped replication connections, and process death
+// at chosen points — without actually killing the process. All durable
+// I/O in store/wal.h and store/checkpoint.h routes through the fp*()
+// wrappers below, the replication transport (store/transport.h) checks
+// its send/recv sites the same way, and the commit protocols mark their
+// interesting transitions with named ASPEN_FAILPOINT sites
+// ("wal.append.before", "ckpt.rename.after", "repl.chunk.send", ...).
 //
 // A test arms a site with an action and a hit index:
 //
@@ -58,6 +60,8 @@ struct FailAction {
     ShortWrite, ///< persist only Arg bytes of the write, then crash
     FailFsync,  ///< fail the fsync with EIO (no crash; caller handles)
     BitFlip,    ///< flip bit Arg of the written bytes (persists corrupt)
+    SoftError,  ///< recoverable failure (transport drop, EIO) — the
+                ///< caller's retry path handles it, no process death
   };
   Kind K = Crash;
   uint64_t Arg = 0;
@@ -66,6 +70,7 @@ struct FailAction {
   static FailAction shortWrite(uint64_t Bytes) { return {ShortWrite, Bytes}; }
   static FailAction failFsync() { return {FailFsync, 0}; }
   static FailAction bitFlip(uint64_t Bit) { return {BitFlip, Bit}; }
+  static FailAction softError() { return {SoftError, 0}; }
 };
 
 /// Global failpoint registry. Sites are arbitrary strings; arming is
@@ -191,6 +196,8 @@ inline void fpWrite(int Fd, const void *Buf, size_t N, const char *Site) {
       break;
     case FailAction::FailFsync:
       break; // not meaningful on a write site
+    case FailAction::SoftError:
+      throw std::runtime_error(std::string("injected I/O error at ") + Site);
     }
   }
   size_t Done = 0;
@@ -216,7 +223,7 @@ inline bool fpFsync(int Fd, const char *Site) {
   if (failpoints().check(Site, A)) {
     if (A.K == FailAction::Crash)
       throw SimulatedCrash(Site);
-    if (A.K == FailAction::FailFsync)
+    if (A.K == FailAction::FailFsync || A.K == FailAction::SoftError)
       return false;
   }
   return ::fsync(Fd) == 0;

@@ -24,6 +24,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "durable_test_util.h"
+
 #include "gen/generators.h"
 #include "graph/graph.h"
 #include "graph/versioned_graph.h"
@@ -46,6 +48,7 @@
 #include <vector>
 
 using namespace aspen;
+using namespace aspen::dtest;
 
 namespace {
 
@@ -60,131 +63,9 @@ static_assert(!HasChunkStorageV<UncompressedSet<VertexId>>,
 static_assert(!HasChunkStorageV<HybridEdgeSet>,
               "HybridEdgeSet takes the element fallback");
 
-//===----------------------------------------------------------------------===
-// Helpers: temp directories, byte-identity (parallel_merge_test idiom),
-// deterministic batch schedules.
-//===----------------------------------------------------------------------===
-
-struct TempDir {
-  std::string P;
-  TempDir() {
-    char Buf[] = "/tmp/aspen-dur-XXXXXX";
-    const char *R = ::mkdtemp(Buf);
-    EXPECT_NE(R, nullptr);
-    P = Buf;
-  }
-  ~TempDir() {
-    if (DIR *D = ::opendir(P.c_str())) {
-      while (struct dirent *E = ::readdir(D)) {
-        std::string N = E->d_name;
-        if (N != "." && N != "..")
-          (void)::unlink((P + "/" + N).c_str());
-      }
-      ::closedir(D);
-      (void)::rmdir(P.c_str());
-    }
-  }
-  const std::string &path() const { return P; }
-};
-
-size_t countFilesWithPrefix(const std::string &Dir, const char *Prefix) {
-  size_t N = 0;
-  if (DIR *D = ::opendir(Dir.c_str())) {
-    while (struct dirent *E = ::readdir(D))
-      if (std::strncmp(E->d_name, Prefix, std::strlen(Prefix)) == 0)
-        ++N;
-    ::closedir(D);
-  }
-  return N;
-}
-
-void flipByteAt(const std::string &Path, off_t Off) {
-  int Fd = ::open(Path.c_str(), O_RDWR);
-  ASSERT_GE(Fd, 0);
-  uint8_t B = 0;
-  ASSERT_EQ(::pread(Fd, &B, 1, Off), 1);
-  B ^= 0x40;
-  ASSERT_EQ(::pwrite(Fd, &B, 1, Off), 1);
-  ::close(Fd);
-}
-
-bool chunksIdentical(const P64 *A, const P64 *B) {
-  if (!A || !B)
-    return A == B;
-  return A->Count == B->Count && A->Bytes == B->Bytes &&
-         A->First == B->First && A->Last == B->Last &&
-         std::memcmp(A->data(), B->data(), A->Bytes) == 0;
-}
-
-bool setsIdentical(const CTS &A, const CTS &B) {
-  if (!chunksIdentical(A.prefix(), B.prefix()))
-    return false;
-  std::vector<std::pair<VertexId, const P64 *>> EA, EB;
-  CTS::T::forEachSeq(
-      A.root(), [&](const VertexId &H, const ChunkRef<VertexId> &Tl) {
-        EA.emplace_back(H, Tl.get());
-      });
-  CTS::T::forEachSeq(
-      B.root(), [&](const VertexId &H, const ChunkRef<VertexId> &Tl) {
-        EB.emplace_back(H, Tl.get());
-      });
-  if (EA.size() != EB.size())
-    return false;
-  for (size_t I = 0; I < EA.size(); ++I)
-    if (EA[I].first != EB[I].first ||
-        !chunksIdentical(EA[I].second, EB[I].second))
-      return false;
-  return true;
-}
-
-bool graphsIdentical(const Graph &A, const Graph &B) {
-  std::vector<std::pair<VertexId, const CTS *>> VA, VB;
-  Graph::VT::forEachSeq(A.root(), [&](const VertexId &V, const CTS &S) {
-    VA.emplace_back(V, &S);
-  });
-  Graph::VT::forEachSeq(B.root(), [&](const VertexId &V, const CTS &S) {
-    VB.emplace_back(V, &S);
-  });
-  if (VA.size() != VB.size())
-    return false;
-  for (size_t I = 0; I < VA.size(); ++I)
-    if (VA[I].first != VB[I].first ||
-        !setsIdentical(*VA[I].second, *VB[I].second))
-      return false;
-  return true;
-}
-
-bool shardedIdentical(ShardedGraphStore &A, ShardedGraphStore &B) {
-  auto Ea = A.acquire(), Eb = B.acquire();
-  if (Ea.numShards() != Eb.numShards() ||
-      Ea.numEdges() != Eb.numEdges())
-    return false;
-  for (size_t S = 0; S < Ea.numShards(); ++S)
-    if (!graphsIdentical(Ea.shard(S), Eb.shard(S)))
-      return false;
-  return true;
-}
-
-/// One deterministic ingest schedule: insert batches with every third a
-/// delete drawn from the previous batch's distribution (so deletes hit
-/// real edges).
-using BatchList = std::vector<std::pair<bool, std::vector<EdgePair>>>;
-
-BatchList makeBatches(size_t NumBatches, size_t BatchSize, VertexId Universe,
-                      uint64_t Seed) {
-  BatchList Out;
-  for (size_t B = 0; B < NumBatches; ++B) {
-    bool Insert = (B % 3) != 2;
-    uint64_t S = Seed + (Insert ? B : B - 1);
-    std::vector<EdgePair> E(BatchSize);
-    for (size_t I = 0; I < BatchSize; ++I) {
-      uint64_t H = hashAt(S, I);
-      E[I] = {VertexId(H % Universe), VertexId((H >> 20) % Universe)};
-    }
-    Out.emplace_back(Insert, std::move(E));
-  }
-  return Out;
-}
+// Shared helpers (TempDir, flipByteAt, the *Identical byte-comparison
+// family, makeBatches, optsFor) live in durable_test_util.h — the
+// replication suite uses the same bar for follower identity.
 
 //===----------------------------------------------------------------------===
 // CRC32C.
@@ -415,13 +296,6 @@ TEST(Checkpoint, CorruptionDetectedAndOlderUsed) {
 // Durable versioned store: basics.
 //===----------------------------------------------------------------------===
 
-DurabilityOptions optsFor(const std::string &Dir, uint64_t Every = 0) {
-  DurabilityOptions O;
-  O.Dir = Dir;
-  O.CheckpointEveryBatches = Every;
-  return O;
-}
-
 TEST(DurableVersioned, PersistAndReopenByteIdentical) {
   TempDir D;
   BatchList Batches = makeBatches(9, 300, 3000, 77);
@@ -539,8 +413,8 @@ std::vector<FaultSchedule> killPointMatrix(uint64_t Seed) {
   for (const char *Site :
        {"wal.enqueue.before", "wal.sync.before", "wal.record.write",
         "wal.fsync", "ckpt.page.write", "ckpt.manifest.write", "ckpt.fsync",
-        "ckpt.rename.before", "ckpt.rename.after", "wal.trim.before",
-        "wal.trim.mid", "wal.trim.after"})
+        "ckpt.rename.before", "ckpt.rename.after", "ckpt.dirsync",
+        "wal.trim.before", "wal.trim.mid", "wal.trim.after"})
     S.push_back({Site, FailAction::crash(), Rnd(3), true});
   for (int K = 0; K < 4; ++K)
     S.push_back({"wal.record.write", FailAction::shortWrite(Rnd(64)),
@@ -583,8 +457,9 @@ TEST(DurableVersioned, KillPointMatrixRecoversByteIdentical) {
 
     VersionedGraph Re(optsFor(D.path()));
     uint64_t R = Re.durability()->recovered().MaxSeq;
-    if (FS.AckedGuaranteed)
+    if (FS.AckedGuaranteed) {
       EXPECT_GE(R, Acked) << "acknowledged batch lost";
+    }
     EXPECT_LE(R, Batches.size());
 
     VersionedGraph Ref{Graph{}};
@@ -629,8 +504,9 @@ TEST(DurableSharded, KillPointMatrixRecoversByteIdentical) {
 
     ShardedGraphStore Re(optsFor(D.path()), Shards, Universe);
     uint64_t R = Re.durability()->recovered().MaxSeq;
-    if (FS.AckedGuaranteed)
+    if (FS.AckedGuaranteed) {
       EXPECT_GE(R, Acked) << "acknowledged batch lost";
+    }
     EXPECT_LE(R, Batches.size());
     EXPECT_EQ(Re.batchSeq(), R);
 
@@ -644,6 +520,61 @@ TEST(DurableSharded, KillPointMatrixRecoversByteIdentical) {
     EXPECT_TRUE(shardedIdentical(Re, Ref))
         << "recovered store differs from the uncrashed reference at seq "
         << R;
+  }
+}
+
+// The window between rename(ckpt.tmp -> ckpt) and the directory fsync
+// is the classic publish hazard: the file exists under its final name,
+// but the directory entry itself is not yet durable. Because WAL trim
+// runs strictly *after* the checkpoint publish, a crash in that window
+// is safe in both outcomes — whether the rename survives (recover from
+// the new checkpoint) or the entry is lost (recover from the older
+// checkpoint + the untrimmed WAL suffix).
+TEST(DurableVersioned, CrashBetweenRenameAndDirsync) {
+  BatchList Batches = makeBatches(9, 200, 2500, 303);
+  for (bool RenameSurvives : {true, false}) {
+    SCOPED_TRACE(RenameSurvives ? "rename survived" : "dir entry lost");
+    TempDir D;
+    size_t Acked = 0;
+    {
+      VersionedGraph St(optsFor(D.path(), /*Every=*/4));
+      // Crash on the *second* checkpoint's dirsync (seq 8), so the
+      // entry-lost variant has an older generation to fall back to.
+      FailpointGuard G("ckpt.dirsync", FailAction::crash(), 1);
+      try {
+        for (auto &B : Batches) {
+          if (B.first)
+            St.insertEdgesBatch(B.second);
+          else
+            St.deleteEdgesBatch(B.second);
+          ++Acked;
+        }
+      } catch (const SimulatedCrash &) {
+      }
+    }
+    failpoints().reset();
+    EXPECT_EQ(Acked, 7u); // batch 8's checkpoint crashed after the ack
+    if (!RenameSurvives) {
+      ASSERT_EQ(
+          ::unlink((D.path() + "/" + detail::ckptFileName(8)).c_str()), 0);
+    }
+
+    VersionedGraph Re(optsFor(D.path()));
+    uint64_t R = Re.durability()->recovered().MaxSeq;
+    EXPECT_GE(R, 8u) << "acknowledged batch lost"; // seq 8 was durable
+    if (!RenameSurvives) {
+      EXPECT_EQ(Re.durability()->recovered().Ckpt->Seq, 4u);
+    }
+
+    VersionedGraph Ref{Graph{}};
+    for (size_t B = 0; B < R; ++B) {
+      if (Batches[B].first)
+        Ref.insertEdgesBatch(Batches[B].second);
+      else
+        Ref.deleteEdgesBatch(Batches[B].second);
+    }
+    EXPECT_TRUE(
+        graphsIdentical(Re.acquire().graph(), Ref.acquire().graph()));
   }
 }
 

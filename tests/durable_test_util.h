@@ -1,0 +1,195 @@
+//===- tests/durable_test_util.h - Shared durability-test helpers ---------===//
+//
+// The helpers the fault-injection suites share (durability_test.cpp,
+// replication_test.cpp): scratch directories, byte-level corruption,
+// chunk-exact store comparison, and deterministic batch schedules.
+//
+// Byte-identity here means identity of the *physical* representation —
+// chunk Count/Bytes/First/Last and a memcmp of the encoded payloads —
+// not just equal edge sets. Chunk-boundary determinism (DESIGN.md
+// Section 2) makes that the right bar for recovery and replication: a
+// follower or recovered store that applied the same batches must land on
+// the same bytes.
+//
+// Set ASPEN_KEEP_FAILED_DIRS=1 to keep a test's scratch directory when
+// the test fails (the chaos CI job does, and uploads /tmp/aspen-* as the
+// failure artifact).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASPEN_TESTS_DURABLE_TEST_UTIL_H
+#define ASPEN_TESTS_DURABLE_TEST_UTIL_H
+
+#include "graph/graph.h"
+#include "store/durability.h"
+#include "store/sharded_graph.h"
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+namespace aspen {
+namespace dtest {
+
+struct TempDir {
+  std::string P;
+  TempDir() {
+    char Buf[] = "/tmp/aspen-dur-XXXXXX";
+    const char *R = ::mkdtemp(Buf);
+    EXPECT_NE(R, nullptr);
+    P = Buf;
+  }
+  ~TempDir() {
+    const char *Keep = std::getenv("ASPEN_KEEP_FAILED_DIRS");
+    if (Keep && *Keep && *Keep != '0' &&
+        ::testing::Test::HasFailure())
+      return; // leave the evidence for the CI artifact upload
+    if (DIR *D = ::opendir(P.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        std::string N = E->d_name;
+        if (N != "." && N != "..")
+          (void)::unlink((P + "/" + N).c_str());
+      }
+      ::closedir(D);
+      (void)::rmdir(P.c_str());
+    }
+  }
+  const std::string &path() const { return P; }
+};
+
+inline size_t countFilesWithPrefix(const std::string &Dir,
+                                   const char *Prefix) {
+  size_t N = 0;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D))
+      if (std::strncmp(E->d_name, Prefix, std::strlen(Prefix)) == 0)
+        ++N;
+    ::closedir(D);
+  }
+  return N;
+}
+
+inline void flipByteAt(const std::string &Path, off_t Off) {
+  int Fd = ::open(Path.c_str(), O_RDWR);
+  ASSERT_GE(Fd, 0);
+  uint8_t B = 0;
+  ASSERT_EQ(::pread(Fd, &B, 1, Off), 1);
+  B ^= 0x40;
+  ASSERT_EQ(::pwrite(Fd, &B, 1, Off), 1);
+  ::close(Fd);
+}
+
+inline off_t fileSize(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? St.st_size : -1;
+}
+
+//===----------------------------------------------------------------------===
+// Byte-identity (the parallel_merge_test idiom).
+//===----------------------------------------------------------------------===
+
+using DtCTS = CTreeSet<VertexId, DeltaByteCodec>;
+using DtP64 = ChunkPayload<VertexId>;
+
+inline bool chunksIdentical(const DtP64 *A, const DtP64 *B) {
+  if (!A || !B)
+    return A == B;
+  return A->Count == B->Count && A->Bytes == B->Bytes &&
+         A->First == B->First && A->Last == B->Last &&
+         std::memcmp(A->data(), B->data(), A->Bytes) == 0;
+}
+
+inline bool setsIdentical(const DtCTS &A, const DtCTS &B) {
+  if (!chunksIdentical(A.prefix(), B.prefix()))
+    return false;
+  std::vector<std::pair<VertexId, const DtP64 *>> EA, EB;
+  DtCTS::T::forEachSeq(
+      A.root(), [&](const VertexId &H, const ChunkRef<VertexId> &Tl) {
+        EA.emplace_back(H, Tl.get());
+      });
+  DtCTS::T::forEachSeq(
+      B.root(), [&](const VertexId &H, const ChunkRef<VertexId> &Tl) {
+        EB.emplace_back(H, Tl.get());
+      });
+  if (EA.size() != EB.size())
+    return false;
+  for (size_t I = 0; I < EA.size(); ++I)
+    if (EA[I].first != EB[I].first ||
+        !chunksIdentical(EA[I].second, EB[I].second))
+      return false;
+  return true;
+}
+
+inline bool graphsIdentical(const Graph &A, const Graph &B) {
+  std::vector<std::pair<VertexId, const DtCTS *>> VA, VB;
+  Graph::VT::forEachSeq(A.root(), [&](const VertexId &V, const DtCTS &S) {
+    VA.emplace_back(V, &S);
+  });
+  Graph::VT::forEachSeq(B.root(), [&](const VertexId &V, const DtCTS &S) {
+    VB.emplace_back(V, &S);
+  });
+  if (VA.size() != VB.size())
+    return false;
+  for (size_t I = 0; I < VA.size(); ++I)
+    if (VA[I].first != VB[I].first ||
+        !setsIdentical(*VA[I].second, *VB[I].second))
+      return false;
+  return true;
+}
+
+inline bool shardedIdentical(ShardedGraphStore &A, ShardedGraphStore &B) {
+  auto Ea = A.acquire(), Eb = B.acquire();
+  if (Ea.numShards() != Eb.numShards() || Ea.numEdges() != Eb.numEdges())
+    return false;
+  for (size_t S = 0; S < Ea.numShards(); ++S)
+    if (!graphsIdentical(Ea.shard(S), Eb.shard(S)))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Deterministic batch schedules.
+//===----------------------------------------------------------------------===
+
+/// One deterministic ingest schedule: insert batches with every third a
+/// delete drawn from the previous batch's distribution (so deletes hit
+/// real edges).
+using BatchList = std::vector<std::pair<bool, std::vector<EdgePair>>>;
+
+inline BatchList makeBatches(size_t NumBatches, size_t BatchSize,
+                             VertexId Universe, uint64_t Seed) {
+  BatchList Out;
+  for (size_t B = 0; B < NumBatches; ++B) {
+    bool Insert = (B % 3) != 2;
+    uint64_t S = Seed + (Insert ? B : B - 1);
+    std::vector<EdgePair> E(BatchSize);
+    for (size_t I = 0; I < BatchSize; ++I) {
+      uint64_t H = hashAt(S, I);
+      E[I] = {VertexId(H % Universe), VertexId((H >> 20) % Universe)};
+    }
+    Out.emplace_back(Insert, std::move(E));
+  }
+  return Out;
+}
+
+inline DurabilityOptions optsFor(const std::string &Dir,
+                                 uint64_t Every = 0) {
+  DurabilityOptions O;
+  O.Dir = Dir;
+  O.CheckpointEveryBatches = Every;
+  return O;
+}
+
+} // namespace dtest
+} // namespace aspen
+
+#endif // ASPEN_TESTS_DURABLE_TEST_UTIL_H

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstring>
 #include <dirent.h>
+#include <future>
 #include <thread>
 #include <unistd.h>
 
@@ -437,6 +438,43 @@ TEST(ServeServer, OverloadShedsInsteadOfStalling) {
   EXPECT_EQ(St.QueriesDone, Accepted);
   EXPECT_EQ(St.Admission.ShedReads, Shed);
   EXPECT_EQ(size_t(Running.load()), Accepted);
+  Server.stop();
+}
+
+TEST(ServeServer, WriterThrottlesOnReaderLag) {
+  const VertexId N = 256;
+  HybridShardedGraphStore Store(2, N);
+  SnapshotServer::Options O;
+  O.Workers = 1;
+  O.ReadsPerWrite = 1; // strict alternation once both classes queue
+  O.MaxReaderLag = 1;
+  O.ThrottleMaxWaitMs = 1; // the lone worker is also the only reader
+                           // drain, so the bound is what keeps it live
+  SnapshotServer Server(Store, O);
+
+  // Gate the lone worker so everything below queues before any pop;
+  // every read is admitted at batch sequence 0.
+  std::promise<void> Gate;
+  std::shared_future<void> Open(Gate.get_future());
+  ASSERT_TRUE(Server.submitQuery([Open](auto &) { Open.wait(); }));
+  const size_t Each = 6;
+  for (size_t I = 0; I < Each; ++I) {
+    ASSERT_TRUE(Server.submitQuery([](auto &QC) { QC.snapshot(); }));
+    ASSERT_TRUE(Server.submitInsert(randomBatch(N, 16, 100 + I)));
+  }
+  Gate.set_value();
+  Server.drain();
+  auto St = Server.stats();
+  EXPECT_EQ(St.QueriesDone, Each + 1);
+  EXPECT_EQ(St.WritesDone, Each);
+  // With alternating pops the third write finds the oldest still-queued
+  // read already two batches behind the store — beyond MaxReaderLag, so
+  // the writer path must have throttled at least once (and, because the
+  // wait is bounded, still completed everything).
+  EXPECT_GE(St.WriteThrottleWaits, 1u);
+  EXPECT_EQ(St.QueryErrors, 0u);
+  EXPECT_EQ(St.WriteErrors, 0u);
+  EXPECT_EQ(Store.batchSeq(), Each);
   Server.stop();
 }
 
